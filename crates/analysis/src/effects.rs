@@ -1,0 +1,568 @@
+//! Side-effect analysis in the style of Banning (the paper's cited basis
+//! for detecting "variable side-effects and exit side-effects", §3/§6).
+//!
+//! For every procedure we compute:
+//!
+//! * **MOD** — non-local variables the procedure (or anything it calls)
+//!   may write *directly* (not through a `var` parameter);
+//! * **REF** — non-local variables it may read directly;
+//! * **param reads/writes** — which formal parameters the procedure may
+//!   read or write, transitively through calls that pass them on by
+//!   reference;
+//! * **exit effects** — the non-local labels the procedure may jump to
+//!   via a global `goto` (directly or through callees).
+//!
+//! These sets drive the §6 transformations (which non-locals become
+//! `in`/`out` parameters, which procedures need exit parameters) and make
+//! call instructions' effects available to the static slicer.
+
+use crate::callgraph::CallGraph;
+use gadt_pascal::cfg::{CallArg, InstrKind, ProgramCfg, RExpr, Terminator};
+use gadt_pascal::sema::{Module, ProcId, VarId};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Side-effect summary of one procedure.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ProcEffects {
+    /// Non-local variables possibly written (directly or via callees).
+    pub mods: BTreeSet<VarId>,
+    /// Non-local variables possibly read.
+    pub refs: BTreeSet<VarId>,
+    /// Formal parameters (by VarId) possibly read.
+    pub param_reads: BTreeSet<VarId>,
+    /// Formal parameters possibly written (meaningful for `var`/`out`).
+    pub param_writes: BTreeSet<VarId>,
+    /// Non-local goto targets: `(owner proc, label)` pairs this procedure
+    /// may transfer control to (the paper's *exit side-effects*).
+    pub exits: BTreeSet<(ProcId, String)>,
+}
+
+/// Side-effect summaries for every procedure.
+#[derive(Debug, Clone)]
+pub struct Effects {
+    per_proc: Vec<ProcEffects>,
+}
+
+impl Effects {
+    /// The summary of one procedure.
+    ///
+    /// # Panics
+    /// Panics if `p` is out of range.
+    pub fn of(&self, p: ProcId) -> &ProcEffects {
+        &self.per_proc[p.0 as usize]
+    }
+
+    /// Whether `p` has any global side effect the paper's transformation
+    /// must remove (variable or exit).
+    pub fn has_global_side_effects(&self, p: ProcId) -> bool {
+        let e = self.of(p);
+        !e.mods.is_empty() || !e.refs.is_empty() || !e.exits.is_empty()
+    }
+
+    /// Computes effects for all procedures by fixpoint over the call graph.
+    ///
+    /// # Examples
+    /// ```
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// use gadt_pascal::{sema::compile, cfg::lower};
+    /// use gadt_analysis::{callgraph::CallGraph, effects::Effects};
+    /// let m = compile(gadt_pascal::testprogs::SECTION6_GLOBALS)?;
+    /// let cfg = lower(&m);
+    /// let fx = Effects::compute(&m, &cfg, &CallGraph::build(&m, &cfg));
+    /// let p = m.proc_by_name("p").unwrap();
+    /// assert!(fx.has_global_side_effects(p));
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn compute(module: &Module, cfg: &ProgramCfg, cg: &CallGraph) -> Self {
+        let n = module.procs.len();
+        let mut fx: Vec<ProcEffects> = vec![ProcEffects::default(); n];
+
+        // Local (direct) contributions, plus a record of ref-arg flows:
+        // (caller, callee, callee_param → caller place var) per call.
+        let mut ref_flows: Vec<(ProcId, ProcId, BTreeMap<VarId, VarId>)> = Vec::new();
+        for pcfg in &cfg.procs {
+            let p = pcfg.proc;
+            let mut direct = ProcEffects::default();
+            let note_write = |v: VarId, direct: &mut ProcEffects| {
+                if module.var(v).owner != p {
+                    direct.mods.insert(v);
+                } else if module.var(v).is_param() {
+                    direct.param_writes.insert(v);
+                }
+            };
+            let note_expr = |e: &RExpr, direct: &mut ProcEffects| {
+                let mut uses = Vec::new();
+                e.collect_uses(&mut uses);
+                for u in uses {
+                    if module.var(u).owner != p {
+                        direct.refs.insert(u);
+                    } else if module.var(u).is_param() {
+                        direct.param_reads.insert(u);
+                    }
+                }
+            };
+            let note_call_args =
+                |callee: ProcId,
+                 args: &[CallArg],
+                 direct: &mut ProcEffects,
+                 flows: &mut Vec<(ProcId, ProcId, BTreeMap<VarId, VarId>)>| {
+                    let mut map = BTreeMap::new();
+                    for (&param, a) in module.proc(callee).params.iter().zip(args) {
+                        match a {
+                            CallArg::Value(e) => note_expr(e, direct),
+                            CallArg::Ref(place) => {
+                                if let Some(ix) = &place.index {
+                                    note_expr(ix, direct);
+                                }
+                                map.insert(param, place.var);
+                            }
+                        }
+                    }
+                    if !map.is_empty() {
+                        flows.push((p, callee, map));
+                    }
+                };
+
+            // Walk expressions for nested calls too.
+            fn walk_calls(e: &RExpr, f: &mut dyn FnMut(ProcId, &[CallArg])) {
+                match e {
+                    RExpr::Call { callee, args } => {
+                        f(*callee, args);
+                        for a in args {
+                            match a {
+                                CallArg::Value(x) => walk_calls(x, f),
+                                CallArg::Ref(pl) => {
+                                    if let Some(ix) = &pl.index {
+                                        walk_calls(ix, f);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    RExpr::Index { index, .. } => walk_calls(index, f),
+                    RExpr::Intrinsic { arg, .. } => walk_calls(arg, f),
+                    RExpr::Unary { operand, .. } => walk_calls(operand, f),
+                    RExpr::Binary { lhs, rhs, .. } => {
+                        walk_calls(lhs, f);
+                        walk_calls(rhs, f);
+                    }
+                    RExpr::Lit(_) | RExpr::Var(_) => {}
+                }
+            }
+
+            let mut exprs_with_calls: Vec<RExpr> = Vec::new();
+            for (_, b) in pcfg.iter() {
+                for ins in &b.instrs {
+                    match &ins.kind {
+                        InstrKind::Assign { lhs, rhs } => {
+                            note_expr(rhs, &mut direct);
+                            if let Some(ix) = &lhs.index {
+                                note_expr(ix, &mut direct);
+                                // Element write also reads the base array
+                                // conceptually, but only writes it for
+                                // side-effect purposes.
+                            }
+                            note_write(lhs.var, &mut direct);
+                            exprs_with_calls.push(rhs.clone());
+                            if let Some(ix) = &lhs.index {
+                                exprs_with_calls.push((**ix).clone());
+                            }
+                        }
+                        InstrKind::Call { callee, args } => {
+                            note_call_args(*callee, args, &mut direct, &mut ref_flows);
+                            for a in args {
+                                if let Some(e) = arg_expr(a) {
+                                    exprs_with_calls.push(e.clone());
+                                }
+                            }
+                        }
+                        InstrKind::Read { target } => {
+                            if let Some(ix) = &target.index {
+                                note_expr(ix, &mut direct);
+                                exprs_with_calls.push((**ix).clone());
+                            }
+                            note_write(target.var, &mut direct);
+                        }
+                        InstrKind::Write { args, .. } => {
+                            for a in args {
+                                note_expr(a, &mut direct);
+                                exprs_with_calls.push(a.clone());
+                            }
+                        }
+                    }
+                }
+                match &b.term {
+                    Terminator::Branch { cond, .. } => {
+                        note_expr(cond, &mut direct);
+                        exprs_with_calls.push(cond.clone());
+                    }
+                    Terminator::NonLocalGoto { owner, label, .. } => {
+                        direct.exits.insert((*owner, label.clone()));
+                    }
+                    _ => {}
+                }
+            }
+            // Ref args of calls nested in expressions.
+            for e in &exprs_with_calls {
+                walk_calls(e, &mut |callee, args| {
+                    note_call_args(callee, args, &mut direct, &mut ref_flows);
+                });
+            }
+            fx[p.0 as usize] = direct;
+        }
+
+        // Fixpoint: propagate callee effects into callers.
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for site in cg.sites() {
+                let callee_fx = fx[site.callee.0 as usize].clone();
+                let caller_fx = &mut fx[site.caller.0 as usize];
+                // Non-local variables of the callee that are still
+                // non-local (or param) from the caller's perspective.
+                for v in &callee_fx.mods {
+                    let info = module.var(*v);
+                    if info.owner != site.caller {
+                        changed |= caller_fx.mods.insert(*v);
+                    } else if info.is_param() {
+                        changed |= caller_fx.param_writes.insert(*v);
+                    }
+                }
+                for v in &callee_fx.refs {
+                    let info = module.var(*v);
+                    if info.owner != site.caller {
+                        changed |= caller_fx.refs.insert(*v);
+                    } else if info.is_param() {
+                        changed |= caller_fx.param_reads.insert(*v);
+                    }
+                }
+                // Exit effects propagate until the owner is reached.
+                for (owner, label) in &callee_fx.exits {
+                    if *owner != site.caller {
+                        changed |= caller_fx.exits.insert((*owner, label.clone()));
+                    }
+                }
+            }
+            // Ref-parameter flows: callee reading/writing its param means
+            // the caller reads/writes the bound place.
+            for (caller, callee, map) in &ref_flows {
+                let callee_fx = fx[callee.0 as usize].clone();
+                let caller_fx = &mut fx[caller.0 as usize];
+                for (param, caller_var) in map {
+                    let caller_var_info = module.var(*caller_var);
+                    if callee_fx.param_writes.contains(param) {
+                        if caller_var_info.owner != *caller {
+                            changed |= caller_fx.mods.insert(*caller_var);
+                        } else if caller_var_info.is_param() {
+                            changed |= caller_fx.param_writes.insert(*caller_var);
+                        }
+                    }
+                    if callee_fx.param_reads.contains(param) {
+                        if caller_var_info.owner != *caller {
+                            changed |= caller_fx.refs.insert(*caller_var);
+                        } else if caller_var_info.is_param() {
+                            changed |= caller_fx.param_reads.insert(*caller_var);
+                        }
+                    }
+                }
+            }
+        }
+
+        Effects { per_proc: fx }
+    }
+}
+
+fn arg_expr(a: &CallArg) -> Option<&RExpr> {
+    match a {
+        CallArg::Value(e) => Some(e),
+        CallArg::Ref(p) => p.index.as_deref(),
+    }
+}
+
+/// The defs and uses of one instruction *as seen by the caller*, with
+/// interprocedural effects folded in via the summaries. Used by the static
+/// slicer.
+#[derive(Debug, Clone, Default)]
+pub struct InstrEffects {
+    /// Variables possibly defined.
+    pub defs: Vec<VarId>,
+    /// Whether the defs are a *strong* (killing) update of a single
+    /// scalar variable.
+    pub strong: bool,
+    /// Variables used.
+    pub uses: Vec<VarId>,
+}
+
+/// Computes caller-visible defs/uses of an instruction.
+pub fn instr_effects(module: &Module, fx: &Effects, kind: &InstrKind) -> InstrEffects {
+    let mut out = InstrEffects::default();
+    match kind {
+        InstrKind::Assign { lhs, rhs } => {
+            rhs.collect_uses(&mut out.uses);
+            collect_expr_call_effects(module, fx, rhs, &mut out);
+            if let Some(ix) = &lhs.index {
+                ix.collect_uses(&mut out.uses);
+                collect_expr_call_effects(module, fx, ix, &mut out);
+                out.defs.push(lhs.var);
+                out.strong = false; // weak update of one element
+            } else {
+                out.defs.push(lhs.var);
+                out.strong = true;
+            }
+        }
+        InstrKind::Call { callee, args } => {
+            call_effects(module, fx, *callee, args, &mut out);
+        }
+        InstrKind::Read { target } => {
+            if let Some(ix) = &target.index {
+                ix.collect_uses(&mut out.uses);
+                collect_expr_call_effects(module, fx, ix, &mut out);
+                out.defs.push(target.var);
+                out.strong = false;
+            } else {
+                out.defs.push(target.var);
+                out.strong = true;
+            }
+        }
+        InstrKind::Write { args, .. } => {
+            for a in args {
+                a.collect_uses(&mut out.uses);
+                collect_expr_call_effects(module, fx, a, &mut out);
+            }
+        }
+    }
+    out
+}
+
+/// Folds one call's interprocedural defs/uses into `out`.
+fn call_effects(
+    module: &Module,
+    fx: &Effects,
+    callee: ProcId,
+    args: &[CallArg],
+    out: &mut InstrEffects,
+) {
+    let summary = fx.of(callee);
+    for (&param, a) in module.proc(callee).params.iter().zip(args) {
+        match a {
+            CallArg::Value(e) => {
+                if summary.param_reads.contains(&param) || true {
+                    // Value args are always evaluated; count their uses.
+                    e.collect_uses(&mut out.uses);
+                }
+                collect_expr_call_effects(module, fx, e, out);
+            }
+            CallArg::Ref(place) => {
+                if let Some(ix) = &place.index {
+                    ix.collect_uses(&mut out.uses);
+                    collect_expr_call_effects(module, fx, ix, out);
+                }
+                if summary.param_writes.contains(&param) {
+                    out.defs.push(place.var);
+                }
+                if summary.param_reads.contains(&param) {
+                    out.uses.push(place.var);
+                }
+            }
+        }
+    }
+    // Non-local effects visible at this call site.
+    for v in &summary.mods {
+        out.defs.push(*v);
+    }
+    for v in &summary.refs {
+        out.uses.push(*v);
+    }
+    out.strong = false;
+}
+
+fn collect_expr_call_effects(module: &Module, fx: &Effects, e: &RExpr, out: &mut InstrEffects) {
+    match e {
+        RExpr::Call { callee, args } => {
+            call_effects(module, fx, *callee, args, out);
+        }
+        RExpr::Index { index, .. } => collect_expr_call_effects(module, fx, index, out),
+        RExpr::Intrinsic { arg, .. } => collect_expr_call_effects(module, fx, arg, out),
+        RExpr::Unary { operand, .. } => collect_expr_call_effects(module, fx, operand, out),
+        RExpr::Binary { lhs, rhs, .. } => {
+            collect_expr_call_effects(module, fx, lhs, out);
+            collect_expr_call_effects(module, fx, rhs, out);
+        }
+        RExpr::Lit(_) | RExpr::Var(_) => {}
+    }
+}
+
+/// Convenience wrapper: computes call graph and effects for a module.
+pub fn analyze(module: &Module, cfg: &ProgramCfg) -> (CallGraph, Effects) {
+    let cg = CallGraph::build(module, cfg);
+    let fx = Effects::compute(module, cfg, &cg);
+    (cg, fx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gadt_pascal::cfg::lower;
+    use gadt_pascal::sema::{compile, MAIN_PROC};
+    use gadt_pascal::testprogs;
+
+    fn effects(src: &str) -> (Module, Effects) {
+        let m = compile(src).expect("compile");
+        let cfg = lower(&m);
+        let cg = CallGraph::build(&m, &cfg);
+        let fx = Effects::compute(&m, &cfg, &cg);
+        (m, fx)
+    }
+
+    fn names(m: &Module, set: &BTreeSet<VarId>) -> Vec<String> {
+        let mut v: Vec<String> = set.iter().map(|x| m.var(*x).name.clone()).collect();
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn section6_globals_mod_ref() {
+        let (m, fx) = effects(testprogs::SECTION6_GLOBALS);
+        let p = m.proc_by_name("p").unwrap();
+        let e = fx.of(p);
+        assert_eq!(names(&m, &e.refs), vec!["x"]);
+        assert_eq!(names(&m, &e.mods), vec!["z"]);
+        assert!(e.param_writes.len() == 1); // writes var param y
+        assert!(fx.has_global_side_effects(p));
+    }
+
+    #[test]
+    fn effects_propagate_through_calls() {
+        let (m, fx) = effects(
+            "program t; var g: integer;
+             procedure inner; begin g := g + 1 end;
+             procedure outer; begin inner end;
+             begin outer end.",
+        );
+        let outer = m.proc_by_name("outer").unwrap();
+        assert_eq!(names(&m, &fx.of(outer).mods), vec!["g"]);
+        assert_eq!(names(&m, &fx.of(outer).refs), vec!["g"]);
+    }
+
+    #[test]
+    fn propagation_stops_at_owner() {
+        let (m, fx) = effects(
+            "program t;
+             procedure outer;
+             var x: integer;
+               procedure inner; begin x := 1 end;
+             begin inner end;
+             begin outer end.",
+        );
+        let outer = m.proc_by_name("outer").unwrap();
+        let inner = m.proc_by_name("inner").unwrap();
+        // x is non-local to inner but local to outer.
+        assert_eq!(names(&m, &fx.of(inner).mods), vec!["x"]);
+        assert!(fx.of(outer).mods.is_empty());
+        assert!(!fx.has_global_side_effects(outer));
+    }
+
+    #[test]
+    fn param_write_through_ref_chain() {
+        let (m, fx) = effects(
+            "program t; var g: integer;
+             procedure bottom(var b: integer); begin b := 1 end;
+             procedure middle(var a: integer); begin bottom(a) end;
+             begin middle(g) end.",
+        );
+        let middle = m.proc_by_name("middle").unwrap();
+        let bottom = m.proc_by_name("bottom").unwrap();
+        assert_eq!(fx.of(bottom).param_writes.len(), 1);
+        assert_eq!(fx.of(middle).param_writes.len(), 1);
+        // g itself is written only via explicit parameters: not in MOD.
+        assert!(fx.of(middle).mods.is_empty());
+        assert!(fx.of(MAIN_PROC).mods.is_empty());
+    }
+
+    #[test]
+    fn ref_arg_binding_a_global_is_a_mod() {
+        let (m, fx) = effects(
+            "program t; var g: integer;
+             procedure w(var b: integer); begin b := 1 end;
+             procedure caller; begin w(g) end;
+             begin caller end.",
+        );
+        // caller passes global g by ref to w which writes it → caller MODs g.
+        let caller = m.proc_by_name("caller").unwrap();
+        assert_eq!(names(&m, &fx.of(caller).mods), vec!["g"]);
+    }
+
+    #[test]
+    fn exit_effects_detected_and_propagate() {
+        let (m, fx) = effects(testprogs::SECTION6_GOTO);
+        let q = m.proc_by_name("q").unwrap();
+        let p = m.proc_by_name("p").unwrap();
+        assert_eq!(fx.of(q).exits.len(), 1);
+        let (owner, label) = fx.of(q).exits.iter().next().unwrap();
+        assert_eq!(*owner, p);
+        assert_eq!(label, "9");
+        // p owns the label: the exit effect does not escape p.
+        assert!(fx.of(p).exits.is_empty());
+    }
+
+    #[test]
+    fn recursive_effects_reach_fixpoint() {
+        let (m, fx) = effects(
+            "program t; var g: integer;
+             procedure p(n: integer);
+             begin if n > 0 then begin g := g + 1; p(n - 1) end end;
+             begin p(3) end.",
+        );
+        let p = m.proc_by_name("p").unwrap();
+        assert_eq!(names(&m, &fx.of(p).mods), vec!["g"]);
+        assert!(fx.of(p).param_reads.len() == 1);
+    }
+
+    #[test]
+    fn sqrtest_is_side_effect_free_at_procedure_level() {
+        // Figure 4's program communicates exclusively through parameters:
+        // no procedure needs transformation (main writes its own globals).
+        let (m, fx) = effects(testprogs::SQRTEST);
+        for p in &m.procs {
+            if p.id == MAIN_PROC {
+                continue;
+            }
+            assert!(
+                !fx.has_global_side_effects(p.id),
+                "{} unexpectedly has global side effects",
+                p.name
+            );
+        }
+    }
+
+    #[test]
+    fn instr_effects_for_call_include_summary() {
+        let (m, fx) = effects(
+            "program t; var g, x: integer;
+             procedure p(a: integer; var b: integer); begin b := a + g end;
+             begin p(1, x) end.",
+        );
+        let cfg = lower(&m);
+        let main = cfg.proc(MAIN_PROC);
+        let call = &main.blocks[0].instrs[0];
+        let eff = instr_effects(&m, &fx, &call.kind);
+        let x = m.var_in_scope(MAIN_PROC, "x").unwrap();
+        let g = m.var_in_scope(MAIN_PROC, "g").unwrap();
+        assert!(eff.defs.contains(&x));
+        assert!(eff.uses.contains(&g));
+        assert!(!eff.strong);
+    }
+
+    #[test]
+    fn write_only_out_params_not_read() {
+        let (m, fx) = effects(
+            "program t; var x: integer;
+             procedure p(out z: integer); begin z := 1 end;
+             begin p(x) end.",
+        );
+        let p = m.proc_by_name("p").unwrap();
+        assert!(fx.of(p).param_reads.is_empty());
+        assert_eq!(fx.of(p).param_writes.len(), 1);
+    }
+}

@@ -1,0 +1,400 @@
+//! Dynamic interprocedural slicing (after Kamkar), over a recorded
+//! [`DynTrace`].
+//!
+//! The debugger activates this when the user points at a *specific wrong
+//! output variable* of a procedure invocation (§5.3.3, §7): the slice is
+//! the backward closure over dynamic data and control dependences from
+//! that value's defining event. The result identifies both the relevant
+//! statements (for display) and the relevant dynamic calls (for pruning
+//! the execution tree into the "corresponding execution tree" of §7).
+
+use crate::dyntrace::{CallRecord, DynTrace};
+use gadt_pascal::ast::{ParamMode, StmtId};
+use gadt_pascal::sema::{Module, VarId};
+use std::collections::BTreeSet;
+
+/// A dynamic slicing criterion: one output value of one dynamic call.
+#[derive(Debug, Clone)]
+pub struct DynCriterion {
+    /// The dynamic call whose output is wrong.
+    pub call: u64,
+    /// The variable (a `var`/`out` parameter, the function result, or a
+    /// written non-local) whose value at the call's exit is wrong.
+    pub var: VarId,
+}
+
+impl DynCriterion {
+    /// Criterion for the `index`-th output of a call (0-based over the
+    /// call's `outs` list: reference parameters in declaration order, then
+    /// the function result).
+    pub fn output(trace: &DynTrace, call: u64, index: usize) -> Option<DynCriterion> {
+        let rec = trace.call(call);
+        rec.outs
+            .get(index)
+            .map(|(v, _)| DynCriterion { call, var: *v })
+    }
+}
+
+/// The result of dynamic slicing.
+#[derive(Debug, Clone, Default)]
+pub struct DynSlice {
+    /// Relevant event indices.
+    pub events: BTreeSet<usize>,
+    /// Source statements of relevant events.
+    pub stmts: BTreeSet<StmtId>,
+    /// Dynamic calls containing at least one relevant event, plus all
+    /// their ancestors (so the pruned execution tree stays connected).
+    pub calls: BTreeSet<u64>,
+}
+
+impl DynSlice {
+    /// Whether a dynamic call is relevant.
+    pub fn keeps_call(&self, id: u64) -> bool {
+        self.calls.contains(&id)
+    }
+}
+
+/// Computes the backward dynamic slice for `criterion`.
+///
+/// # Examples
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// use gadt_pascal::{sema::compile, cfg::lower, testprogs};
+/// use gadt_analysis::dyntrace::record_trace;
+/// use gadt_analysis::slice_dynamic::dynamic_slice_output;
+/// let m = compile(testprogs::SQRTEST)?;
+/// let cfg = lower(&m);
+/// let trace = record_trace(&m, &cfg, [])?;
+/// let computs = trace.calls.iter()
+///     .find(|c| m.proc(c.proc).name == "computs").unwrap();
+/// // Slice on computs' first output (r1), as in the paper's §8 step 2.
+/// let slice = dynamic_slice_output(&m, &trace, computs.id, 0);
+/// assert!(!slice.events.is_empty());
+/// # Ok(())
+/// # }
+/// ```
+pub fn dynamic_slice(module: &Module, trace: &DynTrace, criterion: &DynCriterion) -> DynSlice {
+    let rec = trace.call(criterion.call);
+    let seed = criterion_def_event(module, trace, rec, criterion.var);
+
+    let mut slice = DynSlice::default();
+    let Some(seed) = seed else {
+        // The output was never defined during the call (e.g. it still has
+        // its initial value): nothing contributed to it dynamically.
+        keep_ancestors(trace, criterion.call, &mut slice);
+        return slice;
+    };
+
+    let mut work = vec![seed];
+    while let Some(e) = work.pop() {
+        if !slice.events.insert(e) {
+            continue;
+        }
+        let ev = &trace.events[e];
+        slice.stmts.insert(ev.stmt);
+        for &d in &ev.data_deps {
+            if !slice.events.contains(&d) {
+                work.push(d);
+            }
+        }
+        if let Some(c) = ev.control_dep {
+            if !slice.events.contains(&c) {
+                work.push(c);
+            }
+        }
+    }
+
+    // Calls containing relevant events, closed under ancestry.
+    for e in slice.events.clone() {
+        keep_ancestors(trace, trace.events[e].call, &mut slice);
+    }
+    keep_ancestors(trace, criterion.call, &mut slice);
+    slice
+}
+
+fn keep_ancestors(trace: &DynTrace, mut call: u64, slice: &mut DynSlice) {
+    loop {
+        if !slice.calls.insert(call) {
+            return;
+        }
+        match trace.call(call).parent {
+            Some(p) => call = p,
+            None => return,
+        }
+    }
+}
+
+/// Finds the event that defines the criterion variable's value observed at
+/// the call's exit, for result variables and written non-locals. Reference
+/// parameters are resolved via bindings in [`dynamic_slice_output`].
+fn criterion_def_event(
+    module: &Module,
+    trace: &DynTrace,
+    rec: &CallRecord,
+    var: VarId,
+) -> Option<usize> {
+    let info = module.var(var);
+    let range = rec.enter_idx..rec.exit_idx.min(trace.events.len());
+    match info.kind {
+        gadt_pascal::sema::VarKind::Result => trace.events[range]
+            .iter()
+            .rev()
+            .find(|e| e.defs.iter().any(|d| d.frame == rec.frame && d.var == var))
+            .map(|e| e.idx),
+        _ => trace.events[range]
+            .iter()
+            .rev()
+            .find(|e| e.defs.iter().any(|d| d.var == var))
+            .map(|e| e.idx),
+    }
+}
+
+/// Like [`dynamic_slice`] but resolves the criterion variable's *binding*
+/// via the recorded call: for a reference-parameter output, the defining
+/// events are those that wrote the bound caller-side location during the
+/// call's dynamic extent. This is the precise entry point the debugger
+/// uses for §5.3.3's "error on output variable k".
+pub fn dynamic_slice_output(
+    module: &Module,
+    trace: &DynTrace,
+    call: u64,
+    out_index: usize,
+) -> DynSlice {
+    let rec = trace.call(call);
+    let Some((var, _)) = rec.outs.get(out_index) else {
+        return DynSlice::default();
+    };
+    let info = module.var(*var);
+    let seed = match info.kind {
+        gadt_pascal::sema::VarKind::Param { mode, .. }
+            if matches!(mode, ParamMode::Var | ParamMode::Out) =>
+        {
+            // Resolve the parameter's binding and find the last write to
+            // that location inside the call's extent.
+            rec.bindings
+                .iter()
+                .find(|(p, _)| p == var)
+                .and_then(|(_, loc)| {
+                    let range = rec.enter_idx..rec.exit_idx.min(trace.events.len());
+                    trace.events[range]
+                        .iter()
+                        .rev()
+                        .find(|e| {
+                            e.defs.iter().any(|d| {
+                                d.frame == loc.frame
+                                    && d.var == loc.var
+                                    && (d.elem == loc.elem
+                                        || d.elem.is_none()
+                                        || loc.elem.is_none())
+                            })
+                        })
+                        .map(|e| e.idx)
+                })
+        }
+        _ => criterion_def_event(module, trace, rec, *var),
+    };
+    match seed {
+        Some(seed_event) => slice_from_seed(trace, seed_event, rec),
+        None => {
+            let mut s = DynSlice::default();
+            keep_ancestors(trace, call, &mut s);
+            s
+        }
+    }
+}
+
+fn slice_from_seed(trace: &DynTrace, seed: usize, rec: &CallRecord) -> DynSlice {
+    let mut slice = DynSlice::default();
+    let mut work = vec![seed];
+    while let Some(e) = work.pop() {
+        if !slice.events.insert(e) {
+            continue;
+        }
+        let ev = &trace.events[e];
+        slice.stmts.insert(ev.stmt);
+        for &d in &ev.data_deps {
+            if !slice.events.contains(&d) {
+                work.push(d);
+            }
+        }
+        if let Some(c) = ev.control_dep {
+            if !slice.events.contains(&c) {
+                work.push(c);
+            }
+        }
+    }
+    for e in slice.events.clone() {
+        keep_ancestors(trace, trace.events[e].call, &mut slice);
+    }
+    keep_ancestors(trace, rec.id, &mut slice);
+    slice
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dyntrace::record_trace;
+    use gadt_pascal::cfg::lower;
+    use gadt_pascal::sema::compile;
+    use gadt_pascal::testprogs;
+
+    fn sqrtest_trace() -> (Module, DynTrace) {
+        let m = compile(testprogs::SQRTEST).expect("compile");
+        let cfg = lower(&m);
+        let t = record_trace(&m, &cfg, []).expect("run");
+        (m, t)
+    }
+
+    fn call_named(m: &Module, t: &DynTrace, name: &str) -> u64 {
+        t.calls
+            .iter()
+            .find(|c| m.proc(c.proc).name == name)
+            .unwrap_or_else(|| panic!("call {name} not found"))
+            .id
+    }
+
+    fn kept_names(m: &Module, t: &DynTrace, s: &DynSlice) -> Vec<String> {
+        t.calls
+            .iter()
+            .filter(|c| s.keeps_call(c.id))
+            .map(|c| m.proc(c.proc).name.clone())
+            .collect()
+    }
+
+    #[test]
+    fn figure8_slice_on_computs_first_output() {
+        // §8 step 2: slice on computs' first output (r1 = 12) keeps the
+        // comput1 subtree and drops comput2/square (Figure 8).
+        let (m, t) = sqrtest_trace();
+        let computs = call_named(&m, &t, "computs");
+        let s = dynamic_slice_output(&m, &t, computs, 0);
+        let kept = kept_names(&m, &t, &s);
+        assert!(kept.contains(&"computs".to_string()), "{kept:?}");
+        assert!(kept.contains(&"comput1".to_string()), "{kept:?}");
+        assert!(kept.contains(&"partialsums".to_string()), "{kept:?}");
+        assert!(kept.contains(&"sum1".to_string()), "{kept:?}");
+        assert!(kept.contains(&"sum2".to_string()), "{kept:?}");
+        assert!(kept.contains(&"increment".to_string()), "{kept:?}");
+        assert!(kept.contains(&"decrement".to_string()), "{kept:?}");
+        assert!(kept.contains(&"add".to_string()), "{kept:?}");
+        assert!(!kept.contains(&"comput2".to_string()), "{kept:?}");
+        assert!(!kept.contains(&"square".to_string()), "{kept:?}");
+        assert!(!kept.contains(&"test".to_string()), "{kept:?}");
+    }
+
+    #[test]
+    fn figure9_slice_on_partialsums_second_output() {
+        // §8 step 4: slice on partialsums' second output (s2 = 6) keeps
+        // sum2 → decrement and drops sum1/increment (Figure 9).
+        let (m, t) = sqrtest_trace();
+        let partialsums = call_named(&m, &t, "partialsums");
+        let s = dynamic_slice_output(&m, &t, partialsums, 1);
+        let kept = kept_names(&m, &t, &s);
+        assert!(kept.contains(&"partialsums".to_string()), "{kept:?}");
+        assert!(kept.contains(&"sum2".to_string()), "{kept:?}");
+        assert!(kept.contains(&"decrement".to_string()), "{kept:?}");
+        assert!(!kept.contains(&"sum1".to_string()), "{kept:?}");
+        assert!(!kept.contains(&"increment".to_string()), "{kept:?}");
+        assert!(!kept.contains(&"add".to_string()), "{kept:?}");
+    }
+
+    #[test]
+    fn slice_on_first_output_of_partialsums_keeps_sum1() {
+        let (m, t) = sqrtest_trace();
+        let partialsums = call_named(&m, &t, "partialsums");
+        let s = dynamic_slice_output(&m, &t, partialsums, 0);
+        let kept = kept_names(&m, &t, &s);
+        assert!(kept.contains(&"sum1".to_string()), "{kept:?}");
+        assert!(kept.contains(&"increment".to_string()), "{kept:?}");
+        assert!(!kept.contains(&"sum2".to_string()), "{kept:?}");
+        assert!(!kept.contains(&"decrement".to_string()), "{kept:?}");
+    }
+
+    #[test]
+    fn function_result_criterion() {
+        let (m, t) = sqrtest_trace();
+        let dec = call_named(&m, &t, "decrement");
+        let s = dynamic_slice_output(&m, &t, dec, 0);
+        let kept = kept_names(&m, &t, &s);
+        assert!(kept.contains(&"decrement".to_string()), "{kept:?}");
+        // arrsum computed the value 3 that feeds decrement's argument.
+        assert!(kept.contains(&"arrsum".to_string()), "{kept:?}");
+        assert!(!kept.contains(&"increment".to_string()), "{kept:?}");
+    }
+
+    #[test]
+    fn figure5_dynamic_slice_drops_irrelevant_procs() {
+        // §7: p1..p3 execute before pn but are irrelevant to y.
+        let m = compile(testprogs::FIGURE5).unwrap();
+        let cfg = lower(&m);
+        let t = record_trace(&m, &cfg, []).unwrap();
+        let pn = call_named(&m, &t, "pn");
+        let s = dynamic_slice_output(&m, &t, pn, 0);
+        let kept = kept_names(&m, &t, &s);
+        assert!(kept.contains(&"pn".to_string()), "{kept:?}");
+        assert!(!kept.contains(&"p1".to_string()), "{kept:?}");
+        assert!(!kept.contains(&"p2".to_string()), "{kept:?}");
+        assert!(!kept.contains(&"p3".to_string()), "{kept:?}");
+    }
+
+    #[test]
+    fn slice_includes_control_dependences() {
+        let m = compile(
+            "program t; var x, y: integer;
+             procedure p(c: integer; var r: integer);
+             begin if c > 0 then r := 1 else r := 2 end;
+             begin x := 5; p(x, y) end.",
+        )
+        .unwrap();
+        let cfg = lower(&m);
+        let t = record_trace(&m, &cfg, []).unwrap();
+        let p = call_named(&m, &t, "p");
+        let s = dynamic_slice_output(&m, &t, p, 0);
+        // The branch and x := 5 must be in the slice.
+        let branch_in = t
+            .events
+            .iter()
+            .any(|e| e.branch_taken.is_some() && s.events.contains(&e.idx));
+        assert!(branch_in, "branch instance must be in the slice");
+        assert!(s.events.contains(&0), "x := 5 must be in the slice");
+    }
+
+    #[test]
+    fn loop_carried_dependences_traced() {
+        let m = compile(
+            "program t; var i, s: integer;
+             procedure acc(n: integer; var r: integer);
+             var j: integer;
+             begin r := 0; for j := 1 to n do r := r + j end;
+             begin acc(3, s) end.",
+        )
+        .unwrap();
+        let cfg = lower(&m);
+        let t = record_trace(&m, &cfg, []).unwrap();
+        let acc = call_named(&m, &t, "acc");
+        let s = dynamic_slice_output(&m, &t, acc, 0);
+        // All loop iterations' adds are in the slice.
+        let add_events = t
+            .events
+            .iter()
+            .filter(|e| s.events.contains(&e.idx) && !e.defs.is_empty())
+            .count();
+        assert!(add_events >= 4, "r := 0 plus three r := r + j updates");
+    }
+
+    #[test]
+    fn criterion_on_never_written_output_keeps_only_spine() {
+        let m = compile(
+            "program t; var x: integer;
+             procedure p(var y: integer); begin end;
+             begin p(x) end.",
+        )
+        .unwrap();
+        let cfg = lower(&m);
+        let t = record_trace(&m, &cfg, []).unwrap();
+        let p = call_named(&m, &t, "p");
+        let s = dynamic_slice_output(&m, &t, p, 0);
+        assert!(s.keeps_call(p));
+        assert!(s.events.is_empty());
+    }
+}

@@ -1,0 +1,63 @@
+//! Benchmarks for the transformation phase (experiments E9/E11): the
+//! full §6 pipeline on the paper's examples and generated programs, plus
+//! the side-effect analysis feeding it.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gadt_analysis::callgraph::CallGraph;
+use gadt_analysis::effects::Effects;
+use gadt_bench::genprog::{generate, GenConfig};
+use gadt_pascal::cfg::lower;
+use gadt_pascal::sema::compile;
+use gadt_pascal::testprogs;
+use gadt_transform::transform;
+
+fn bench_effects(c: &mut Criterion) {
+    let m = compile(testprogs::SQRTEST).unwrap();
+    let cfg = lower(&m);
+    c.bench_function("analysis/effects_sqrtest", |b| {
+        b.iter(|| {
+            let cg = CallGraph::build(&m, &cfg);
+            std::hint::black_box(Effects::compute(&m, &cfg, &cg))
+        })
+    });
+}
+
+fn bench_transform_fixtures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("transform/fixtures");
+    for (name, src) in [
+        ("globals", testprogs::SECTION6_GLOBALS),
+        ("goto", testprogs::SECTION6_GOTO),
+        ("loop_goto", testprogs::SECTION6_LOOP_GOTO),
+        ("sqrtest", testprogs::SQRTEST),
+    ] {
+        let m = compile(src).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(name), &name, |b, _| {
+            b.iter(|| std::hint::black_box(transform(&m).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_transform_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("transform/generated");
+    for procs in [5usize, 10, 20] {
+        let gp = generate(&GenConfig {
+            procs,
+            max_calls: 2,
+            seed: 1,
+        });
+        let m = compile(&gp.source).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(procs), &procs, |b, _| {
+            b.iter(|| std::hint::black_box(transform(&m).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_effects,
+    bench_transform_fixtures,
+    bench_transform_scaling
+);
+criterion_main!(benches);

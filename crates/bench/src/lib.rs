@@ -1,0 +1,19 @@
+//! # gadt-bench
+//!
+//! Benchmark and figure-regeneration harness for the GADT reproduction.
+//!
+//! * [`genprog`] — deterministic random-program generation and
+//!   mutation-based bug planting (the workload for experiments E8–E10);
+//! * [`measure`] — interaction-count measurement across method variants
+//!   (pure algorithmic debugging, AD+slicing, full GADT with simulated
+//!   test coverage);
+//! * the `repro` binary (`cargo run -p gadt-bench --bin repro`)
+//!   regenerates every figure and quantitative claim of the paper —
+//!   see DESIGN.md's experiment index and EXPERIMENTS.md for results;
+//! * Criterion benches under `benches/` time the subsystems.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod genprog;
+pub mod measure;

@@ -1,0 +1,438 @@
+//! Interaction-count measurement: the quantitative backbone of the
+//! paper's claim that slicing and testing "greatly reduce the number of
+//! interactions" (E8 in DESIGN.md).
+
+use crate::genprog::{generate, mutate, GenConfig};
+use gadt::debugger::{DebugConfig, DebugResult, Strategy};
+use gadt::oracle::{Answer, ChainOracle, CountingOracle, FnOracle, Oracle, ReferenceOracle};
+use gadt::session::{debug, prepare, run_traced};
+use gadt_pascal::sema::{compile, Module};
+use gadt_trace::{ExecTree, NodeId, NodeKind};
+
+/// Configuration of one debugging-method variant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MethodConfig {
+    /// Whether slicing is active (AD+slicing and GADT).
+    pub slicing: bool,
+    /// Test-database coverage: the probability that a (unit, inputs)
+    /// query has a recorded passing test (GADT's test-lookup component).
+    /// `0.0` disables the test database entirely.
+    pub test_coverage: f64,
+    /// Traversal strategy.
+    pub strategy: Strategy,
+}
+
+/// Named method variants used in the experiment tables.
+pub fn methods() -> Vec<(&'static str, MethodConfig)> {
+    vec![
+        (
+            "pure AD",
+            MethodConfig {
+                slicing: false,
+                test_coverage: 0.0,
+                strategy: Strategy::TopDown,
+            },
+        ),
+        (
+            "AD+slicing",
+            MethodConfig {
+                slicing: true,
+                test_coverage: 0.0,
+                strategy: Strategy::TopDown,
+            },
+        ),
+        (
+            "GADT (cov 0.5)",
+            MethodConfig {
+                slicing: true,
+                test_coverage: 0.5,
+                strategy: Strategy::TopDown,
+            },
+        ),
+        (
+            "GADT (cov 0.9)",
+            MethodConfig {
+                slicing: true,
+                test_coverage: 0.9,
+                strategy: Strategy::TopDown,
+            },
+        ),
+    ]
+}
+
+/// The outcome of one measured session.
+#[derive(Debug, Clone)]
+pub struct Measured {
+    /// Queries answered by the simulated user.
+    pub user_queries: usize,
+    /// Queries answered by the simulated test database.
+    pub test_queries: usize,
+    /// Times the slicer pruned the tree.
+    pub slices: usize,
+    /// Whether the localized unit is the mutated one (or a unit whose
+    /// body contains the mutated call — for mutations in `main`, any
+    /// report counts).
+    pub localized_correctly: bool,
+    /// The unit the debugger blamed.
+    pub blamed: String,
+}
+
+/// A deterministic pseudo-random "is this query covered by a test?"
+/// decision, stable in (seed, unit, rendered inputs).
+fn covered(seed: u64, unit: &str, ins_render: &str, coverage: f64) -> bool {
+    if coverage <= 0.0 {
+        return false;
+    }
+    if coverage >= 1.0 {
+        return true;
+    }
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    seed.hash(&mut h);
+    unit.hash(&mut h);
+    ins_render.hash(&mut h);
+    let x = (h.finish() % 10_000) as f64 / 10_000.0;
+    x < coverage
+}
+
+/// Runs one debugging session of `buggy` against `fixed` under `method`
+/// and measures interactions.
+///
+/// The simulated test database answers a query iff (a) the coverage coin
+/// lands heads for that (unit, inputs) pair and (b) the reference deems
+/// the call *correct* — mirroring §5.3.2, where only a good report lets
+/// the debugger skip a unit (a failing report just sends debugging
+/// inside, which the user-level answer provides anyway).
+///
+/// # Errors
+/// Propagates compilation or runtime errors of either program.
+pub fn measure_session(
+    buggy: &Module,
+    fixed: &Module,
+    expected_unit: &str,
+    method: MethodConfig,
+    seed: u64,
+) -> gadt_pascal::error::Result<Measured> {
+    let prepared = prepare(buggy)?;
+    let run = run_traced(&prepared, [])?;
+
+    // Count test-db answers via a side channel.
+    let test_hits = std::rc::Rc::new(std::cell::Cell::new(0usize));
+
+    let mut chain = ChainOracle::new();
+    if method.test_coverage > 0.0 {
+        let mut db_reference = ReferenceOracle::new(fixed, [])?;
+        let hits = test_hits.clone();
+        let coverage = method.test_coverage;
+        let fixed_ptr: &Module = fixed;
+        chain.push(FnOracle::new(
+            "test database",
+            move |m: &Module, t: &ExecTree, n: NodeId| {
+                let node = t.node(n);
+                if !matches!(node.kind, NodeKind::Call { .. }) {
+                    return Answer::DontKnow;
+                }
+                let ins_render: String =
+                    node.ins.iter().map(|(k, v)| format!("{k}={v};")).collect();
+                if !covered(seed, &node.name, &ins_render, coverage) {
+                    return Answer::DontKnow;
+                }
+                let _ = fixed_ptr;
+                match db_reference.judge(m, t, n) {
+                    Answer::Correct => {
+                        hits.set(hits.get() + 1);
+                        Answer::Correct
+                    }
+                    // Only good reports answer queries (§5.3.2).
+                    _ => Answer::DontKnow,
+                }
+            },
+        ));
+    }
+    chain.push(CountingOracle::new(ReferenceOracle::new(fixed, [])?));
+
+    let outcome = debug(
+        &prepared,
+        &run,
+        &mut chain,
+        DebugConfig {
+            strategy: method.strategy,
+            slicing: method.slicing,
+        },
+    );
+
+    let (blamed, ok) = match &outcome.result {
+        DebugResult::BugLocalized { unit, .. } => {
+            let u = unit.clone();
+            // A bug planted in pK may be blamed on pK itself or on the
+            // loop unit inside it.
+            let ok = u == expected_unit
+                || u.ends_with(&format!("in {expected_unit}"))
+                || expected_unit.is_empty();
+            (u, ok)
+        }
+        DebugResult::NoBugFound => (String::new(), false),
+    };
+
+    Ok(Measured {
+        user_queries: outcome.queries_from("reference"),
+        test_queries: test_hits.get(),
+        slices: outcome.slices_taken,
+        localized_correctly: ok,
+        blamed,
+    })
+}
+
+/// One row of the interaction-sweep experiment: a generated program, a
+/// planted mutation, and the per-method interaction counts.
+#[derive(Debug, Clone)]
+pub struct SweepRow {
+    /// Generation seed.
+    pub seed: u64,
+    /// Number of generated procedures.
+    pub procs: usize,
+    /// Execution-tree size of the buggy run.
+    pub tree_size: usize,
+    /// The mutated procedure.
+    pub mutated: String,
+    /// `(method name, user queries, localized correctly)` per method.
+    pub counts: Vec<(&'static str, usize, bool)>,
+}
+
+/// Runs the interaction sweep over `n_programs` generated programs.
+pub fn interaction_sweep(n_programs: usize, procs: usize) -> Vec<SweepRow> {
+    let mut rows = Vec::new();
+    for seed in 0..n_programs as u64 * 3 {
+        if rows.len() >= n_programs {
+            break;
+        }
+        let cfg = GenConfig {
+            procs,
+            max_calls: 2,
+            seed,
+        };
+        let gen = generate(&cfg);
+        let Some(mutation) = mutate(&gen, seed) else {
+            continue;
+        };
+        let Ok(fixed) = compile(&gen.source) else {
+            continue;
+        };
+        let Ok(buggy) = compile(&mutation.source) else {
+            continue;
+        };
+        // The mutant must actually change observable behaviour.
+        let out_fixed = gadt_pascal::interp::Interpreter::new(&fixed).run();
+        let out_buggy = gadt_pascal::interp::Interpreter::new(&buggy).run();
+        let (Ok(of), Ok(ob)) = (out_fixed, out_buggy) else {
+            continue;
+        };
+        if of.output_text() == ob.output_text() {
+            continue; // equivalent mutant
+        }
+
+        let prepared = match prepare(&buggy) {
+            Ok(p) => p,
+            Err(_) => continue,
+        };
+        let run = match run_traced(&prepared, []) {
+            Ok(r) => r,
+            Err(_) => continue,
+        };
+        let tree_size = run.tree.len();
+
+        let mut counts = Vec::new();
+        let mut all_ok = true;
+        for (name, method) in methods() {
+            match measure_session(&buggy, &fixed, &mutation.in_proc, method, seed) {
+                Ok(m) => counts.push((name, m.user_queries, m.localized_correctly)),
+                Err(_) => {
+                    all_ok = false;
+                    break;
+                }
+            }
+        }
+        if !all_ok {
+            continue;
+        }
+        rows.push(SweepRow {
+            seed,
+            procs,
+            tree_size,
+            mutated: mutation.in_proc,
+            counts,
+        });
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::genprog::{generate, mutate, GenConfig};
+
+    #[test]
+    fn generated_programs_compile_and_run() {
+        for seed in 0..20 {
+            let g = generate(&GenConfig {
+                procs: 6,
+                max_calls: 2,
+                seed,
+            });
+            let m = compile(&g.source).unwrap_or_else(|e| panic!("seed {seed}: {e}\n{}", g.source));
+            gadt_pascal::interp::Interpreter::new(&m)
+                .run()
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}\n{}", g.source));
+        }
+    }
+
+    #[test]
+    fn mutants_compile_and_name_a_real_proc() {
+        for seed in 0..20 {
+            let g = generate(&GenConfig {
+                procs: 6,
+                max_calls: 2,
+                seed,
+            });
+            if let Some(m) = mutate(&g, seed) {
+                compile(&m.source).unwrap_or_else(|e| panic!("seed {seed}: {e}\n{}", m.source));
+                assert!(g.proc_names.contains(&m.in_proc), "{}", m.in_proc);
+            }
+        }
+    }
+
+    #[test]
+    fn sweep_shows_the_paper_shape() {
+        // GADT ≤ AD+slicing ≤ pure AD on average user interactions, and
+        // all methods localize the planted bug.
+        let rows = interaction_sweep(5, 7);
+        assert!(rows.len() >= 3, "need enough valid mutants");
+        let avg = |idx: usize| -> f64 {
+            rows.iter().map(|r| r.counts[idx].1 as f64).sum::<f64>() / rows.len() as f64
+        };
+        let pure = avg(0);
+        let slicing = avg(1);
+        let gadt90 = avg(3);
+        assert!(
+            slicing <= pure,
+            "slicing must not increase interactions: {slicing} vs {pure}"
+        );
+        assert!(
+            gadt90 <= slicing + 1e-9,
+            "test coverage must not increase interactions: {gadt90} vs {slicing}"
+        );
+        for r in &rows {
+            for (name, _, ok) in &r.counts {
+                assert!(ok, "{name} mislocalized on seed {}: {:?}", r.seed, r);
+            }
+        }
+    }
+
+    #[test]
+    fn coverage_decision_is_deterministic() {
+        let a = covered(7, "p3", "a=1;b=2;", 0.5);
+        let b = covered(7, "p3", "a=1;b=2;", 0.5);
+        assert_eq!(a, b);
+        assert!(covered(7, "p3", "x", 1.0));
+        assert!(!covered(7, "p3", "x", 0.0));
+    }
+}
+
+/// Strategy ablation row: queries under top-down vs divide-and-query.
+#[derive(Debug, Clone)]
+pub struct StrategyRow {
+    /// Generation seed.
+    pub seed: u64,
+    /// Execution-tree size.
+    pub tree_size: usize,
+    /// User queries: (top-down, divide-and-query), both without slicing.
+    pub queries: (usize, usize),
+    /// Whether both localized the planted bug.
+    pub both_correct: bool,
+}
+
+/// Compares the paper's top-down traversal against Shapiro's
+/// divide-and-query on the mutation workload (an ablation the paper's §7
+/// motivates: "generally it doesn't matter which traversal method is
+/// used" for correctness — but query counts differ).
+pub fn strategy_ablation(n_programs: usize, procs: usize) -> Vec<StrategyRow> {
+    let mut rows = Vec::new();
+    for seed in 0..n_programs as u64 * 3 {
+        if rows.len() >= n_programs {
+            break;
+        }
+        let gen = generate(&GenConfig {
+            procs,
+            max_calls: 2,
+            seed,
+        });
+        let Some(mutation) = mutate(&gen, seed) else {
+            continue;
+        };
+        let (Ok(fixed), Ok(buggy)) = (compile(&gen.source), compile(&mutation.source)) else {
+            continue;
+        };
+        let (Ok(of), Ok(ob)) = (
+            gadt_pascal::interp::Interpreter::new(&fixed).run(),
+            gadt_pascal::interp::Interpreter::new(&buggy).run(),
+        ) else {
+            continue;
+        };
+        if of.output_text() == ob.output_text() {
+            continue;
+        }
+        let mut q = [0usize; 2];
+        let mut ok = true;
+        let mut tree_size = 0;
+        for (i, strategy) in [Strategy::TopDown, Strategy::DivideAndQuery]
+            .into_iter()
+            .enumerate()
+        {
+            let Ok(m) = measure_session(
+                &buggy,
+                &fixed,
+                &mutation.in_proc,
+                MethodConfig {
+                    slicing: false,
+                    test_coverage: 0.0,
+                    strategy,
+                },
+                seed,
+            ) else {
+                ok = false;
+                break;
+            };
+            q[i] = m.user_queries;
+            ok &= m.localized_correctly;
+        }
+        if !ok {
+            continue;
+        }
+        if let Ok(p) = prepare(&buggy) {
+            if let Ok(r) = run_traced(&p, []) {
+                tree_size = r.tree.len();
+            }
+        }
+        rows.push(StrategyRow {
+            seed,
+            tree_size,
+            queries: (q[0], q[1]),
+            both_correct: ok,
+        });
+    }
+    rows
+}
+
+#[cfg(test)]
+mod strategy_tests {
+    use super::*;
+
+    #[test]
+    fn strategies_agree_on_localization() {
+        let rows = strategy_ablation(4, 8);
+        assert!(rows.len() >= 2);
+        for r in &rows {
+            assert!(r.both_correct, "seed {}: {:?}", r.seed, r);
+        }
+    }
+}

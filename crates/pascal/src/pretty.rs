@@ -1,0 +1,874 @@
+//! Source printing, including *slice* printing.
+//!
+//! [`print_program`] renders an AST back to compilable source (used to
+//! display transformed programs, §6). [`print_slice`] renders the program
+//! restricted to a set of statement ids — the paper's Figure 2(b) form of
+//! a slice: unused declarations and procedures are dropped, structure is
+//! preserved. Printed slices re-parse and re-run, which is how the test
+//! suite checks slice correctness end to end.
+
+use crate::ast::*;
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+/// Renders a whole program as Pascal source.
+///
+/// # Examples
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// use gadt_pascal::{parser::parse_program, pretty::print_program};
+/// let p = parse_program("program t; var x: integer; begin x := 1 end.")?;
+/// let src = print_program(&p);
+/// // The printed form re-parses.
+/// parse_program(&src)?;
+/// # Ok(())
+/// # }
+/// ```
+pub fn print_program(program: &Program) -> String {
+    let keep_all = |_: StmtId| true;
+    Printer::new(&keep_all).program(program)
+}
+
+/// Renders the program restricted to the statements in `keep`.
+///
+/// Structural statements (compounds, `if`/loops, labels) are printed when
+/// any contained statement is kept. Procedures with no kept statements are
+/// dropped, as are variable declarations not referenced by kept code.
+pub fn print_slice(program: &Program, keep: &BTreeSet<StmtId>) -> String {
+    let pred = |id: StmtId| keep.contains(&id);
+    Printer::new(&pred).program(program)
+}
+
+struct Printer<'k> {
+    keep: &'k dyn Fn(StmtId) -> bool,
+    out: String,
+    indent: usize,
+}
+
+impl<'k> Printer<'k> {
+    fn new(keep: &'k dyn Fn(StmtId) -> bool) -> Self {
+        Printer {
+            keep,
+            out: String::new(),
+            indent: 0,
+        }
+    }
+
+    fn line(&mut self, s: &str) {
+        for _ in 0..self.indent {
+            self.out.push_str("  ");
+        }
+        self.out.push_str(s);
+        self.out.push('\n');
+    }
+
+    fn kept(&self, s: &Stmt) -> bool {
+        let mut any = false;
+        s.walk(&mut |st| {
+            if (self.keep)(st.id) && !matches!(st.kind, StmtKind::Empty) {
+                any = true;
+            }
+        });
+        any
+    }
+
+    fn program(mut self, p: &Program) -> String {
+        // Names referenced by kept statements (for declaration pruning).
+        let mut used = BTreeSet::new();
+        collect_used_names(p, self.keep, &mut used);
+
+        self.line(&format!("program {};", p.name));
+        self.block(&p.block, &used, true);
+        // Replace trailing "end" of the outer block with "end."
+        while self.out.ends_with('\n') {
+            self.out.pop();
+        }
+        self.out.push_str(".\n");
+        self.out
+    }
+
+    fn block(&mut self, b: &Block, used: &BTreeSet<String>, _is_program: bool) {
+        let used_labels: Vec<&Ident> = b
+            .labels
+            .iter()
+            .filter(|l| used.contains(&l.key()))
+            .collect();
+        if !used_labels.is_empty() {
+            let names: Vec<String> = used_labels.iter().map(|l| l.name.clone()).collect();
+            self.line(&format!("label {};", names.join(", ")));
+        }
+        let used_consts: Vec<&ConstDecl> = b
+            .consts
+            .iter()
+            .filter(|c| used.contains(&c.name.key()))
+            .collect();
+        if !used_consts.is_empty() {
+            self.line("const");
+            self.indent += 1;
+            for c in used_consts {
+                let v = match &c.value {
+                    ConstValue::Int(n) => n.to_string(),
+                    ConstValue::Real(x) => format!("{x:?}"),
+                    ConstValue::Bool(b) => b.to_string(),
+                    ConstValue::Str(s) => format!("'{}'", s.replace('\'', "''")),
+                };
+                self.line(&format!("{} = {};", c.name, v));
+            }
+            self.indent -= 1;
+        }
+        let used_types: Vec<&TypeDecl> = b
+            .types
+            .iter()
+            .filter(|t| used.contains(&t.name.key()))
+            .collect();
+        if !used_types.is_empty() {
+            self.line("type");
+            self.indent += 1;
+            for t in used_types {
+                self.line(&format!("{} = {};", t.name, type_str(&t.ty)));
+            }
+            self.indent -= 1;
+        }
+        let mut var_lines = Vec::new();
+        for g in &b.vars {
+            let names: Vec<String> = g
+                .names
+                .iter()
+                .filter(|n| used.contains(&n.key()))
+                .map(|n| n.name.clone())
+                .collect();
+            if !names.is_empty() {
+                var_lines.push(format!("{}: {};", names.join(", "), type_str(&g.ty)));
+            }
+        }
+        if !var_lines.is_empty() {
+            self.line("var");
+            self.indent += 1;
+            for l in var_lines {
+                self.line(&l);
+            }
+            self.indent -= 1;
+        }
+        for proc in &b.procs {
+            if self.proc_is_kept(proc) {
+                self.proc_decl(proc, used);
+            }
+        }
+        self.line("begin");
+        self.indent += 1;
+        self.stmt_seq(&b.body);
+        self.indent -= 1;
+        self.line("end");
+    }
+
+    fn proc_is_kept(&self, p: &ProcDecl) -> bool {
+        let mut any = false;
+        p.block.walk_stmts(&mut |s| {
+            if (self.keep)(s.id) && !matches!(s.kind, StmtKind::Empty) {
+                any = true;
+            }
+        });
+        if any {
+            return true;
+        }
+        p.block.procs.iter().any(|q| self.proc_is_kept(q))
+    }
+
+    fn proc_decl(&mut self, p: &ProcDecl, used: &BTreeSet<String>) {
+        let mut header = String::new();
+        let kw = if p.is_function() {
+            "function"
+        } else {
+            "procedure"
+        };
+        let _ = write!(header, "{kw} {}", p.name);
+        if !p.params.is_empty() {
+            header.push('(');
+            for (i, g) in p.params.iter().enumerate() {
+                if i > 0 {
+                    header.push_str("; ");
+                }
+                let mode = match g.mode {
+                    ParamMode::Value => "",
+                    ParamMode::Var => "var ",
+                    ParamMode::In => "in ",
+                    ParamMode::Out => "out ",
+                };
+                let names: Vec<String> = g.names.iter().map(|n| n.name.clone()).collect();
+                let _ = write!(header, "{mode}{}: {}", names.join(", "), type_str(&g.ty));
+            }
+            header.push(')');
+        }
+        if let Some(rt) = &p.return_type {
+            let _ = write!(header, ": {}", type_str(rt));
+        }
+        header.push(';');
+        self.line(&header);
+        self.block(&p.block, used, false);
+        // block() ends with "end"; append the declaration semicolon.
+        while self.out.ends_with('\n') {
+            self.out.pop();
+        }
+        self.out.push_str(";\n");
+    }
+
+    fn stmt_seq(&mut self, stmts: &[Stmt]) {
+        let kept: Vec<&Stmt> = stmts.iter().filter(|s| self.kept(s)).collect();
+        for (i, s) in kept.iter().enumerate() {
+            let last = i + 1 == kept.len();
+            self.stmt(s, !last);
+        }
+    }
+
+    fn stmt(&mut self, s: &Stmt, semi: bool) {
+        let term = if semi { ";" } else { "" };
+        match &s.kind {
+            StmtKind::Empty => {}
+            StmtKind::Assign { lhs, rhs } => {
+                self.line(&format!("{} := {}{term}", lvalue_str(lhs), expr_str(rhs)));
+            }
+            StmtKind::Call { name, args } => {
+                if args.is_empty() {
+                    self.line(&format!("{name}{term}"));
+                } else {
+                    let a: Vec<String> = args.iter().map(expr_str).collect();
+                    self.line(&format!("{name}({}){term}", a.join(", ")));
+                }
+            }
+            StmtKind::Compound(stmts) => {
+                self.line("begin");
+                self.indent += 1;
+                self.stmt_seq(stmts);
+                self.indent -= 1;
+                self.line(&format!("end{term}"));
+            }
+            StmtKind::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                self.line(&format!("if {} then", expr_str(cond)));
+                self.indent += 1;
+                let then_kept = self.kept(then_branch);
+                let else_kept = else_branch.as_ref().is_some_and(|e| self.kept(e));
+                if then_kept {
+                    self.stmt(then_branch, !else_kept && semi);
+                } else if else_kept {
+                    self.line("begin end");
+                } else {
+                    self.line(&format!("begin end{term}"));
+                }
+                self.indent -= 1;
+                if else_kept {
+                    self.line("else");
+                    self.indent += 1;
+                    self.stmt(else_branch.as_ref().expect("else_kept implies else"), semi);
+                    self.indent -= 1;
+                }
+            }
+            StmtKind::Case {
+                scrutinee,
+                arms,
+                else_arm,
+            } => {
+                self.line(&format!("case {} of", expr_str(scrutinee)));
+                self.indent += 1;
+                // Dropped arms stay as empty arms: removing a label would
+                // reroute its values to the else branch and change the
+                // slice's behaviour.
+                for arm in arms {
+                    let labels: Vec<String> = arm.labels.iter().map(const_str).collect();
+                    self.line(&format!("{}:", labels.join(", ")));
+                    self.indent += 1;
+                    if self.kept(&arm.stmt) {
+                        self.stmt(&arm.stmt, true);
+                    } else {
+                        self.line("begin end;");
+                    }
+                    self.indent -= 1;
+                }
+                if let Some(e) = else_arm {
+                    self.line("else");
+                    self.indent += 1;
+                    if self.kept(e) {
+                        self.stmt(e, true);
+                    } else {
+                        self.line("begin end;");
+                    }
+                    self.indent -= 1;
+                }
+                self.indent -= 1;
+                self.line(&format!("end{term}"));
+            }
+            StmtKind::While { cond, body } => {
+                self.line(&format!("while {} do", expr_str(cond)));
+                self.indent += 1;
+                if self.kept(body) {
+                    self.stmt(body, semi);
+                } else {
+                    self.line(&format!("begin end{term}"));
+                }
+                self.indent -= 1;
+            }
+            StmtKind::Repeat { body, cond } => {
+                self.line("repeat");
+                self.indent += 1;
+                self.stmt_seq(body);
+                self.indent -= 1;
+                self.line(&format!("until {}{term}", expr_str(cond)));
+            }
+            StmtKind::For {
+                var,
+                from,
+                dir,
+                to,
+                body,
+            } => {
+                let d = match dir {
+                    ForDir::To => "to",
+                    ForDir::Downto => "downto",
+                };
+                self.line(&format!(
+                    "for {var} := {} {d} {} do",
+                    expr_str(from),
+                    expr_str(to)
+                ));
+                self.indent += 1;
+                if self.kept(body) {
+                    self.stmt(body, semi);
+                } else {
+                    self.line(&format!("begin end{term}"));
+                }
+                self.indent -= 1;
+            }
+            StmtKind::Goto(l) => self.line(&format!("goto {l}{term}")),
+            StmtKind::Labeled { label, stmt } => {
+                self.line(&format!("{label}:"));
+                if self.kept(stmt) {
+                    self.stmt(stmt, semi);
+                } else {
+                    self.line(&format!("begin end{term}"));
+                }
+            }
+            StmtKind::Read { args, newline } => {
+                let kw = if *newline { "readln" } else { "read" };
+                let a: Vec<String> = args.iter().map(lvalue_str).collect();
+                self.line(&format!("{kw}({}){term}", a.join(", ")));
+            }
+            StmtKind::Write { args, newline } => {
+                let kw = if *newline { "writeln" } else { "write" };
+                if args.is_empty() {
+                    self.line(&format!("{kw}{term}"));
+                } else {
+                    let a: Vec<String> = args.iter().map(expr_str).collect();
+                    self.line(&format!("{kw}({}){term}", a.join(", ")));
+                }
+            }
+        }
+    }
+}
+
+/// Renders a constant value as a literal.
+pub fn const_str(c: &ConstValue) -> String {
+    match c {
+        ConstValue::Int(n) => n.to_string(),
+        ConstValue::Real(x) => format!("{x:?}"),
+        ConstValue::Bool(b) => b.to_string(),
+        ConstValue::Str(s) => format!("'{}'", s.replace('\'', "''")),
+    }
+}
+
+/// Renders a type expression.
+pub fn type_str(t: &TypeExpr) -> String {
+    match t {
+        TypeExpr::Named(n) => n.name.clone(),
+        TypeExpr::Array { lo, hi, elem, .. } => {
+            format!(
+                "array[{}..{}] of {}",
+                bound_str(lo),
+                bound_str(hi),
+                type_str(elem)
+            )
+        }
+    }
+}
+
+fn bound_str(b: &ArrayBound) -> String {
+    match b {
+        ArrayBound::Lit(n) => n.to_string(),
+        ArrayBound::Const(c) => c.name.clone(),
+    }
+}
+
+/// Renders an lvalue.
+pub fn lvalue_str(lv: &LValue) -> String {
+    match &lv.index {
+        None => lv.base.name.clone(),
+        Some(i) => format!("{}[{}]", lv.base, expr_str(i)),
+    }
+}
+
+/// Renders an expression with minimal parentheses (full parenthesization
+/// of nested binary operations, which always re-parses correctly).
+pub fn expr_str(e: &Expr) -> String {
+    expr_prec(e, 0)
+}
+
+fn expr_prec(e: &Expr, parent: u8) -> String {
+    match &e.kind {
+        ExprKind::IntLit(n) => n.to_string(),
+        ExprKind::RealLit(x) => {
+            if x.fract() == 0.0 {
+                format!("{x:.1}")
+            } else {
+                format!("{x}")
+            }
+        }
+        ExprKind::BoolLit(b) => b.to_string(),
+        ExprKind::StrLit(s) => format!("'{}'", s.replace('\'', "''")),
+        ExprKind::Name(n) => n.name.clone(),
+        ExprKind::Index { base, index } => format!("{base}[{}]", expr_prec(index, 0)),
+        ExprKind::Call { name, args } => {
+            let a: Vec<String> = args.iter().map(|x| expr_prec(x, 0)).collect();
+            format!("{name}({})", a.join(", "))
+        }
+        ExprKind::Unary { op, operand } => {
+            let inner = expr_prec(operand, 3);
+            let s = match op {
+                UnOp::Neg => format!("-{inner}"),
+                UnOp::Not => format!("not {inner}"),
+            };
+            if parent > 2 {
+                format!("({s})")
+            } else {
+                s
+            }
+        }
+        ExprKind::Binary { op, lhs, rhs } => {
+            let prec = match op {
+                BinOp::Mul | BinOp::FDiv | BinOp::Div | BinOp::Mod | BinOp::And => 2,
+                BinOp::Add | BinOp::Sub | BinOp::Or => 1,
+                _ => 0, // relational
+            };
+            let l = expr_prec(lhs, prec);
+            let r = expr_prec(rhs, prec + 1);
+            let s = format!("{l} {op} {r}");
+            if prec < parent {
+                format!("({s})")
+            } else {
+                s
+            }
+        }
+    }
+}
+
+/// Collects the identifier names (normalized) appearing in kept statements
+/// and in headers of procedures containing kept statements — the basis for
+/// declaration pruning in slice printing.
+fn collect_used_names(
+    program: &Program,
+    keep: &dyn Fn(StmtId) -> bool,
+    used: &mut BTreeSet<String>,
+) {
+    fn names_in_expr(e: &Expr, used: &mut BTreeSet<String>) {
+        match &e.kind {
+            ExprKind::Name(n) => {
+                used.insert(n.key());
+            }
+            ExprKind::Index { base, index } => {
+                used.insert(base.key());
+                names_in_expr(index, used);
+            }
+            ExprKind::Call { name, args } => {
+                used.insert(name.key());
+                for a in args {
+                    names_in_expr(a, used);
+                }
+            }
+            ExprKind::Unary { operand, .. } => names_in_expr(operand, used),
+            ExprKind::Binary { lhs, rhs, .. } => {
+                names_in_expr(lhs, used);
+                names_in_expr(rhs, used);
+            }
+            _ => {}
+        }
+    }
+    fn names_in_stmt(s: &Stmt, keep: &dyn Fn(StmtId) -> bool, used: &mut BTreeSet<String>) {
+        // Structural statements contribute when any descendant is kept;
+        // leaf statements contribute only when themselves kept.
+        match &s.kind {
+            StmtKind::Assign { lhs, rhs } => {
+                if keep(s.id) {
+                    used.insert(lhs.base.key());
+                    if let Some(i) = &lhs.index {
+                        names_in_expr(i, used);
+                    }
+                    names_in_expr(rhs, used);
+                }
+            }
+            StmtKind::Call { name, args } => {
+                if keep(s.id) {
+                    used.insert(name.key());
+                    for a in args {
+                        names_in_expr(a, used);
+                    }
+                }
+            }
+            StmtKind::Compound(stmts) => {
+                for st in stmts {
+                    names_in_stmt(st, keep, used);
+                }
+            }
+            StmtKind::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                let mut any = false;
+                s.walk(&mut |st| {
+                    if keep(st.id) {
+                        any = true;
+                    }
+                });
+                if any {
+                    names_in_expr(cond, used);
+                }
+                names_in_stmt(then_branch, keep, used);
+                if let Some(e) = else_branch {
+                    names_in_stmt(e, keep, used);
+                }
+            }
+            StmtKind::Case {
+                scrutinee,
+                arms,
+                else_arm,
+            } => {
+                let mut any = false;
+                s.walk(&mut |st| {
+                    if keep(st.id) {
+                        any = true;
+                    }
+                });
+                if any {
+                    names_in_expr(scrutinee, used);
+                }
+                for a in arms {
+                    names_in_stmt(&a.stmt, keep, used);
+                }
+                if let Some(e) = else_arm {
+                    names_in_stmt(e, keep, used);
+                }
+            }
+            StmtKind::While { cond, body } => {
+                let mut any = false;
+                s.walk(&mut |st| {
+                    if keep(st.id) {
+                        any = true;
+                    }
+                });
+                if any {
+                    names_in_expr(cond, used);
+                }
+                names_in_stmt(body, keep, used);
+            }
+            StmtKind::Repeat { body, cond } => {
+                let mut any = false;
+                s.walk(&mut |st| {
+                    if keep(st.id) {
+                        any = true;
+                    }
+                });
+                if any {
+                    names_in_expr(cond, used);
+                }
+                for st in body {
+                    names_in_stmt(st, keep, used);
+                }
+            }
+            StmtKind::For {
+                var,
+                from,
+                to,
+                body,
+                ..
+            } => {
+                let mut any = false;
+                s.walk(&mut |st| {
+                    if keep(st.id) {
+                        any = true;
+                    }
+                });
+                if any {
+                    used.insert(var.key());
+                    names_in_expr(from, used);
+                    names_in_expr(to, used);
+                }
+                names_in_stmt(body, keep, used);
+            }
+            StmtKind::Goto(l) => {
+                if keep(s.id) {
+                    used.insert(l.key());
+                }
+            }
+            StmtKind::Labeled { label, stmt } => {
+                let mut any = false;
+                s.walk(&mut |st| {
+                    if keep(st.id) {
+                        any = true;
+                    }
+                });
+                if any {
+                    used.insert(label.key());
+                }
+                names_in_stmt(stmt, keep, used);
+            }
+            StmtKind::Read { args, .. } => {
+                if keep(s.id) {
+                    for lv in args {
+                        used.insert(lv.base.key());
+                        if let Some(i) = &lv.index {
+                            names_in_expr(i, used);
+                        }
+                    }
+                }
+            }
+            StmtKind::Write { args, .. } => {
+                if keep(s.id) {
+                    for a in args {
+                        names_in_expr(a, used);
+                    }
+                }
+            }
+            StmtKind::Empty => {}
+        }
+    }
+    fn type_names(t: &TypeExpr, used: &mut BTreeSet<String>) {
+        match t {
+            TypeExpr::Named(n) => {
+                used.insert(n.key());
+            }
+            TypeExpr::Array { lo, hi, elem, .. } => {
+                if let ArrayBound::Const(c) = lo {
+                    used.insert(c.key());
+                }
+                if let ArrayBound::Const(c) = hi {
+                    used.insert(c.key());
+                }
+                type_names(elem, used);
+            }
+        }
+    }
+    fn proc_names(p: &ProcDecl, keep: &dyn Fn(StmtId) -> bool, used: &mut BTreeSet<String>) {
+        let mut any = false;
+        p.block.walk_stmts(&mut |s| {
+            if keep(s.id) {
+                any = true;
+            }
+        });
+        let nested_any = p.block.procs.iter().any(|q| {
+            let mut a = false;
+            q.block.walk_stmts(&mut |s| {
+                if keep(s.id) {
+                    a = true;
+                }
+            });
+            a
+        });
+        if any || nested_any {
+            // Parameter names and types count as used.
+            for g in &p.params {
+                for n in &g.names {
+                    used.insert(n.key());
+                }
+                type_names(&g.ty, used);
+            }
+            if let Some(rt) = &p.return_type {
+                type_names(rt, used);
+            }
+        }
+        for s in &p.block.body {
+            names_in_stmt(s, keep, used);
+        }
+        for q in &p.block.procs {
+            proc_names(q, keep, used);
+        }
+    }
+
+    for s in &program.block.body {
+        names_in_stmt(s, keep, used);
+    }
+    for p in &program.block.procs {
+        proc_names(p, keep, used);
+    }
+    // Types referenced by used variables' declarations.
+    fn var_decl_types(block: &Block, used: &mut BTreeSet<String>) {
+        let snapshot: Vec<String> = used.iter().cloned().collect();
+        for g in &block.vars {
+            if g.names.iter().any(|n| snapshot.contains(&n.key())) {
+                type_names(&g.ty, used);
+            }
+        }
+        for p in &block.procs {
+            var_decl_types(&p.block, used);
+        }
+    }
+    var_decl_types(&program.block, used);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+    use crate::sema::compile;
+
+    fn roundtrip(src: &str) {
+        let p = parse_program(src).expect("parse");
+        let printed = print_program(&p);
+        let p2 = parse_program(&printed)
+            .unwrap_or_else(|e| panic!("reparse failed: {e}\nprinted:\n{printed}"));
+        let printed2 = print_program(&p2);
+        assert_eq!(printed, printed2, "printing is not a fixpoint");
+    }
+
+    #[test]
+    fn roundtrip_all_fixtures() {
+        for (name, src) in crate::testprogs::ALL {
+            let p = parse_program(src).expect(name);
+            let printed = print_program(&p);
+            parse_program(&printed)
+                .unwrap_or_else(|e| panic!("{name} reparse failed: {e}\n{printed}"));
+        }
+    }
+
+    #[test]
+    fn roundtrip_operators_preserve_precedence() {
+        let src = "program t; var a, b, c, x: integer; r: boolean;
+                   begin x := (a + b) * c; x := a + b * c;
+                         r := (a < b) and (b < c); x := -(a + b) end.";
+        let p = parse_program(src).unwrap();
+        let printed = print_program(&p);
+        let m1 = compile(src).unwrap();
+        let m2 = compile(&printed).unwrap();
+        // Semantically identical: same number of procs/vars.
+        assert_eq!(m1.vars.len(), m2.vars.len());
+        roundtrip(src);
+        // Behavioural check.
+        let src_run = "program t; var x: integer; r: boolean;
+                       begin x := (1 + 2) * 3; r := (1 < 2) and (2 < 3); writeln(x, r) end.";
+        let p = parse_program(src_run).unwrap();
+        let printed = print_program(&p);
+        let m_orig = compile(src_run).unwrap();
+        let m_new = compile(&printed).unwrap();
+        let o1 = crate::interp::Interpreter::new(&m_orig).run().unwrap();
+        let o2 = crate::interp::Interpreter::new(&m_new).run().unwrap();
+        assert_eq!(o1.output_text(), o2.output_text());
+    }
+
+    #[test]
+    fn slice_printing_drops_unused_decls() {
+        let p = parse_program(crate::testprogs::FIGURE2).unwrap();
+        // Keep only `mul := 0`.
+        let mut keep = BTreeSet::new();
+        p.block.walk_stmts(&mut |s| {
+            if let StmtKind::Assign { lhs, .. } = &s.kind {
+                if lhs.base.name == "mul"
+                    && matches!(
+                        &s.kind,
+                        StmtKind::Assign { rhs, .. } if matches!(rhs.kind, ExprKind::IntLit(0))
+                    )
+                {
+                    keep.insert(s.id);
+                }
+            }
+        });
+        assert_eq!(keep.len(), 1);
+        let printed = print_slice(&p, &keep);
+        assert!(printed.contains("mul"));
+        assert!(!printed.contains("sum"), "{printed}");
+        assert!(!printed.contains("read"), "{printed}");
+        // The slice re-parses and runs.
+        let m = compile(&printed).unwrap();
+        crate::interp::Interpreter::new(&m).run().unwrap();
+    }
+
+    #[test]
+    fn slice_printing_keeps_if_structure() {
+        let p = parse_program(crate::testprogs::FIGURE2).unwrap();
+        // Keep mul-assignments and the read(x,y); the if-branch assigning
+        // mul is inside the else.
+        let mut keep = BTreeSet::new();
+        p.block.walk_stmts(&mut |s| match &s.kind {
+            StmtKind::Assign { lhs, .. } if lhs.base.name == "mul" => {
+                keep.insert(s.id);
+            }
+            StmtKind::Read { args, .. } if args.iter().any(|a| a.base.name == "x") => {
+                keep.insert(s.id);
+            }
+            _ => {}
+        });
+        let printed = print_slice(&p, &keep);
+        assert!(printed.contains("if x <= 1 then"), "{printed}");
+        assert!(printed.contains("mul := x * y"), "{printed}");
+        assert!(!printed.contains("sum := x + y"), "{printed}");
+        let m = compile(&printed).unwrap();
+        let mut i = crate::interp::Interpreter::new(&m);
+        i.set_input([crate::value::Value::Int(3), crate::value::Value::Int(5)]);
+        let o = i.run().unwrap();
+        assert_eq!(o.global("mul"), Some(&crate::value::Value::Int(15)));
+    }
+
+    #[test]
+    fn slice_printing_drops_whole_procedures() {
+        let p = parse_program(crate::testprogs::SQRTEST).unwrap();
+        // Keep only main-body statements.
+        let mut keep = BTreeSet::new();
+        for s in &p.block.body {
+            s.walk(&mut |st| {
+                keep.insert(st.id);
+            });
+        }
+        let printed = print_slice(&p, &keep);
+        assert!(printed.contains("sqrtest"), "{printed}");
+        // decrement has no kept statements → dropped.
+        assert!(!printed.contains("decrement"), "{printed}");
+    }
+
+    #[test]
+    fn in_out_modes_print_and_reparse() {
+        let src = "program t; var a, b, c: integer;
+                   procedure p(var y: integer; in x: integer; out z: integer);
+                   begin y := x + 1; z := y - x end;
+                   begin p(a, b, c) end.";
+        roundtrip(src);
+        let p = parse_program(src).unwrap();
+        let printed = print_program(&p);
+        assert!(printed.contains("in x: integer"), "{printed}");
+        assert!(printed.contains("out z: integer"), "{printed}");
+    }
+
+    #[test]
+    fn labels_and_gotos_print() {
+        roundtrip(crate::testprogs::SECTION6_LOOP_GOTO);
+        let p = parse_program(crate::testprogs::SECTION6_LOOP_GOTO).unwrap();
+        let printed = print_program(&p);
+        assert!(printed.contains("label 9;"), "{printed}");
+        assert!(printed.contains("goto 9"), "{printed}");
+        assert!(printed.contains("9:"), "{printed}");
+    }
+
+    #[test]
+    fn printed_program_behaves_identically() {
+        for (name, src) in crate::testprogs::ALL {
+            if *name == "figure2" {
+                continue; // needs input; covered elsewhere
+            }
+            let p = parse_program(src).unwrap();
+            let printed = print_program(&p);
+            let m1 = compile(src).unwrap();
+            let m2 = compile(&printed).unwrap_or_else(|e| panic!("{name}: {e}\n{printed}"));
+            let o1 = crate::interp::Interpreter::new(&m1).run().unwrap();
+            let o2 = crate::interp::Interpreter::new(&m2).run().unwrap();
+            assert_eq!(o1.output_text(), o2.output_text(), "{name}");
+        }
+    }
+}

@@ -1,0 +1,162 @@
+//! Source positions and spans.
+//!
+//! Every token, AST node, and diagnostic carries a [`Span`] pointing back
+//! into the original source text. Spans survive CFG lowering and program
+//! transformation, which is what lets the debugger present queries in terms
+//! of the *original* program (the paper's §6.1 "transparent debugging").
+
+use std::fmt;
+
+/// A half-open byte range `[start, end)` into a source file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: u32,
+    /// Byte offset one past the last character.
+    pub end: u32,
+}
+
+impl Span {
+    /// Creates a span covering `[start, end)`.
+    ///
+    /// # Examples
+    /// ```
+    /// use gadt_pascal::span::Span;
+    /// let s = Span::new(3, 7);
+    /// assert_eq!(s.len(), 4);
+    /// ```
+    pub fn new(start: u32, end: u32) -> Self {
+        debug_assert!(start <= end, "span start must not exceed end");
+        Span { start, end }
+    }
+
+    /// A zero-length placeholder span (used for synthesized constructs).
+    pub fn dummy() -> Self {
+        Span { start: 0, end: 0 }
+    }
+
+    /// Length of the span in bytes.
+    pub fn len(&self) -> u32 {
+        self.end - self.start
+    }
+
+    /// Whether the span covers no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Smallest span covering both `self` and `other`.
+    pub fn merge(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+
+    /// Whether `self` fully contains `other`.
+    pub fn contains(&self, other: Span) -> bool {
+        self.start <= other.start && other.end <= self.end
+    }
+
+    /// Extracts the spanned text from `source`.
+    pub fn text<'a>(&self, source: &'a str) -> &'a str {
+        &source[self.start as usize..self.end as usize]
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}..{}", self.start, self.end)
+    }
+}
+
+/// A 1-based line/column position, for human-readable diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LineCol {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number (in bytes).
+    pub col: u32,
+}
+
+impl fmt::Display for LineCol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Maps byte offsets to line/column pairs for one source file.
+#[derive(Debug, Clone)]
+pub struct LineMap {
+    /// Byte offset at which each line starts; `line_starts[0] == 0`.
+    line_starts: Vec<u32>,
+}
+
+impl LineMap {
+    /// Builds a line map by scanning `source` once.
+    pub fn new(source: &str) -> Self {
+        let mut line_starts = vec![0];
+        for (i, b) in source.bytes().enumerate() {
+            if b == b'\n' {
+                line_starts.push(i as u32 + 1);
+            }
+        }
+        LineMap { line_starts }
+    }
+
+    /// Converts a byte offset to a [`LineCol`].
+    pub fn line_col(&self, offset: u32) -> LineCol {
+        let line_idx = match self.line_starts.binary_search(&offset) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        };
+        LineCol {
+            line: line_idx as u32 + 1,
+            col: offset - self.line_starts[line_idx] + 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_covers_both() {
+        let a = Span::new(2, 5);
+        let b = Span::new(9, 12);
+        assert_eq!(a.merge(b), Span::new(2, 12));
+        assert_eq!(b.merge(a), Span::new(2, 12));
+    }
+
+    #[test]
+    fn contains_is_inclusive_of_equal_span() {
+        let a = Span::new(2, 5);
+        assert!(a.contains(a));
+        assert!(a.contains(Span::new(3, 4)));
+        assert!(!a.contains(Span::new(1, 4)));
+    }
+
+    #[test]
+    fn text_extraction() {
+        let src = "hello world";
+        assert_eq!(Span::new(6, 11).text(src), "world");
+    }
+
+    #[test]
+    fn line_map_basics() {
+        let map = LineMap::new("ab\ncd\n\nx");
+        assert_eq!(map.line_col(0), LineCol { line: 1, col: 1 });
+        assert_eq!(map.line_col(1), LineCol { line: 1, col: 2 });
+        assert_eq!(map.line_col(3), LineCol { line: 2, col: 1 });
+        assert_eq!(map.line_col(6), LineCol { line: 3, col: 1 });
+        assert_eq!(map.line_col(7), LineCol { line: 4, col: 1 });
+    }
+
+    #[test]
+    fn line_map_offset_at_newline() {
+        let map = LineMap::new("ab\ncd");
+        // The newline itself belongs to line 1.
+        assert_eq!(map.line_col(2), LineCol { line: 1, col: 3 });
+    }
+}

@@ -1,0 +1,409 @@
+//! The example programs from the paper, transcribed as test fixtures.
+//!
+//! These are shared by the test suites, examples, and benchmark harness
+//! across the workspace so every experiment runs the exact programs the
+//! paper evaluates.
+
+/// The program of **Figure 4**: computes the square of the sum of the
+/// array `[1,2]` in two ways and checks that both agree. Contains the
+/// planted bug in `decrement` (`y + 1` should be `y - 1`).
+///
+/// The paper writes the main call as `sqrtest([1,2], 2, isok)`; Pascal has
+/// no array literals, so the array is built with two assignments first —
+/// the execution tree below `sqrtest` is identical.
+pub const SQRTEST: &str = r#"
+program Main;
+type intarray = array[1..2] of integer;
+var isok: boolean;
+    ary: intarray;
+
+procedure test(r1, r2: integer; var isok: boolean);
+begin
+  isok := r1 = r2;
+end;
+
+procedure arrsum(a: intarray; n: integer; var b: integer);
+var i: integer;
+begin
+  b := 0;
+  for i := 1 to n do b := b + a[i];
+end;
+
+procedure square(y: integer; var r2: integer);
+begin
+  r2 := y * y;
+end;
+
+procedure comput2(y: integer; var r2: integer);
+begin
+  square(y, r2);
+end;
+
+procedure add(s1, s2: integer; var r1: integer);
+begin
+  r1 := s1 + s2;
+end;
+
+function decrement(y: integer): integer;
+begin
+  decrement := y + 1; (* a planted bug, should be: y - 1 *)
+end;
+
+function increment(y: integer): integer;
+begin
+  increment := y + 1;
+end;
+
+procedure sum2(y: integer; var s2: integer);
+var t: integer;
+begin
+  s2 := decrement(y) * y div 2;
+end;
+
+procedure sum1(y: integer; var s1: integer);
+var z: integer;
+begin
+  s1 := y * increment(y) div 2;
+end;
+
+procedure partialsums(y: integer; var s1, s2: integer);
+begin
+  sum1(y, s1);
+  sum2(y, s2);
+end;
+
+procedure comput1(y: integer; var r1: integer);
+var s1, s2: integer;
+begin
+  partialsums(y, s1, s2);
+  add(s1, s2, r1);
+end;
+
+procedure computs(y: integer; var r1, r2: integer);
+begin
+  comput1(y, r1);
+  comput2(y, r2);
+end;
+
+procedure sqrtest(ary: intarray; n: integer; var isok: boolean);
+var r1, r2, t: integer;
+begin
+  arrsum(ary, n, t);
+  computs(t, r1, r2);
+  test(r1, r2, isok);
+end;
+
+begin (* Main *)
+  ary[1] := 1;
+  ary[2] := 2;
+  sqrtest(ary, 2, isok);
+end.
+"#;
+
+/// [`SQRTEST`] with the planted bug fixed (`decrement := y - 1`), used as
+/// the correct reference when simulating the user oracle.
+pub const SQRTEST_FIXED: &str = r#"
+program Main;
+type intarray = array[1..2] of integer;
+var isok: boolean;
+    ary: intarray;
+
+procedure test(r1, r2: integer; var isok: boolean);
+begin
+  isok := r1 = r2;
+end;
+
+procedure arrsum(a: intarray; n: integer; var b: integer);
+var i: integer;
+begin
+  b := 0;
+  for i := 1 to n do b := b + a[i];
+end;
+
+procedure square(y: integer; var r2: integer);
+begin
+  r2 := y * y;
+end;
+
+procedure comput2(y: integer; var r2: integer);
+begin
+  square(y, r2);
+end;
+
+procedure add(s1, s2: integer; var r1: integer);
+begin
+  r1 := s1 + s2;
+end;
+
+function decrement(y: integer): integer;
+begin
+  decrement := y - 1;
+end;
+
+function increment(y: integer): integer;
+begin
+  increment := y + 1;
+end;
+
+procedure sum2(y: integer; var s2: integer);
+var t: integer;
+begin
+  s2 := decrement(y) * y div 2;
+end;
+
+procedure sum1(y: integer; var s1: integer);
+var z: integer;
+begin
+  s1 := y * increment(y) div 2;
+end;
+
+procedure partialsums(y: integer; var s1, s2: integer);
+begin
+  sum1(y, s1);
+  sum2(y, s2);
+end;
+
+procedure comput1(y: integer; var r1: integer);
+var s1, s2: integer;
+begin
+  partialsums(y, s1, s2);
+  add(s1, s2, r1);
+end;
+
+procedure computs(y: integer; var r1, r2: integer);
+begin
+  comput1(y, r1);
+  comput2(y, r2);
+end;
+
+procedure sqrtest(ary: intarray; n: integer; var isok: boolean);
+var r1, r2, t: integer;
+begin
+  arrsum(ary, n, t);
+  computs(t, r1, r2);
+  test(r1, r2, isok);
+end;
+
+begin (* Main *)
+  ary[1] := 1;
+  ary[2] := 2;
+  sqrtest(ary, 2, isok);
+end.
+"#;
+
+/// The program of **Figure 2(a)**: reads `x` and `y`, computes `sum` and
+/// `mul`. Slicing it on `mul` at the last line must reproduce Figure 2(b).
+pub const FIGURE2: &str = r#"
+program p;
+var x, y, z, sum, mul: integer;
+begin
+  read(x, y);
+  mul := 0;
+  sum := 0;
+  if x <= 1 then
+    sum := x + y
+  else begin
+    read(z);
+    mul := x * y;
+  end;
+end.
+"#;
+
+/// The **§3** example: `P` calls `Q` (computes `b` from `a`) and `R`
+/// (computes `d` from `c`); `R` contains a planted bug. Algorithmic
+/// debugging must localize the bug inside `R`.
+pub const PQR: &str = r#"
+program pqr;
+var a, c, b, d: integer;
+
+procedure p(a, c: integer; var b, d: integer);
+
+  procedure q(a: integer; var b: integer);
+  begin
+    b := a * 2;
+  end;
+
+  procedure r(c: integer; var d: integer);
+  begin
+    d := c + 3; (* planted bug: should be c * 3 *)
+  end;
+
+begin
+  q(a, b);
+  r(c, d);
+end;
+
+begin
+  a := 5;
+  c := 7;
+  p(a, c, b, d);
+  writeln(b, d);
+end.
+"#;
+
+/// Fixed variant of [`PQR`] (`d := c * 3`) used as the reference oracle.
+pub const PQR_FIXED: &str = r#"
+program pqr;
+var a, c, b, d: integer;
+
+procedure p(a, c: integer; var b, d: integer);
+
+  procedure q(a: integer; var b: integer);
+  begin
+    b := a * 2;
+  end;
+
+  procedure r(c: integer; var d: integer);
+  begin
+    d := c * 3;
+  end;
+
+begin
+  q(a, b);
+  r(c, d);
+end;
+
+begin
+  a := 5;
+  c := 7;
+  p(a, c, b, d);
+  writeln(b, d);
+end.
+"#;
+
+/// The **§7 / Figures 5–6** skeleton: `pn` computes `y` from `x`, while
+/// `p1 … p(n-1)` are irrelevant to `y`. Slicing on `y` must drop the
+/// irrelevant calls. (`n = 4` here; the paper leaves `n` schematic.)
+pub const FIGURE5: &str = r#"
+program fig5;
+var x, y, u1, u2, u3: integer;
+
+procedure p1(var u: integer);
+begin
+  u := u + 1;
+end;
+
+procedure p2(var u: integer);
+begin
+  u := u * 2;
+end;
+
+procedure p3(var u: integer);
+begin
+  u := u - 3;
+end;
+
+procedure pn(x: integer; var y: integer);
+begin
+  y := x * x + 1; (* planted bug: should be x * x *)
+end;
+
+begin
+  x := 6;
+  u1 := 1;
+  u2 := 2;
+  u3 := 3;
+  p1(u1);
+  p2(u2);
+  p3(u3);
+  pn(x, y);
+  writeln(y);
+end.
+"#;
+
+/// The **§6** global-side-effect example: procedure `p` references global
+/// `x` and writes global `z`; the transformation must rewrite it to
+/// `procedure p(var y: …; in x: …; out z: …)`.
+pub const SECTION6_GLOBALS: &str = r#"
+program sec6;
+var x, z, w: integer;
+
+procedure p(var y: integer);
+begin
+  y := x + 1;
+  z := y - x;
+end;
+
+begin
+  x := 10;
+  p(w);
+  writeln(w, z);
+end.
+"#;
+
+/// The **§6** global-goto example: `q`, nested in `p`, jumps to label `9`
+/// declared in `p`. The transformation breaks this into an exit-condition
+/// parameter plus local gotos.
+pub const SECTION6_GOTO: &str = r#"
+program sec6goto;
+var trace: integer;
+
+procedure p(n: integer);
+label 9;
+
+  procedure q(n: integer);
+  begin
+    trace := trace + 1;
+    if n > 0 then goto 9;
+    trace := trace + 10;
+  end;
+
+begin
+  q(n);
+  trace := trace + 100;
+  9: trace := trace + 1000;
+end;
+
+begin
+  trace := 0;
+  p(1);
+  writeln(trace);
+end.
+"#;
+
+/// The **§6** goto-out-of-a-loop example: a `while` loop containing a
+/// `goto` addressed outside the loop. The transformation rewrites the loop
+/// condition with a `leave` flag.
+pub const SECTION6_LOOP_GOTO: &str = r#"
+program sec6loop;
+label 9;
+var i, s: integer;
+
+begin
+  i := 0;
+  s := 0;
+  while i < 10 do begin
+    i := i + 1;
+    s := s + i;
+    if s > 6 then goto 9;
+  end;
+  s := 0;
+  9: writeln(s);
+end.
+"#;
+
+/// All named fixtures, for data-driven tests.
+pub const ALL: &[(&str, &str)] = &[
+    ("sqrtest", SQRTEST),
+    ("sqrtest_fixed", SQRTEST_FIXED),
+    ("figure2", FIGURE2),
+    ("pqr", PQR),
+    ("pqr_fixed", PQR_FIXED),
+    ("figure5", FIGURE5),
+    ("section6_globals", SECTION6_GLOBALS),
+    ("section6_goto", SECTION6_GOTO),
+    ("section6_loop_goto", SECTION6_LOOP_GOTO),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    #[test]
+    fn all_fixtures_parse() {
+        for (name, src) in ALL {
+            parse_program(src).unwrap_or_else(|e| panic!("{name} failed to parse: {e}"));
+        }
+    }
+}

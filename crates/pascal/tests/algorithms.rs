@@ -1,0 +1,196 @@
+//! Integration tests: classic algorithms written in the Pascal subset —
+//! the substrate must be strong enough to host realistic programs, not
+//! just the paper's examples.
+
+use gadt_pascal::interp::Interpreter;
+use gadt_pascal::sema::compile;
+use gadt_pascal::value::Value;
+
+fn run(src: &str, input: Vec<i64>) -> gadt_pascal::interp::Outcome {
+    let m = compile(src).unwrap_or_else(|e| panic!("compile: {e}\n{src}"));
+    let mut i = Interpreter::new(&m);
+    i.set_input(input.into_iter().map(Value::Int));
+    i.run().unwrap_or_else(|e| panic!("run: {e}\n{src}"))
+}
+
+#[test]
+fn euclid_gcd() {
+    let src = "program gcd;
+         var a, b: integer;
+         function gcd(a, b: integer): integer;
+         begin
+           if b = 0 then gcd := a else gcd := gcd(b, a mod b)
+         end;
+         begin read(a); read(b); writeln(gcd(a, b)) end.";
+    assert_eq!(run(src, vec![48, 36]).output_text(), "12\n");
+    assert_eq!(run(src, vec![17, 5]).output_text(), "1\n");
+    assert_eq!(run(src, vec![100, 0]).output_text(), "100\n");
+}
+
+#[test]
+fn iterative_fibonacci() {
+    let src = "program fib;
+         var n, i, a, b, t: integer;
+         begin
+           read(n);
+           a := 0; b := 1;
+           for i := 1 to n do begin t := a + b; a := b; b := t end;
+           writeln(a)
+         end.";
+    assert_eq!(run(src, vec![10]).output_text(), "55\n");
+    assert_eq!(run(src, vec![1]).output_text(), "1\n");
+    assert_eq!(run(src, vec![0]).output_text(), "0\n");
+}
+
+#[test]
+fn sieve_of_eratosthenes() {
+    let src = "program sieve;
+         const n = 50;
+         var isprime: array[2..n] of boolean;
+             i, j, count: integer;
+         begin
+           for i := 2 to n do isprime[i] := true;
+           i := 2;
+           while i * i <= n do begin
+             if isprime[i] then begin
+               j := i * i;
+               while j <= n do begin
+                 isprime[j] := false;
+                 j := j + i
+               end
+             end;
+             i := i + 1
+           end;
+           count := 0;
+           for i := 2 to n do
+             if isprime[i] then count := count + 1;
+           writeln(count)
+         end.";
+    // 15 primes ≤ 50.
+    assert_eq!(run(src, vec![]).output_text(), "15\n");
+}
+
+#[test]
+fn bubble_sort_with_nested_loops() {
+    let src = "program sortit;
+         const n = 8;
+         var a: array[1..n] of integer; i, j, tmp: integer; sorted: boolean;
+         begin
+           for i := 1 to n do read(a[i]);
+           for i := 1 to n - 1 do
+             for j := 1 to n - i do
+               if a[j] > a[j + 1] then begin
+                 tmp := a[j]; a[j] := a[j + 1]; a[j + 1] := tmp
+               end;
+           sorted := true;
+           for i := 1 to n - 1 do
+             if a[i] > a[i + 1] then sorted := false;
+           for i := 1 to n do write(a[i], ' ');
+           writeln;
+           writeln(sorted)
+         end.";
+    let out = run(src, vec![5, 2, 9, 1, 7, 3, 8, 4]);
+    assert_eq!(out.output_text(), "1 2 3 4 5 7 8 9 \ntrue\n");
+}
+
+#[test]
+fn binary_search_via_while() {
+    let src = "program bsearch;
+         const n = 10;
+         var a: array[1..n] of integer; i, lo, hi, mid, key, found: integer;
+         begin
+           for i := 1 to n do a[i] := i * 3;
+           read(key);
+           lo := 1; hi := n; found := 0 - 1;
+           while lo <= hi do begin
+             mid := (lo + hi) div 2;
+             if a[mid] = key then begin found := mid; lo := hi + 1 end
+             else if a[mid] < key then lo := mid + 1
+             else hi := mid - 1
+           end;
+           writeln(found)
+         end.";
+    assert_eq!(run(src, vec![12]).output_text(), "4\n");
+    assert_eq!(run(src, vec![30]).output_text(), "10\n");
+    assert_eq!(run(src, vec![13]).output_text(), "-1\n");
+}
+
+#[test]
+fn ackermann_small_inputs() {
+    let src = "program ack;
+         var m, n: integer;
+         function a(m, n: integer): integer;
+         begin
+           if m = 0 then a := n + 1
+           else if n = 0 then a := a(m - 1, 1)
+           else a := a(m - 1, a(m, n - 1))
+         end;
+         begin read(m); read(n); writeln(a(m, n)) end.";
+    assert_eq!(run(src, vec![2, 3]).output_text(), "9\n");
+    assert_eq!(run(src, vec![3, 3]).output_text(), "61\n");
+}
+
+#[test]
+fn collatz_steps_with_repeat() {
+    let src = "program collatz;
+         var n, steps: integer;
+         begin
+           read(n);
+           steps := 0;
+           repeat
+             if odd(n) then n := 3 * n + 1 else n := n div 2;
+             steps := steps + 1
+           until n = 1;
+           writeln(steps)
+         end.";
+    assert_eq!(run(src, vec![6]).output_text(), "8\n");
+    assert_eq!(run(src, vec![27]).output_text(), "111\n");
+}
+
+#[test]
+fn matrix_flattened_multiplication() {
+    // 2×2 matrices flattened into arrays: shows index arithmetic.
+    let src = "program matmul;
+         var a, b, c: array[1..4] of integer; i, j, k: integer;
+         begin
+           for i := 1 to 4 do read(a[i]);
+           for i := 1 to 4 do read(b[i]);
+           for i := 0 to 1 do
+             for j := 1 to 2 do begin
+               c[i * 2 + j] := 0;
+               for k := 1 to 2 do
+                 c[i * 2 + j] := c[i * 2 + j] + a[i * 2 + k] * b[(k - 1) * 2 + j]
+             end;
+           for i := 1 to 4 do write(c[i], ' ');
+           writeln
+         end.";
+    // [1 2; 3 4] × [5 6; 7 8] = [19 22; 43 50]
+    let out = run(src, vec![1, 2, 3, 4, 5, 6, 7, 8]);
+    assert_eq!(out.output_text(), "19 22 43 50 \n");
+}
+
+#[test]
+fn string_and_char_output() {
+    let src = "program hello;
+         var c: char;
+         begin
+           c := 'A';
+           writeln('hello, ', c, ' world ', 1 + 2)
+         end.";
+    assert_eq!(run(src, vec![]).output_text(), "hello, A world 3\n");
+}
+
+#[test]
+fn deep_recursion_with_var_accumulator() {
+    let src = "program acc;
+         var total: integer;
+         procedure count(n: integer; var acc: integer);
+         begin
+           if n > 0 then begin
+             acc := acc + n;
+             count(n - 1, acc)
+           end
+         end;
+         begin total := 0; count(100, total); writeln(total) end.";
+    assert_eq!(run(src, vec![]).output_text(), "5050\n");
+}

@@ -1,0 +1,209 @@
+//! The `case` statement across every layer: parsing, type checking, CFG
+//! lowering, execution, pretty printing, and its interaction with the
+//! other subsystems (slicing and transformation are covered by the
+//! cross-crate tests in the workspace root).
+
+use gadt_pascal::interp::Interpreter;
+use gadt_pascal::pretty::print_program;
+use gadt_pascal::sema::compile;
+use gadt_pascal::value::Value;
+
+fn run(src: &str, input: Vec<i64>) -> gadt_pascal::interp::Outcome {
+    let m = compile(src).unwrap_or_else(|e| panic!("compile: {e}\n{src}"));
+    let mut i = Interpreter::new(&m);
+    i.set_input(input.into_iter().map(Value::Int));
+    i.run().unwrap_or_else(|e| panic!("run: {e}"))
+}
+
+#[test]
+fn basic_dispatch() {
+    let src = "program t; var x, r: integer;
+         begin
+           read(x);
+           case x of
+             1: r := 10;
+             2, 3: r := 20;
+             4: r := 40
+           else r := 0 - 1
+           end;
+           writeln(r)
+         end.";
+    assert_eq!(run(src, vec![1]).output_text(), "10\n");
+    assert_eq!(run(src, vec![2]).output_text(), "20\n");
+    assert_eq!(run(src, vec![3]).output_text(), "20\n");
+    assert_eq!(run(src, vec![4]).output_text(), "40\n");
+    assert_eq!(run(src, vec![99]).output_text(), "-1\n");
+}
+
+#[test]
+fn no_else_falls_through() {
+    let src = "program t; var x, r: integer;
+         begin r := 7; read(x);
+           case x of 1: r := 1 end;
+           writeln(r)
+         end.";
+    assert_eq!(run(src, vec![5]).output_text(), "7\n");
+    assert_eq!(run(src, vec![1]).output_text(), "1\n");
+}
+
+#[test]
+fn char_selector() {
+    let src = "program t; var c: char; r: integer;
+         begin
+           c := 'b';
+           case c of
+             'a': r := 1;
+             'b': r := 2
+           else r := 9
+           end;
+           writeln(r)
+         end.";
+    assert_eq!(run(src, vec![]).output_text(), "2\n");
+}
+
+#[test]
+fn boolean_selector() {
+    let src = "program t; var b: boolean; r: integer;
+         begin
+           b := 3 > 2;
+           case b of
+             true: r := 1;
+             false: r := 0
+           end;
+           writeln(r)
+         end.";
+    assert_eq!(run(src, vec![]).output_text(), "1\n");
+}
+
+#[test]
+fn scrutinee_evaluated_once() {
+    // The selector contains a function call with a side effect on a
+    // counter; `case` must evaluate it exactly once.
+    let src = "program t; var calls, r: integer;
+         function pick: integer;
+         begin calls := calls + 1; pick := 2 end;
+         begin
+           calls := 0;
+           case pick of
+             1: r := 10;
+             2: r := 20;
+             3: r := 30
+           end;
+           writeln(r, ' ', calls)
+         end.";
+    assert_eq!(run(src, vec![]).output_text(), "20 1\n");
+}
+
+#[test]
+fn nested_case_in_loop() {
+    let src = "program t; var i, evens, odds, r: integer;
+         begin
+           evens := 0; odds := 0;
+           for i := 1 to 6 do
+             case i mod 2 of
+               0: evens := evens + 1;
+               1: odds := odds + 1
+             end;
+           writeln(evens, ' ', odds);
+           r := 0;
+           case evens of
+             3: case odds of
+                  3: r := 33
+                end
+           end;
+           writeln(r)
+         end.";
+    assert_eq!(run(src, vec![]).output_text(), "3 3\n33\n");
+}
+
+#[test]
+fn duplicate_label_rejected() {
+    let e = compile(
+        "program t; var x: integer;
+         begin case x of 1: x := 1; 1: x := 2 end end.",
+    )
+    .unwrap_err();
+    assert!(e.message.contains("duplicate case label"), "{}", e.message);
+}
+
+#[test]
+fn mismatched_label_type_rejected() {
+    let e = compile(
+        "program t; var x: integer;
+         begin case x of 'a': x := 1 end end.",
+    )
+    .unwrap_err();
+    assert!(e.message.contains("does not match"), "{}", e.message);
+}
+
+#[test]
+fn non_ordinal_selector_rejected() {
+    let e = compile(
+        "program t; var x: real;
+         begin case x of 1: x := 1.0 end end.",
+    )
+    .unwrap_err();
+    assert!(e.message.contains("ordinal"), "{}", e.message);
+}
+
+#[test]
+fn pretty_print_round_trips() {
+    let src = "program t; var x, r: integer;
+         begin
+           read(x);
+           case x of
+             1: r := 10;
+             2, 3: begin r := 20; r := r + 1 end
+           else r := 0
+           end;
+           writeln(r)
+         end.";
+    let m = compile(src).unwrap();
+    let printed = print_program(&m.program);
+    assert!(printed.contains("case x of"), "{printed}");
+    assert!(printed.contains("2, 3:"), "{printed}");
+    let m2 = compile(&printed).unwrap_or_else(|e| panic!("{e}\n{printed}"));
+    for input in [1i64, 2, 3, 8] {
+        let mut i1 = Interpreter::new(&m);
+        i1.set_input([Value::Int(input)]);
+        let mut i2 = Interpreter::new(&m2);
+        i2.set_input([Value::Int(input)]);
+        assert_eq!(
+            i1.run().unwrap().output_text(),
+            i2.run().unwrap().output_text(),
+            "input {input}"
+        );
+    }
+}
+
+#[test]
+fn case_with_goto_out_of_arm() {
+    let src = "program t; label 9; var x, r: integer;
+         begin
+           read(x);
+           r := 0;
+           case x of
+             1: begin r := 1; goto 9 end;
+             2: r := 2
+           end;
+           r := r + 100;
+           9: writeln(r)
+         end.";
+    assert_eq!(run(src, vec![1]).output_text(), "1\n");
+    assert_eq!(run(src, vec![2]).output_text(), "102\n");
+}
+
+#[test]
+fn case_inside_procedure_with_var_param() {
+    let src = "program t; var r: integer;
+         procedure classify(n: integer; var kind: integer);
+         begin
+           case n mod 3 of
+             0: kind := 100;
+             1: kind := 200;
+             2: kind := 300
+           end
+         end;
+         begin classify(7, r); writeln(r) end.";
+    assert_eq!(run(src, vec![]).output_text(), "200\n");
+}

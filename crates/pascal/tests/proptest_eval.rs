@@ -1,0 +1,217 @@
+//! Property tests: the interpreter's expression evaluation agrees with a
+//! direct Rust model on randomly generated expression trees, and
+//! structured control flow computes what a Rust re-implementation
+//! computes.
+
+use gadt_pascal::interp::Interpreter;
+use gadt_pascal::sema::compile;
+use gadt_pascal::value::Value;
+use proptest::prelude::*;
+
+/// A model expression over two integer variables `x` and `y`.
+#[derive(Debug, Clone)]
+enum E {
+    X,
+    Y,
+    Lit(i64),
+    Add(Box<E>, Box<E>),
+    Sub(Box<E>, Box<E>),
+    Mul(Box<E>, Box<E>),
+    Div(Box<E>, Box<E>),
+    Mod(Box<E>, Box<E>),
+    Neg(Box<E>),
+}
+
+impl E {
+    fn to_pascal(&self) -> String {
+        match self {
+            E::X => "x".into(),
+            E::Y => "y".into(),
+            E::Lit(n) => {
+                if *n < 0 {
+                    format!("(0 - {})", -n)
+                } else {
+                    n.to_string()
+                }
+            }
+            E::Add(a, b) => format!("({} + {})", a.to_pascal(), b.to_pascal()),
+            E::Sub(a, b) => format!("({} - {})", a.to_pascal(), b.to_pascal()),
+            E::Mul(a, b) => format!("({} * {})", a.to_pascal(), b.to_pascal()),
+            E::Div(a, b) => format!("({} div {})", a.to_pascal(), b.to_pascal()),
+            E::Mod(a, b) => format!("({} mod {})", a.to_pascal(), b.to_pascal()),
+            E::Neg(a) => format!("(-{})", a.to_pascal()),
+        }
+    }
+
+    /// Evaluates with Pascal semantics; `None` models a runtime error
+    /// (division by zero or overflow).
+    fn eval(&self, x: i64, y: i64) -> Option<i64> {
+        Some(match self {
+            E::X => x,
+            E::Y => y,
+            E::Lit(n) => *n,
+            E::Add(a, b) => a.eval(x, y)?.checked_add(b.eval(x, y)?)?,
+            E::Sub(a, b) => a.eval(x, y)?.checked_sub(b.eval(x, y)?)?,
+            E::Mul(a, b) => a.eval(x, y)?.checked_mul(b.eval(x, y)?)?,
+            E::Div(a, b) => {
+                let d = b.eval(x, y)?;
+                if d == 0 {
+                    return None;
+                }
+                a.eval(x, y)?.checked_div(d)?
+            }
+            E::Mod(a, b) => {
+                let d = b.eval(x, y)?;
+                if d == 0 {
+                    return None;
+                }
+                a.eval(x, y)?.checked_rem(d)?
+            }
+            E::Neg(a) => a.eval(x, y)?.checked_neg()?,
+        })
+    }
+}
+
+fn arb_expr() -> impl Strategy<Value = E> {
+    let leaf = prop_oneof![Just(E::X), Just(E::Y), (-50i64..50).prop_map(E::Lit),];
+    leaf.prop_recursive(4, 24, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Sub(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Mul(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Div(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Mod(Box::new(a), Box::new(b))),
+            inner.clone().prop_map(|a| E::Neg(Box::new(a))),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn expression_evaluation_matches_rust_model(
+        e in arb_expr(),
+        x in -100i64..100,
+        y in -100i64..100,
+    ) {
+        let src = format!(
+            "program t; var x, y, r: integer;
+             begin read(x); read(y); r := {}; writeln(r) end.",
+            e.to_pascal()
+        );
+        let m = compile(&src).expect("generated expression compiles");
+        let mut i = Interpreter::new(&m);
+        i.set_input([Value::Int(x), Value::Int(y)]);
+        let got = i.run();
+        match (e.eval(x, y), got) {
+            (Some(expected), Ok(out)) => {
+                prop_assert_eq!(
+                    out.global("r"),
+                    Some(&Value::Int(expected)),
+                    "expr {} on ({}, {})",
+                    e.to_pascal(), x, y
+                );
+            }
+            (None, Err(err)) => {
+                prop_assert!(
+                    err.message.contains("division by zero")
+                        || err.message.contains("overflow"),
+                    "unexpected error: {}", err.message
+                );
+            }
+            (Some(expected), Err(err)) => {
+                return Err(TestCaseError::fail(format!(
+                    "model says {expected}, interpreter errored: {}", err.message
+                )));
+            }
+            (None, Ok(out)) => {
+                return Err(TestCaseError::fail(format!(
+                    "model says error, interpreter returned {:?}", out.global("r")
+                )));
+            }
+        }
+    }
+
+    #[test]
+    fn while_loop_summation_matches_model(n in 0i64..60, step in 1i64..7) {
+        let src = format!(
+            "program t; var i, s: integer;
+             begin i := 0; s := 0;
+               while i < {n} do begin s := s + i; i := i + {step} end;
+               writeln(s)
+             end."
+        );
+        let m = compile(&src).unwrap();
+        let out = Interpreter::new(&m).run().unwrap();
+        let mut s = 0i64;
+        let mut i = 0i64;
+        while i < n {
+            s += i;
+            i += step;
+        }
+        prop_assert_eq!(out.global("s"), Some(&Value::Int(s)));
+    }
+
+    #[test]
+    fn for_loop_bounds_match_model(lo in -10i64..10, hi in -10i64..10) {
+        let src = format!(
+            "program t; var i, c: integer;
+             begin c := 0; for i := {lo} to {hi} do c := c + 1;
+                   for i := {hi} downto {lo} do c := c + 1;
+                   writeln(c) end."
+        );
+        let m = compile(&src).unwrap();
+        let out = Interpreter::new(&m).run().unwrap();
+        let ups = (hi - lo + 1).max(0);
+        prop_assert_eq!(out.global("c"), Some(&Value::Int(2 * ups)));
+    }
+
+    #[test]
+    fn recursion_matches_iteration(n in 0i64..15) {
+        let src = format!(
+            "program t; var a, b: integer;
+             function factr(n: integer): integer;
+             begin if n <= 1 then factr := 1 else factr := n * factr(n - 1) end;
+             procedure facti(n: integer; var r: integer);
+             var i: integer;
+             begin r := 1; for i := 2 to n do r := r * i end;
+             begin a := factr({n}); facti({n}, b); writeln(a, ' ', b) end."
+        );
+        let m = compile(&src).unwrap();
+        let out = Interpreter::new(&m).run().unwrap();
+        prop_assert_eq!(out.global("a"), out.global("b"));
+    }
+
+    #[test]
+    fn array_reverse_round_trips(xs in proptest::collection::vec(-100i64..100, 1..20)) {
+        let n = xs.len();
+        let mut setup = String::new();
+        for (i, v) in xs.iter().enumerate() {
+            let lit = if *v < 0 {
+                format!("0 - {}", -v)
+            } else {
+                v.to_string()
+            };
+            setup.push_str(&format!("a[{}] := {};\n", i + 1, lit));
+        }
+        let src = format!(
+            "program t;
+             var a: array[1..{n}] of integer; i, tmp, ok: integer;
+             begin
+               {setup}
+               for i := 1 to {n} div 2 do begin
+                 tmp := a[i]; a[i] := a[{n} + 1 - i]; a[{n} + 1 - i] := tmp
+               end;
+               for i := 1 to {n} div 2 do begin
+                 tmp := a[i]; a[i] := a[{n} + 1 - i]; a[{n} + 1 - i] := tmp
+               end;
+               ok := a[1];
+               writeln(ok)
+             end."
+        );
+        let m = compile(&src).unwrap();
+        let out = Interpreter::new(&m).run().unwrap();
+        prop_assert_eq!(out.global("ok"), Some(&Value::Int(xs[0])));
+    }
+}

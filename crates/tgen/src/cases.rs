@@ -1,0 +1,428 @@
+//! Executable test cases, the test runner, and the test-report database.
+//!
+//! §2: "By extending the test specification with declarations and
+//! executable statements the system can generate executable test cases
+//! from test frames. During the execution of the test cases, test reports
+//! are produced in a database. These test reports can easily be accessed
+//! by using a coded form of the test frames."
+//!
+//! Here the "declarations and executable statements" become a Rust
+//! *instantiator* (frame → concrete input values) and the unit under test
+//! runs through [`gadt_pascal::interp::Interpreter::run_proc`]. Verdicts
+//! come from a caller-supplied oracle predicate (the tester's expected
+//! results; §5.3.2 notes "the reliability of testing is largely dependent
+//! on the tester").
+
+use crate::frames::{Frame, GeneratedFrames};
+use gadt_pascal::error::Result;
+use gadt_pascal::interp::{Interpreter, ProcRun};
+use gadt_pascal::sema::{Module, ProcId};
+use gadt_pascal::value::Value;
+use std::collections::BTreeMap;
+
+/// One executable test case: a frame plus concrete input values.
+#[derive(Debug, Clone)]
+pub struct TestCase {
+    /// Index of the frame in its [`GeneratedFrames`].
+    pub frame_index: usize,
+    /// The frame's coded form (the database key).
+    pub code: String,
+    /// Concrete argument values for the unit under test.
+    pub inputs: Vec<Value>,
+}
+
+/// Builds executable test cases from frames via an instantiator. Frames
+/// the instantiator cannot realize (returns `None`) are skipped — e.g.
+/// `more`-sized arrays when the unit's array type holds only two
+/// elements.
+pub fn instantiate_cases(
+    frames: &GeneratedFrames,
+    mut instantiate: impl FnMut(&Frame) -> Option<Vec<Value>>,
+) -> Vec<TestCase> {
+    frames
+        .frames
+        .iter()
+        .enumerate()
+        .filter_map(|(i, f)| {
+            instantiate(f).map(|inputs| TestCase {
+                frame_index: i,
+                code: f.code(),
+                inputs,
+            })
+        })
+        .collect()
+}
+
+/// One test report.
+#[derive(Debug, Clone)]
+pub struct TestReport {
+    /// The frame's coded form.
+    pub code: String,
+    /// The inputs used.
+    pub inputs: Vec<Value>,
+    /// Output values (reference params in order, then the function
+    /// result if any).
+    pub outputs: Vec<Value>,
+    /// The verdict.
+    pub passed: bool,
+}
+
+/// The test-report database for one unit, keyed by frame code.
+#[derive(Debug, Clone, Default)]
+pub struct TestDb {
+    /// The unit the reports are about.
+    pub unit: String,
+    reports: BTreeMap<String, Vec<TestReport>>,
+}
+
+impl TestDb {
+    /// Creates an empty database for a unit.
+    pub fn new(unit: impl Into<String>) -> Self {
+        TestDb {
+            unit: unit.into(),
+            reports: BTreeMap::new(),
+        }
+    }
+
+    /// Adds a report.
+    pub fn add(&mut self, report: TestReport) {
+        self.reports
+            .entry(report.code.clone())
+            .or_default()
+            .push(report);
+    }
+
+    /// All reports for a frame code.
+    pub fn reports_for(&self, code: &str) -> &[TestReport] {
+        self.reports.get(code).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// The frame-level verdict used during debugging (§5.3.2): `None` if
+    /// the frame was never tested, `Some(true)` if every report passed,
+    /// `Some(false)` if any failed.
+    pub fn frame_verdict(&self, code: &str) -> Option<bool> {
+        let rs = self.reports.get(code)?;
+        if rs.is_empty() {
+            return None;
+        }
+        Some(rs.iter().all(|r| r.passed))
+    }
+
+    /// Total number of reports.
+    pub fn len(&self) -> usize {
+        self.reports.values().map(Vec::len).sum()
+    }
+
+    /// Whether the database is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Iterates over `(code, reports)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &[TestReport])> {
+        self.reports.iter().map(|(c, r)| (c.as_str(), r.as_slice()))
+    }
+}
+
+/// Runs test cases against one top-level procedure of a module.
+///
+/// The oracle receives the inputs and the [`ProcRun`] and decides the
+/// verdict.
+///
+/// # Errors
+/// Propagates interpreter errors (a crashing unit is a test failure the
+/// caller may prefer to record; this runner surfaces the error instead so
+/// the tester notices).
+///
+/// # Examples
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// use gadt_pascal::{sema::compile, testprogs, value::Value};
+/// use gadt_tgen::{spec, frames, cases};
+/// let m = compile(testprogs::SQRTEST)?;
+/// let s = spec::parse_spec(spec::ARRSUM_SPEC)?;
+/// let g = frames::generate_frames(&s, Default::default());
+/// let tc = cases::instantiate_cases(&g, |f| cases::arrsum_instantiator(f, 2));
+/// let db = cases::run_cases(&m, "arrsum", &tc, &|ins, run| {
+///     cases::arrsum_oracle(ins, run)
+/// })?;
+/// assert_eq!(db.frame_verdict("two.positive.small"), Some(true));
+/// # Ok(())
+/// # }
+/// ```
+pub fn run_cases(
+    module: &Module,
+    unit: &str,
+    cases: &[TestCase],
+    oracle: &dyn Fn(&[Value], &ProcRun) -> bool,
+) -> Result<TestDb> {
+    let proc = module.proc_by_name(unit).ok_or_else(|| {
+        gadt_pascal::error::Diagnostic::new(
+            gadt_pascal::error::Stage::Runtime,
+            format!("unit `{unit}` not found"),
+            gadt_pascal::span::Span::dummy(),
+        )
+    })?;
+    let mut db = TestDb::new(unit);
+    for case in cases {
+        let run = run_unit(module, proc, case.inputs.clone())?;
+        let passed = oracle(&case.inputs, &run);
+        let mut outputs: Vec<Value> = run.outs.iter().map(|(_, v)| v.clone()).collect();
+        if let Some(r) = &run.result {
+            outputs.push(r.clone());
+        }
+        db.add(TestReport {
+            code: case.code.clone(),
+            inputs: case.inputs.clone(),
+            outputs,
+            passed,
+        });
+    }
+    Ok(db)
+}
+
+fn run_unit(module: &Module, proc: ProcId, inputs: Vec<Value>) -> Result<ProcRun> {
+    let mut interp = Interpreter::new(module);
+    interp.run_proc(proc, inputs)
+}
+
+// ----------------------------------------------------------------------
+// The paper's arrsum unit: instantiator, classifier, oracle
+// ----------------------------------------------------------------------
+
+/// Instantiates an `arrsum` frame (Figure 1's categories) into concrete
+/// inputs `[a, n, b0]` for an `arrsum(a: array[1..cap]; n; var b)` unit.
+/// Returns `None` when the frame cannot be realized with capacity `cap`
+/// (e.g. `more` needs at least 3 elements).
+pub fn arrsum_instantiator(frame: &Frame, cap: i64) -> Option<Vec<Value>> {
+    let n: i64 = match frame.choice_of("size_of_array")? {
+        "zero" => 0,
+        "one" => 1,
+        "two" => 2,
+        "more" => {
+            if cap < 3 {
+                return None;
+            }
+            cap.min(5)
+        }
+        _ => return None,
+    };
+    if n > cap {
+        return None;
+    }
+    let ty = frame.choice_of("type_of_elements").unwrap_or("positive");
+    let dev = frame.choice_of("deviation").unwrap_or("small");
+    // Base magnitude by deviation: small ≤ 10, average ≤ 100, large > 100.
+    let spread: i64 = match dev {
+        "small" => 2,
+        "average" => 50,
+        "large" => 500,
+        _ => 2,
+    };
+    let mut elems = Vec::new();
+    for i in 0..cap {
+        let v = if i < n {
+            let alternating = if i % 2 == 0 { 1 } else { -1 };
+            match ty {
+                "positive" => 5 + (i % 3) * spread.min(3),
+                "negative" => -5 - (i % 3) * spread.min(3),
+                "mixed" => alternating * (5 + i * spread / n.max(1)),
+                _ => 5,
+            }
+        } else {
+            0
+        };
+        elems.push(v);
+    }
+    Some(vec![elems.into(), Value::Int(n), Value::Int(0)])
+}
+
+/// Classifies concrete `arrsum` inputs back to a frame code — the
+/// "function which automatically selects the suitable test frame" of
+/// §5.3.2. Mirrors [`arrsum_instantiator`]'s deviation thresholds.
+pub fn arrsum_frame_selector(inputs: &[Value]) -> Option<String> {
+    let Value::Array(a) = inputs.first()? else {
+        return None;
+    };
+    let n = inputs.get(1)?.as_int()?;
+    let size = match n {
+        0 => "zero",
+        1 => "one",
+        2 => "two",
+        _ => "more",
+    };
+    let elems: Vec<i64> = (0..n)
+        .filter_map(|i| a.get(a.lo + i).and_then(Value::as_int))
+        .collect();
+    let ty = if elems.is_empty() || elems.iter().all(|&x| x > 0) {
+        "positive"
+    } else if elems.iter().all(|&x| x < 0) {
+        "negative"
+    } else {
+        "mixed"
+    };
+    let dev = if elems.is_empty() {
+        "small"
+    } else {
+        let mean = elems.iter().sum::<i64>() as f64 / elems.len() as f64;
+        let maxdev = elems
+            .iter()
+            .map(|&x| (x as f64 - mean).abs())
+            .fold(0.0_f64, f64::max);
+        if maxdev <= 10.0 {
+            "small"
+        } else if maxdev <= 100.0 {
+            "average"
+        } else {
+            "large"
+        }
+    };
+    Some(format!("{size}.{ty}.{dev}"))
+}
+
+/// The reference oracle for `arrsum`: the output `b` must equal the sum
+/// of the first `n` elements.
+pub fn arrsum_oracle(inputs: &[Value], run: &ProcRun) -> bool {
+    let Some(Value::Array(a)) = inputs.first() else {
+        return false;
+    };
+    let Some(n) = inputs.get(1).and_then(Value::as_int) else {
+        return false;
+    };
+    let expected: i64 = (0..n)
+        .filter_map(|i| a.get(a.lo + i).and_then(Value::as_int))
+        .sum();
+    run.outs
+        .first()
+        .and_then(|(_, v)| v.as_int())
+        .is_some_and(|b| b == expected)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frames::{generate_frames, FrameGenOptions};
+    use crate::spec::{parse_spec, ARRSUM_SPEC};
+    use gadt_pascal::sema::compile;
+    use gadt_pascal::testprogs;
+
+    fn figure1_frames() -> GeneratedFrames {
+        let s = parse_spec(ARRSUM_SPEC).unwrap();
+        generate_frames(&s, FrameGenOptions::default())
+    }
+
+    #[test]
+    fn instantiator_skips_unrealizable_frames() {
+        let g = figure1_frames();
+        let cases = instantiate_cases(&g, |f| arrsum_instantiator(f, 2));
+        // `more` frames need ≥3 elements: only the 4 small-size frames
+        // remain with capacity 2.
+        let codes: Vec<&str> = cases.iter().map(|c| c.code.as_str()).collect();
+        assert_eq!(
+            codes,
+            vec![
+                "zero.positive.small",
+                "one.positive.small",
+                "two.positive.small",
+                "two.negative.small"
+            ]
+        );
+    }
+
+    #[test]
+    fn instantiator_with_larger_capacity_covers_all_frames() {
+        let g = figure1_frames();
+        let cases = instantiate_cases(&g, |f| arrsum_instantiator(f, 10));
+        assert_eq!(cases.len(), g.frames.len());
+    }
+
+    #[test]
+    fn running_cases_against_paper_arrsum_all_pass() {
+        let m = compile(testprogs::SQRTEST).unwrap();
+        let g = figure1_frames();
+        let cases = instantiate_cases(&g, |f| arrsum_instantiator(f, 2));
+        let db = run_cases(&m, "arrsum", &cases, &|ins, run| arrsum_oracle(ins, run)).unwrap();
+        assert_eq!(db.len(), 4);
+        for (code, reports) in db.iter() {
+            for r in reports {
+                assert!(r.passed, "{code} failed: {:?}", r.outputs);
+            }
+        }
+        assert_eq!(db.frame_verdict("two.positive.small"), Some(true));
+        assert_eq!(db.frame_verdict("more.mixed.large"), None);
+    }
+
+    #[test]
+    fn buggy_unit_produces_failing_reports() {
+        let src = "program t;
+             type intarray = array[1..2] of integer;
+             var d: intarray; e: integer;
+             procedure arrsum(a: intarray; n: integer; var b: integer);
+             var i: integer;
+             begin b := 1; for i := 1 to n do b := b + a[i]; end;
+             begin arrsum(d, 2, e) end.";
+        let m = compile(src).unwrap();
+        let g = figure1_frames();
+        let cases = instantiate_cases(&g, |f| arrsum_instantiator(f, 2));
+        let db = run_cases(&m, "arrsum", &cases, &|ins, run| arrsum_oracle(ins, run)).unwrap();
+        assert_eq!(db.frame_verdict("two.positive.small"), Some(false));
+    }
+
+    #[test]
+    fn frame_selector_matches_instantiator() {
+        // Classifier∘instantiator must be the identity on frame codes —
+        // otherwise debugging-time lookups would miss the database.
+        let g = figure1_frames();
+        for f in &g.frames {
+            if let Some(inputs) = arrsum_instantiator(f, 10) {
+                let code = arrsum_frame_selector(&inputs).unwrap();
+                assert_eq!(code, f.code(), "classifier disagrees for {f}");
+            }
+        }
+    }
+
+    #[test]
+    fn frame_selector_on_the_paper_query() {
+        // §8: the query arrsum(In [1,2], In 2, Out 3) classifies as
+        // (two, positive, small).
+        let inputs = vec![vec![1, 2].into(), Value::Int(2), Value::Int(0)];
+        assert_eq!(
+            arrsum_frame_selector(&inputs).unwrap(),
+            "two.positive.small"
+        );
+    }
+
+    #[test]
+    fn db_verdicts() {
+        let mut db = TestDb::new("u");
+        assert!(db.is_empty());
+        db.add(TestReport {
+            code: "a".into(),
+            inputs: vec![],
+            outputs: vec![],
+            passed: true,
+        });
+        db.add(TestReport {
+            code: "a".into(),
+            inputs: vec![],
+            outputs: vec![],
+            passed: false,
+        });
+        db.add(TestReport {
+            code: "b".into(),
+            inputs: vec![],
+            outputs: vec![],
+            passed: true,
+        });
+        assert_eq!(db.frame_verdict("a"), Some(false));
+        assert_eq!(db.frame_verdict("b"), Some(true));
+        assert_eq!(db.frame_verdict("c"), None);
+        assert_eq!(db.len(), 3);
+    }
+
+    #[test]
+    fn unknown_unit_is_an_error() {
+        let m = compile(testprogs::SQRTEST).unwrap();
+        assert!(run_cases(&m, "nosuch", &[], &|_, _| true).is_err());
+    }
+}

@@ -1,0 +1,390 @@
+//! Test-frame generation (§2).
+//!
+//! "A test frame contains exactly one choice from each category … A
+//! choice can be made in a test frame if the selector expression
+//! associated with the choice is true."
+//!
+//! Two details pin down the semantics so the paper's worked example comes
+//! out exactly:
+//!
+//! * **Selector precedence.** Within a category, when at least one
+//!   choice's selector is satisfied, only those choices are eligible;
+//!   selector-less choices act as defaults when no selector fires. This
+//!   reproduces the paper's claim that `script_1` (frames with `MIXED`)
+//!   "contains two frames: (more, mixed, large) and (more, mixed,
+//!   average)" — `small` is a default displaced by `large`/`average`.
+//!   The classic Ostrand–Balcer semantics (every satisfied or
+//!   unconditioned choice eligible) is available via
+//!   [`FrameGenOptions::selector_precedence`] `= false`.
+//! * **`SINGLE` frames.** "Only one frame is generated for each choice
+//!   associated with the SINGLE property": a `SINGLE` choice is excluded
+//!   from the combinatorial product and instead yields one frame, with
+//!   every other category set to its first eligible non-`SINGLE` choice.
+
+use crate::spec::{Category, Choice, TestSpec};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// One generated test frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// `(category, choice)` pairs, in category order. Categories with no
+    /// eligible choice under the frame's properties are omitted.
+    pub choices: Vec<(String, String)>,
+    /// Property names accumulated from the chosen choices (uppercased).
+    pub properties: BTreeSet<String>,
+}
+
+impl Frame {
+    /// The coded form used to key the test-report database (§2): choice
+    /// names joined with `.`, e.g. `more.mixed.large`.
+    pub fn code(&self) -> String {
+        self.choices
+            .iter()
+            .map(|(_, c)| c.as_str())
+            .collect::<Vec<_>>()
+            .join(".")
+    }
+
+    /// The choice taken in `category`, if any.
+    pub fn choice_of(&self, category: &str) -> Option<&str> {
+        self.choices
+            .iter()
+            .find(|(c, _)| c == category)
+            .map(|(_, ch)| ch.as_str())
+    }
+}
+
+impl fmt::Display for Frame {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, (_, c)) in self.choices.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// Options controlling frame generation.
+#[derive(Debug, Clone, Copy)]
+pub struct FrameGenOptions {
+    /// Whether satisfied selectors displace selector-less defaults within
+    /// a category (the semantics matching the paper's worked example).
+    pub selector_precedence: bool,
+}
+
+impl Default for FrameGenOptions {
+    fn default() -> Self {
+        FrameGenOptions {
+            selector_precedence: true,
+        }
+    }
+}
+
+/// All frames generated from a specification, grouped into scripts and
+/// result categories.
+#[derive(Debug, Clone)]
+pub struct GeneratedFrames {
+    /// The frames, `SINGLE` frames first, then the combinatorial product
+    /// in category order.
+    pub frames: Vec<Frame>,
+    /// Frame indices per test script.
+    pub scripts: BTreeMap<String, Vec<usize>>,
+    /// Frame indices per result category.
+    pub results: BTreeMap<String, Vec<usize>>,
+}
+
+impl GeneratedFrames {
+    /// Finds a frame by its code.
+    pub fn by_code(&self, code: &str) -> Option<&Frame> {
+        self.frames.iter().find(|f| f.code() == code)
+    }
+
+    /// The frames of one script.
+    pub fn script(&self, name: &str) -> Vec<&Frame> {
+        self.scripts
+            .get(name)
+            .map(|ix| ix.iter().map(|&i| &self.frames[i]).collect())
+            .unwrap_or_default()
+    }
+}
+
+/// Eligible choices of `cat` under `props`.
+fn eligible<'c>(
+    cat: &'c Category,
+    props: &BTreeSet<String>,
+    opts: FrameGenOptions,
+    include_single: bool,
+) -> Vec<&'c Choice> {
+    let candidates: Vec<&Choice> = cat
+        .choices
+        .iter()
+        .filter(|c| include_single || !c.is_single())
+        .collect();
+    let satisfied: Vec<&Choice> = candidates
+        .iter()
+        .copied()
+        .filter(|c| c.selector.as_ref().is_some_and(|s| s.eval(props)))
+        .collect();
+    if opts.selector_precedence && !satisfied.is_empty() {
+        return satisfied;
+    }
+    candidates
+        .into_iter()
+        .filter(|c| c.selector.as_ref().is_none_or(|s| s.eval(props)))
+        .collect()
+}
+
+/// Generates all test frames for a specification.
+///
+/// # Examples
+/// ```
+/// let spec = gadt_tgen::spec::parse_spec(gadt_tgen::spec::ARRSUM_SPEC).unwrap();
+/// let frames = gadt_tgen::frames::generate_frames(&spec, Default::default());
+/// // §2: script_1 contains (more, mixed, large) and (more, mixed, average).
+/// let s1: Vec<String> = frames.script("script_1").iter().map(|f| f.to_string()).collect();
+/// assert_eq!(s1, vec!["(more, mixed, large)", "(more, mixed, average)"]);
+/// ```
+pub fn generate_frames(spec: &TestSpec, opts: FrameGenOptions) -> GeneratedFrames {
+    let mut frames = Vec::new();
+
+    // SINGLE frames.
+    for (i, cat) in spec.categories.iter().enumerate() {
+        for choice in cat.choices.iter().filter(|c| c.is_single()) {
+            let mut props: BTreeSet<String> = BTreeSet::new();
+            let mut picks: Vec<(String, String)> = Vec::new();
+            let mut ok = true;
+            for (j, other) in spec.categories.iter().enumerate() {
+                if j == i {
+                    if choice.selector.as_ref().is_some_and(|s| !s.eval(&props)) {
+                        ok = false;
+                        break;
+                    }
+                    picks.push((other.name.clone(), choice.name.clone()));
+                    props.extend(choice.properties.iter().cloned());
+                } else if let Some(first) = eligible(other, &props, opts, false).first() {
+                    picks.push((other.name.clone(), first.name.clone()));
+                    props.extend(first.properties.iter().cloned());
+                }
+                // A category with no eligible choice is omitted.
+            }
+            if ok {
+                frames.push(Frame {
+                    choices: picks,
+                    properties: props,
+                });
+            }
+        }
+    }
+
+    // Combinatorial product over non-SINGLE choices.
+    fn product(
+        spec: &TestSpec,
+        opts: FrameGenOptions,
+        idx: usize,
+        picks: &mut Vec<(String, String)>,
+        props: &mut BTreeSet<String>,
+        out: &mut Vec<Frame>,
+    ) {
+        let Some(cat) = spec.categories.get(idx) else {
+            out.push(Frame {
+                choices: picks.clone(),
+                properties: props.clone(),
+            });
+            return;
+        };
+        let options = eligible(cat, props, opts, false);
+        if options.is_empty() {
+            // Category omitted under these properties.
+            product(spec, opts, idx + 1, picks, props, out);
+            return;
+        }
+        for choice in options {
+            picks.push((cat.name.clone(), choice.name.clone()));
+            let added: Vec<String> = choice
+                .properties
+                .iter()
+                .filter(|p| !props.contains(*p))
+                .cloned()
+                .collect();
+            props.extend(added.iter().cloned());
+            product(spec, opts, idx + 1, picks, props, out);
+            picks.pop();
+            for p in added {
+                props.remove(&p);
+            }
+        }
+    }
+    let mut picks = Vec::new();
+    let mut props = BTreeSet::new();
+    product(spec, opts, 0, &mut picks, &mut props, &mut frames);
+
+    // Group into scripts and result categories.
+    let mut scripts: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+    let mut results: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+    for g in &spec.scripts {
+        scripts.insert(g.name.clone(), Vec::new());
+    }
+    for g in &spec.results {
+        results.insert(g.name.clone(), Vec::new());
+    }
+    for (i, f) in frames.iter().enumerate() {
+        for g in &spec.scripts {
+            if g.selector.as_ref().is_none_or(|s| s.eval(&f.properties)) {
+                scripts.get_mut(&g.name).expect("inserted").push(i);
+            }
+        }
+        for g in &spec.results {
+            if g.selector.as_ref().is_none_or(|s| s.eval(&f.properties)) {
+                results.get_mut(&g.name).expect("inserted").push(i);
+            }
+        }
+    }
+
+    GeneratedFrames {
+        frames,
+        scripts,
+        results,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{parse_spec, ARRSUM_SPEC};
+
+    fn figure1() -> GeneratedFrames {
+        let spec = parse_spec(ARRSUM_SPEC).unwrap();
+        generate_frames(&spec, FrameGenOptions::default())
+    }
+
+    #[test]
+    fn figure1_frame_inventory() {
+        let g = figure1();
+        let codes: Vec<String> = g.frames.iter().map(|f| f.code()).collect();
+        assert_eq!(
+            codes,
+            vec![
+                // SINGLE frames
+                "zero.positive.small",
+                "one.positive.small",
+                // product: two × {positive, negative} × small
+                "two.positive.small",
+                "two.negative.small",
+                // product: more forces mixed, which forces large/average
+                "more.mixed.large",
+                "more.mixed.average",
+            ]
+        );
+    }
+
+    #[test]
+    fn figure1_script_grouping_matches_paper() {
+        // §2: "script_1 contains two frames: (more, mixed, large) and
+        // (more, mixed, average)".
+        let g = figure1();
+        let s1: Vec<String> = g.script("script_1").iter().map(|f| f.code()).collect();
+        assert_eq!(s1, vec!["more.mixed.large", "more.mixed.average"]);
+        let s2: Vec<String> = g.script("script_2").iter().map(|f| f.code()).collect();
+        assert_eq!(
+            s2,
+            vec![
+                "zero.positive.small",
+                "one.positive.small",
+                "two.positive.small",
+                "two.negative.small"
+            ]
+        );
+    }
+
+    #[test]
+    fn figure1_result_grouping() {
+        let g = figure1();
+        let r1: Vec<String> = g.results["result_1"]
+            .iter()
+            .map(|&i| g.frames[i].code())
+            .collect();
+        assert_eq!(r1, vec!["more.mixed.large", "more.mixed.average"]);
+    }
+
+    #[test]
+    fn single_choices_generate_exactly_one_frame_each() {
+        let g = figure1();
+        let zero_frames = g
+            .frames
+            .iter()
+            .filter(|f| f.choice_of("size_of_array") == Some("zero"))
+            .count();
+        assert_eq!(zero_frames, 1);
+        let one_frames = g
+            .frames
+            .iter()
+            .filter(|f| f.choice_of("size_of_array") == Some("one"))
+            .count();
+        assert_eq!(one_frames, 1);
+    }
+
+    #[test]
+    fn classic_semantics_includes_defaults() {
+        let spec = parse_spec(ARRSUM_SPEC).unwrap();
+        let g = generate_frames(
+            &spec,
+            FrameGenOptions {
+                selector_precedence: false,
+            },
+        );
+        let codes: Vec<String> = g.frames.iter().map(|f| f.code()).collect();
+        // Without precedence, (more, positive, small) and (more, mixed,
+        // small) exist too.
+        assert!(
+            codes.contains(&"more.positive.small".to_string()),
+            "{codes:?}"
+        );
+        assert!(codes.contains(&"more.mixed.small".to_string()), "{codes:?}");
+        assert!(codes.len() > 6);
+    }
+
+    #[test]
+    fn properties_accumulate_in_category_order() {
+        let spec = parse_spec(
+            "test t;
+             category a; x : property P; y : ;
+             category b; m : if P; n : if not P;",
+        )
+        .unwrap();
+        let g = generate_frames(&spec, FrameGenOptions::default());
+        let codes: Vec<String> = g.frames.iter().map(|f| f.code()).collect();
+        assert_eq!(codes, vec!["x.m", "y.n"]);
+    }
+
+    #[test]
+    fn empty_category_is_omitted() {
+        let spec = parse_spec(
+            "test t;
+             category a; x : ;
+             category b; m : if NEVER;",
+        )
+        .unwrap();
+        let g = generate_frames(&spec, FrameGenOptions::default());
+        assert_eq!(g.frames.len(), 1);
+        assert_eq!(g.frames[0].code(), "x");
+    }
+
+    #[test]
+    fn frame_display_matches_paper_notation() {
+        let g = figure1();
+        assert_eq!(g.frames[4].to_string(), "(more, mixed, large)");
+    }
+
+    #[test]
+    fn by_code_round_trips() {
+        let g = figure1();
+        for f in &g.frames {
+            assert_eq!(g.by_code(&f.code()).unwrap(), f);
+        }
+        assert!(g.by_code("no.such.frame").is_none());
+    }
+}

@@ -1,0 +1,173 @@
+//! Interactive frame selection (§5.3.2).
+//!
+//! "For some procedures we cannot define such [automatic frame-selector]
+//! functions. In this case, the test specification can be used in the
+//! user interactions to select the correct test frame. The interactions
+//! based on the test specification are much more convenient for the
+//! user, because he/she can select the suitable choices from a menu."
+//!
+//! [`select_frame`] walks the specification's categories, offering only
+//! the choices admissible under the properties accumulated so far, and
+//! returns the coded frame for database lookup.
+
+use crate::frames::FrameGenOptions;
+use crate::spec::{Choice, TestSpec};
+use std::collections::BTreeSet;
+use std::io::{BufRead, Write};
+
+/// Runs the category-by-category menu over the given I/O pair and
+/// returns the selected frame's code (`None` if the user aborts with an
+/// empty line or input ends).
+///
+/// # Examples
+/// ```
+/// use std::io::Cursor;
+/// let spec = gadt_tgen::spec::parse_spec(gadt_tgen::spec::ARRSUM_SPEC).unwrap();
+/// let mut out = Vec::new();
+/// let code = gadt_tgen::menu::select_frame(
+///     &spec,
+///     Cursor::new(&b"3\n1\n1\n"[..]),
+///     &mut out,
+///     Default::default(),
+/// );
+/// assert_eq!(code.as_deref(), Some("two.positive.small"));
+/// ```
+pub fn select_frame(
+    spec: &TestSpec,
+    mut input: impl BufRead,
+    mut output: impl Write,
+    opts: FrameGenOptions,
+) -> Option<String> {
+    let mut props: BTreeSet<String> = BTreeSet::new();
+    let mut picks: Vec<String> = Vec::new();
+    for cat in &spec.categories {
+        let eligible: Vec<&Choice> = eligible_choices(cat.choices.as_slice(), &props, opts);
+        if eligible.is_empty() {
+            continue;
+        }
+        let _ = writeln!(output, "category {}:", cat.name);
+        for (i, c) in eligible.iter().enumerate() {
+            let _ = writeln!(output, "  {}) {}", i + 1, c.name);
+        }
+        let _ = write!(output, "select> ");
+        let _ = output.flush();
+        let mut line = String::new();
+        if input.read_line(&mut line).is_err() {
+            return None;
+        }
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            return None;
+        }
+        // Accept a 1-based number or the choice name.
+        let chosen = trimmed
+            .parse::<usize>()
+            .ok()
+            .and_then(|i| i.checked_sub(1))
+            .and_then(|i| eligible.get(i).copied())
+            .or_else(|| {
+                eligible
+                    .iter()
+                    .find(|c| c.name.eq_ignore_ascii_case(trimmed))
+                    .copied()
+            })?;
+        props.extend(chosen.properties.iter().cloned());
+        picks.push(chosen.name.clone());
+    }
+    Some(picks.join("."))
+}
+
+/// Same eligibility rule as frame generation (including the selector
+/// precedence), but keeping `SINGLE` choices selectable — the user may
+/// well be classifying a degenerate input.
+fn eligible_choices<'c>(
+    choices: &'c [Choice],
+    props: &BTreeSet<String>,
+    opts: FrameGenOptions,
+) -> Vec<&'c Choice> {
+    let satisfied: Vec<&Choice> = choices
+        .iter()
+        .filter(|c| c.selector.as_ref().is_some_and(|s| s.eval(props)))
+        .collect();
+    if opts.selector_precedence && !satisfied.is_empty() {
+        return satisfied;
+    }
+    choices
+        .iter()
+        .filter(|c| c.selector.as_ref().is_none_or(|s| s.eval(props)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{parse_spec, ARRSUM_SPEC};
+    use std::io::Cursor;
+
+    fn spec() -> TestSpec {
+        parse_spec(ARRSUM_SPEC).unwrap()
+    }
+
+    fn pick(answers: &str) -> Option<String> {
+        let mut shown = Vec::new();
+        select_frame(
+            &spec(),
+            Cursor::new(answers.as_bytes()),
+            &mut shown,
+            Default::default(),
+        )
+    }
+
+    #[test]
+    fn selecting_by_number() {
+        // size: 4) more (adds MORE) → type: mixed only (precedence) →
+        // deviation: large/average.
+        assert_eq!(pick("4\n1\n1\n").as_deref(), Some("more.mixed.large"));
+        assert_eq!(pick("4\n1\n2\n").as_deref(), Some("more.mixed.average"));
+    }
+
+    #[test]
+    fn selecting_by_name() {
+        assert_eq!(
+            pick("two\nnegative\nsmall\n").as_deref(),
+            Some("two.negative.small")
+        );
+    }
+
+    #[test]
+    fn menu_adapts_to_selected_properties() {
+        let mut shown = Vec::new();
+        let code = select_frame(
+            &spec(),
+            Cursor::new(&b"4\n1\n1\n"[..]),
+            &mut shown,
+            Default::default(),
+        );
+        assert_eq!(code.as_deref(), Some("more.mixed.large"));
+        let text = String::from_utf8(shown).unwrap();
+        // After choosing `more`, only `mixed` is offered for the type
+        // category, and `small` is displaced by large/average.
+        assert!(text.contains("1) mixed"), "{text}");
+        assert!(
+            !text.contains("positive\n  2) negative\n  3) mixed"),
+            "{text}"
+        );
+        assert!(text.contains("1) large"), "{text}");
+    }
+
+    #[test]
+    fn abort_on_empty_or_bad_input() {
+        assert_eq!(pick("\n"), None);
+        assert_eq!(pick("99\n"), None);
+        assert_eq!(pick("nosuchchoice\n"), None);
+    }
+
+    #[test]
+    fn selected_codes_match_database_keys() {
+        // Frames generated and frames selected interactively use the same
+        // coded form.
+        let g = crate::frames::generate_frames(&spec(), Default::default());
+        let selected = pick("4\n1\n2\n").unwrap();
+        assert!(g.by_code(&selected).is_some(), "{selected}");
+    }
+}

@@ -1,0 +1,508 @@
+//! The T-GEN test specification language (§2, Figure 1).
+//!
+//! A specification partitions a unit's input space into *categories*
+//! ("critical properties of parameters"), each divided into *choices*.
+//! Choices may attach *property* names (logical variables that become
+//! true when the choice is taken) and *selector expressions* (`if <expr>`
+//! over property names) restricting when the choice is admissible.
+//! Frames group into *test scripts* (shared environments) and *result*
+//! categories via their own selectors.
+//!
+//! The concrete syntax follows the paper's Figure 1:
+//!
+//! ```text
+//! test arrsum;
+//! category size_of_array;
+//!   zero : property SINGLE;
+//!   one  : property SINGLE;
+//!   two  : ;
+//!   more : property MORE;
+//! category type_of_elements;
+//!   positive : ;
+//!   negative : ;
+//!   mixed : if MORE property MIXED;
+//! category deviation;
+//!   small : ;
+//!   large : if MIXED;
+//!   average : if MIXED;
+//! scripts
+//!   script_1 : if MIXED;
+//!   script_2 : if not MIXED;
+//! result
+//!   result_1 : if MIXED;
+//! ```
+
+use gadt_pascal::error::{Diagnostic, Result, Stage};
+use gadt_pascal::span::Span;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A selector expression over property names.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SelExpr {
+    /// A property name (true when the frame carries the property).
+    Prop(String),
+    /// Negation.
+    Not(Box<SelExpr>),
+    /// Conjunction.
+    And(Box<SelExpr>, Box<SelExpr>),
+    /// Disjunction.
+    Or(Box<SelExpr>, Box<SelExpr>),
+}
+
+impl SelExpr {
+    /// Evaluates the selector under a set of (uppercased) property names.
+    pub fn eval(&self, props: &BTreeSet<String>) -> bool {
+        match self {
+            SelExpr::Prop(p) => props.contains(&p.to_ascii_uppercase()),
+            SelExpr::Not(e) => !e.eval(props),
+            SelExpr::And(a, b) => a.eval(props) && b.eval(props),
+            SelExpr::Or(a, b) => a.eval(props) || b.eval(props),
+        }
+    }
+}
+
+impl fmt::Display for SelExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SelExpr::Prop(p) => write!(f, "{p}"),
+            SelExpr::Not(e) => write!(f, "not {e}"),
+            SelExpr::And(a, b) => write!(f, "({a} and {b})"),
+            SelExpr::Or(a, b) => write!(f, "({a} or {b})"),
+        }
+    }
+}
+
+/// One choice within a category.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Choice {
+    /// Choice name (e.g. `mixed`).
+    pub name: String,
+    /// Admissibility selector (`if MORE`), if any.
+    pub selector: Option<SelExpr>,
+    /// Properties the choice contributes (uppercased; `SINGLE` is the
+    /// special marker of §2).
+    pub properties: Vec<String>,
+}
+
+impl Choice {
+    /// Whether the choice carries the special `SINGLE` marker.
+    pub fn is_single(&self) -> bool {
+        self.properties.iter().any(|p| p == "SINGLE")
+    }
+}
+
+/// One category with its choices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Category {
+    /// Category name (e.g. `size_of_array`).
+    pub name: String,
+    /// Its choices, in declaration order.
+    pub choices: Vec<Choice>,
+}
+
+/// A named group (test script or result category) with a selector.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GroupDef {
+    /// Group name.
+    pub name: String,
+    /// Membership selector; `None` matches every frame.
+    pub selector: Option<SelExpr>,
+}
+
+/// A complete test specification for one unit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TestSpec {
+    /// The unit under test (e.g. `arrsum`).
+    pub unit: String,
+    /// Input categories in declaration order.
+    pub categories: Vec<Category>,
+    /// Test scripts (§2's environment grouping).
+    pub scripts: Vec<GroupDef>,
+    /// Result categories.
+    pub results: Vec<GroupDef>,
+}
+
+impl TestSpec {
+    /// Looks up a category by name.
+    pub fn category(&self, name: &str) -> Option<&Category> {
+        self.categories.iter().find(|c| c.name == name)
+    }
+}
+
+/// Parses a test specification.
+///
+/// # Errors
+/// Returns a [`Diagnostic`] describing the first syntax error.
+///
+/// # Examples
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let spec = gadt_tgen::spec::parse_spec(
+///     "test arrsum;
+///      category size; zero : property SINGLE; more : property MORE;
+///      scripts s1 : if MORE;",
+/// )?;
+/// assert_eq!(spec.unit, "arrsum");
+/// assert_eq!(spec.categories[0].choices.len(), 2);
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse_spec(source: &str) -> Result<TestSpec> {
+    let mut p = SpecParser::new(source);
+    p.spec()
+}
+
+fn err(msg: impl Into<String>, pos: usize) -> Diagnostic {
+    Diagnostic::new(Stage::Parse, msg, Span::new(pos as u32, pos as u32 + 1))
+}
+
+struct SpecParser<'s> {
+    toks: Vec<(usize, String)>,
+    pos: usize,
+    src_len: usize,
+    _marker: std::marker::PhantomData<&'s ()>,
+}
+
+impl<'s> SpecParser<'s> {
+    fn new(source: &'s str) -> Self {
+        // Tokenize: words, punctuation (; : , ( )).
+        let mut toks = Vec::new();
+        let bytes = source.as_bytes();
+        let mut i = 0;
+        while i < bytes.len() {
+            let c = bytes[i] as char;
+            if c.is_whitespace() {
+                i += 1;
+            } else if c.is_alphanumeric() || c == '_' {
+                let start = i;
+                while i < bytes.len() && ((bytes[i] as char).is_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                toks.push((start, source[start..i].to_string()));
+            } else if matches!(c, ';' | ':' | ',' | '(' | ')') {
+                toks.push((i, c.to_string()));
+                i += 1;
+            } else if c == '{' {
+                // Comment.
+                while i < bytes.len() && bytes[i] != b'}' {
+                    i += 1;
+                }
+                i += 1;
+            } else {
+                toks.push((i, c.to_string()));
+                i += 1;
+            }
+        }
+        SpecParser {
+            toks,
+            pos: 0,
+            src_len: source.len(),
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    fn peek(&self) -> Option<&str> {
+        self.toks.get(self.pos).map(|(_, t)| t.as_str())
+    }
+
+    fn peek_pos(&self) -> usize {
+        self.toks
+            .get(self.pos)
+            .map(|(p, _)| *p)
+            .unwrap_or(self.src_len)
+    }
+
+    fn bump(&mut self) -> Option<String> {
+        let t = self.toks.get(self.pos).map(|(_, t)| t.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, t: &str) -> bool {
+        if self.peek() == Some(t) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, t: &str) -> Result<()> {
+        if self.eat(t) {
+            Ok(())
+        } else {
+            Err(err(
+                format!(
+                    "expected `{t}`, found `{}`",
+                    self.peek().unwrap_or("end of input")
+                ),
+                self.peek_pos(),
+            ))
+        }
+    }
+
+    fn word(&mut self) -> Result<String> {
+        match self.peek() {
+            Some(w) if w.chars().all(|c| c.is_alphanumeric() || c == '_') => {
+                Ok(self.bump().expect("peeked"))
+            }
+            other => Err(err(
+                format!(
+                    "expected a name, found `{}`",
+                    other.unwrap_or("end of input")
+                ),
+                self.peek_pos(),
+            )),
+        }
+    }
+
+    fn keyword(&self, t: Option<&str>) -> bool {
+        matches!(
+            t.map(|s| s.to_ascii_lowercase()).as_deref(),
+            Some("category" | "scripts" | "result" | "test")
+        )
+    }
+
+    fn spec(&mut self) -> Result<TestSpec> {
+        let kw = self.word()?;
+        if kw.to_ascii_lowercase() != "test" {
+            return Err(err("specification must start with `test`", 0));
+        }
+        let unit = self.word()?;
+        // Accept `;` or `,` after the unit name (the paper prints a comma).
+        let _ = self.eat(";") || self.eat(",");
+
+        let mut categories = Vec::new();
+        let mut scripts = Vec::new();
+        let mut results = Vec::new();
+        while let Some(t) = self.peek() {
+            match t.to_ascii_lowercase().as_str() {
+                "category" => {
+                    self.bump();
+                    let name = self.word()?;
+                    self.expect(";")?;
+                    let mut choices = Vec::new();
+                    while self.peek().is_some() && !self.keyword(self.peek()) {
+                        choices.push(self.choice()?);
+                    }
+                    categories.push(Category { name, choices });
+                }
+                "scripts" => {
+                    self.bump();
+                    while self.peek().is_some() && !self.keyword(self.peek()) {
+                        scripts.push(self.group()?);
+                    }
+                }
+                "result" => {
+                    self.bump();
+                    while self.peek().is_some() && !self.keyword(self.peek()) {
+                        results.push(self.group()?);
+                    }
+                }
+                other => {
+                    return Err(err(
+                        format!("expected `category`, `scripts` or `result`, found `{other}`"),
+                        self.peek_pos(),
+                    ))
+                }
+            }
+        }
+        Ok(TestSpec {
+            unit,
+            categories,
+            scripts,
+            results,
+        })
+    }
+
+    fn choice(&mut self) -> Result<Choice> {
+        let name = self.word()?;
+        self.expect(":")?;
+        let mut selector = None;
+        let mut properties = Vec::new();
+        loop {
+            match self.peek().map(|s| s.to_ascii_lowercase()) {
+                Some(t) if t == "if" => {
+                    self.bump();
+                    selector = Some(self.sel_or()?);
+                }
+                Some(t) if t == "property" => {
+                    self.bump();
+                    properties.push(self.word()?.to_ascii_uppercase());
+                    while self.eat(",") {
+                        properties.push(self.word()?.to_ascii_uppercase());
+                    }
+                }
+                Some(t) if t == ";" => {
+                    self.bump();
+                    break;
+                }
+                None => break,
+                Some(other) => {
+                    return Err(err(
+                        format!("unexpected `{other}` in choice definition"),
+                        self.peek_pos(),
+                    ))
+                }
+            }
+        }
+        Ok(Choice {
+            name,
+            selector,
+            properties,
+        })
+    }
+
+    fn group(&mut self) -> Result<GroupDef> {
+        let name = self.word()?;
+        self.expect(":")?;
+        let selector = if self.peek().map(|s| s.to_ascii_lowercase()).as_deref() == Some("if") {
+            self.bump();
+            Some(self.sel_or()?)
+        } else {
+            None
+        };
+        let _ = self.eat(";");
+        Ok(GroupDef { name, selector })
+    }
+
+    fn sel_or(&mut self) -> Result<SelExpr> {
+        let mut lhs = self.sel_and()?;
+        while self.peek().map(|s| s.to_ascii_lowercase()).as_deref() == Some("or") {
+            self.bump();
+            let rhs = self.sel_and()?;
+            lhs = SelExpr::Or(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn sel_and(&mut self) -> Result<SelExpr> {
+        let mut lhs = self.sel_atom()?;
+        while self.peek().map(|s| s.to_ascii_lowercase()).as_deref() == Some("and") {
+            self.bump();
+            let rhs = self.sel_atom()?;
+            lhs = SelExpr::And(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn sel_atom(&mut self) -> Result<SelExpr> {
+        if self.peek().map(|s| s.to_ascii_lowercase()).as_deref() == Some("not") {
+            self.bump();
+            return Ok(SelExpr::Not(Box::new(self.sel_atom()?)));
+        }
+        if self.eat("(") {
+            let e = self.sel_or()?;
+            self.expect(")")?;
+            return Ok(e);
+        }
+        Ok(SelExpr::Prop(self.word()?.to_ascii_uppercase()))
+    }
+}
+
+/// The paper's Figure 1 specification for `arrsum`, shared as a fixture.
+pub const ARRSUM_SPEC: &str = "
+test arrsum;
+category size_of_array;
+  zero : property SINGLE;
+  one  : property SINGLE;
+  two  : ;
+  more : property MORE;
+category type_of_elements;
+  positive : ;
+  negative : ;
+  mixed : if MORE property MIXED;
+category deviation;
+  small : ;
+  large : if MIXED;
+  average : if MIXED;
+scripts
+  script_1 : if MIXED;
+  script_2 : if not MIXED;
+result
+  result_1 : if MIXED;
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_figure1() {
+        let s = parse_spec(ARRSUM_SPEC).expect("parse");
+        assert_eq!(s.unit, "arrsum");
+        assert_eq!(s.categories.len(), 3);
+        assert_eq!(s.categories[0].name, "size_of_array");
+        assert_eq!(s.categories[0].choices.len(), 4);
+        assert!(s.categories[0].choices[0].is_single());
+        assert!(s.categories[0].choices[1].is_single());
+        assert!(!s.categories[0].choices[3].is_single());
+        assert_eq!(
+            s.categories[1].choices[2].selector,
+            Some(SelExpr::Prop("MORE".to_string()))
+        );
+        assert_eq!(s.scripts.len(), 2);
+        assert_eq!(
+            s.scripts[1].selector,
+            Some(SelExpr::Not(Box::new(SelExpr::Prop("MIXED".to_string()))))
+        );
+        assert_eq!(s.results.len(), 1);
+    }
+
+    #[test]
+    fn selector_evaluation() {
+        let props: BTreeSet<String> = ["MORE".to_string(), "MIXED".to_string()].into();
+        assert!(SelExpr::Prop("MORE".into()).eval(&props));
+        assert!(!SelExpr::Prop("SINGLE".into()).eval(&props));
+        assert!(SelExpr::Not(Box::new(SelExpr::Prop("SINGLE".into()))).eval(&props));
+        assert!(SelExpr::And(
+            Box::new(SelExpr::Prop("MORE".into())),
+            Box::new(SelExpr::Prop("MIXED".into()))
+        )
+        .eval(&props));
+        assert!(SelExpr::Or(
+            Box::new(SelExpr::Prop("NOPE".into())),
+            Box::new(SelExpr::Prop("MIXED".into()))
+        )
+        .eval(&props));
+    }
+
+    #[test]
+    fn complex_selectors_parse() {
+        let s = parse_spec(
+            "test t;
+             category c;
+               a : if (P and Q) or not R property X, Y;",
+        )
+        .unwrap();
+        let ch = &s.categories[0].choices[0];
+        assert_eq!(ch.properties, vec!["X".to_string(), "Y".to_string()]);
+        assert!(matches!(ch.selector, Some(SelExpr::Or(_, _))));
+    }
+
+    #[test]
+    fn properties_are_case_normalized() {
+        let s = parse_spec("test t; category c; a : property more;").unwrap();
+        assert_eq!(
+            s.categories[0].choices[0].properties,
+            vec!["MORE".to_string()]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let s = parse_spec("test t; { a comment } category c; a : ;").unwrap();
+        assert_eq!(s.categories.len(), 1);
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(parse_spec("category c;").is_err());
+        assert!(parse_spec("test t; category c; a b;").is_err());
+        assert!(parse_spec("test t; wibble x;").is_err());
+    }
+}

@@ -1,0 +1,645 @@
+//! Phase A: conversion of global (non-local) variables to parameters.
+//!
+//! §6: "Conversion of global variables to parameters" — every procedure
+//! with variable side effects gets explicit parameters for the non-locals
+//! it touches: `in` for read-only, `out` for write-only, `var` for
+//! read-write. Call sites pass the variable (or the caller's own
+//! synthesized parameter for it) explicitly. The paper's target form:
+//!
+//! ```pascal
+//! procedure p (var y: …);        procedure p (var y: …; in x: …; out z: …);
+//! begin                    ⟹    begin
+//!   y := x + 1;                    y := x + 1;
+//!   z := y - x                     z := y - x
+//! end;                           end;
+//! ```
+//!
+//! Aliasing caveat: if a call passes a variable by reference *and* the
+//! callee receives the same variable as a synthesized read-only parameter,
+//! an `in` (copy) parameter would break the alias. Such parameters are
+//! escalated to `var` (reference) mode; see `escalations` below. Deeper
+//! alias chains (the paper defers to full alias analysis) are documented
+//! in DESIGN.md as out of scope.
+
+use crate::mapping::{AddedParam, Mapping, ParamOrigin};
+use gadt_pascal::ast::*;
+use gadt_pascal::cfg::{lower, CallArg, InstrKind};
+use gadt_pascal::error::{Diagnostic, Result, Stage};
+use gadt_pascal::sema::{Module, NameRes, ProcId, VarId, MAIN_PROC};
+use gadt_pascal::span::Span;
+use gadt_pascal::types::Type;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// Converts non-local variable accesses into explicit parameters.
+///
+/// Returns the rewritten program (re-analyze it with
+/// [`gadt_pascal::sema::analyze`]) and the construct mapping.
+///
+/// # Errors
+/// Returns an error if a non-local variable's type cannot be expressed as
+/// a parameter type (never happens for the supported type system).
+pub fn convert_globals(module: &Module) -> Result<(Program, Mapping)> {
+    let cfg = lower(module);
+    let (_cg, fx) = gadt_analysis::effects::analyze(module, &cfg);
+
+    // Additions per procedure: sorted (var, mode) pairs.
+    let mut additions: BTreeMap<ProcId, Vec<(VarId, ParamMode)>> = BTreeMap::new();
+    for info in &module.procs {
+        if info.id == MAIN_PROC {
+            continue;
+        }
+        let e = fx.of(info.id);
+        let mut vars: BTreeSet<VarId> = e.refs.union(&e.mods).copied().collect();
+        // Temps never need conversion (they are procedure-local).
+        vars.retain(|v| !matches!(module.var(*v).kind, gadt_pascal::sema::VarKind::Temp));
+        if vars.is_empty() {
+            continue;
+        }
+        let list: Vec<(VarId, ParamMode)> = vars
+            .into_iter()
+            .map(|v| {
+                let mode = match (e.refs.contains(&v), e.mods.contains(&v)) {
+                    (true, true) => ParamMode::Var,
+                    (true, false) => ParamMode::In,
+                    (false, true) => ParamMode::Out,
+                    (false, false) => unreachable!("v came from refs ∪ mods"),
+                };
+                (v, mode)
+            })
+            .collect();
+        additions.insert(info.id, list);
+    }
+    if additions.is_empty() {
+        return Ok((module.program.clone(), Mapping::default()));
+    }
+
+    // Alias escalation: an `in` (copy) addition that is also passed by
+    // reference in the same call would break aliasing → make it `var`.
+    let mut escalate: BTreeSet<(ProcId, VarId)> = BTreeSet::new();
+    for pcfg in &cfg.procs {
+        for (_, b) in pcfg.iter() {
+            for ins in &b.instrs {
+                if let InstrKind::Call { callee, args } = &ins.kind {
+                    if let Some(adds) = additions.get(callee) {
+                        for a in args {
+                            if let CallArg::Ref(place) = a {
+                                for (v, mode) in adds {
+                                    if *v == place.var && *mode == ParamMode::In {
+                                        escalate.insert((*callee, *v));
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    for (p, v) in &escalate {
+        if let Some(adds) = additions.get_mut(p) {
+            for (av, mode) in adds.iter_mut() {
+                if av == v {
+                    *mode = ParamMode::Var;
+                }
+            }
+        }
+    }
+
+    // Choose parameter names per (proc, var), mangling on collision with
+    // names already declared in that procedure.
+    let mut param_name: HashMap<(ProcId, VarId), String> = HashMap::new();
+    for (&p, adds) in &additions {
+        let decl = module.proc_decl(p).ok_or_else(|| {
+            Diagnostic::new(Stage::Sema, "main cannot take additions", Span::dummy())
+        })?;
+        let mut taken: BTreeSet<String> = BTreeSet::new();
+        for g in &decl.params {
+            for n in &g.names {
+                taken.insert(n.key());
+            }
+        }
+        for g in &decl.block.vars {
+            for n in &g.names {
+                taken.insert(n.key());
+            }
+        }
+        for c in &decl.block.consts {
+            taken.insert(c.name.key());
+        }
+        for t in &decl.block.types {
+            taken.insert(t.name.key());
+        }
+        for q in &decl.block.procs {
+            taken.insert(q.name.key());
+        }
+        for (v, _) in adds {
+            let base = module.var(*v).name.clone();
+            let name = if taken.contains(&base.to_ascii_lowercase()) {
+                format!("{base}_g{}", v.0)
+            } else {
+                base
+            };
+            taken.insert(name.to_ascii_lowercase());
+            param_name.insert((p, *v), name);
+        }
+    }
+
+    // The name by which `v` is reachable inside procedure `p` (for call
+    // arguments): its own name at the owner, otherwise p's added param.
+    let arg_name = |p: ProcId, v: VarId| -> String {
+        if module.var(v).owner == p {
+            module.var(v).name.clone()
+        } else {
+            param_name
+                .get(&(p, v))
+                .cloned()
+                .unwrap_or_else(|| module.var(v).name.clone())
+        }
+    };
+
+    // Rewrite the AST.
+    let mut program = module.program.clone();
+    let mut ids = IdGen {
+        next_expr: program.next_expr_id,
+    };
+    let mut mapping = Mapping::default();
+
+    // Record mapping entries.
+    let paths = proc_paths(module);
+    for (&p, adds) in &additions {
+        for (v, _mode) in adds {
+            mapping.add_param(
+                &paths[&p],
+                AddedParam {
+                    name: param_name[&(p, v.to_owned())].clone(),
+                    origin: ParamOrigin::Global(module.var(*v).name.clone()),
+                },
+            );
+        }
+    }
+
+    // Walk the program: extend parameter lists and call argument lists.
+    {
+        let cx = RewriteCx {
+            module,
+            additions: &additions,
+            param_name: &param_name,
+            arg_name: &arg_name,
+        };
+        let mut block = std::mem::take(&mut program.block);
+        rewrite_block(&cx, &mut block, MAIN_PROC, &mut ids);
+        program.block = block;
+    }
+    program.next_expr_id = ids.next_expr;
+
+    Ok((program, mapping))
+}
+
+/// Lowercase `/`-joined path for every procedure (`""` for main).
+pub fn proc_paths(module: &Module) -> HashMap<ProcId, String> {
+    let mut out = HashMap::new();
+    for info in &module.procs {
+        let mut parts = Vec::new();
+        let mut cur = Some(info.id);
+        while let Some(p) = cur {
+            let pi = module.proc(p);
+            if p != MAIN_PROC {
+                parts.push(pi.name.to_ascii_lowercase());
+            }
+            cur = pi.parent;
+        }
+        parts.reverse();
+        out.insert(info.id, parts.join("/"));
+    }
+    out
+}
+
+struct IdGen {
+    next_expr: u32,
+}
+
+impl IdGen {
+    fn expr(&mut self) -> ExprId {
+        let id = ExprId(self.next_expr);
+        self.next_expr += 1;
+        id
+    }
+}
+
+struct RewriteCx<'a> {
+    module: &'a Module,
+    additions: &'a BTreeMap<ProcId, Vec<(VarId, ParamMode)>>,
+    param_name: &'a HashMap<(ProcId, VarId), String>,
+    arg_name: &'a dyn Fn(ProcId, VarId) -> String,
+}
+
+fn type_to_expr(ty: &Type) -> TypeExpr {
+    match ty {
+        Type::Integer => TypeExpr::Named(Ident::synthetic("integer")),
+        Type::Real => TypeExpr::Named(Ident::synthetic("real")),
+        Type::Boolean => TypeExpr::Named(Ident::synthetic("boolean")),
+        Type::Char => TypeExpr::Named(Ident::synthetic("char")),
+        Type::String => TypeExpr::Named(Ident::synthetic("char")),
+        Type::Array { lo, hi, elem } => TypeExpr::Array {
+            lo: ArrayBound::Lit(*lo),
+            hi: ArrayBound::Lit(*hi),
+            elem: Box::new(type_to_expr(elem)),
+            span: Span::dummy(),
+        },
+    }
+}
+
+fn rewrite_block(cx: &RewriteCx<'_>, block: &mut Block, owner: ProcId, ids: &mut IdGen) {
+    // Nested procedure declarations first.
+    for decl in &mut block.procs {
+        let pid = cx
+            .module
+            .proc_by_path(owner, &decl.name.key())
+            .expect("declared proc resolvable");
+        if let Some(adds) = cx.additions.get(&pid) {
+            for (v, mode) in adds {
+                let name = cx.param_name[&(pid, *v)].clone();
+                decl.params.push(ParamGroup {
+                    mode: *mode,
+                    names: vec![Ident::synthetic(name)],
+                    ty: type_to_expr(&cx.module.var(*v).ty),
+                    span: Span::dummy(),
+                });
+            }
+        }
+        let mut inner = std::mem::take(&mut decl.block);
+        rewrite_block(cx, &mut inner, pid, ids);
+        decl.block = inner;
+    }
+    // Body statements.
+    for s in &mut block.body {
+        rewrite_stmt(cx, s, owner, ids);
+    }
+}
+
+fn rewrite_stmt(cx: &RewriteCx<'_>, s: &mut Stmt, owner: ProcId, ids: &mut IdGen) {
+    match &mut s.kind {
+        StmtKind::Call { args, .. } => {
+            for a in args.iter_mut() {
+                rewrite_expr(cx, a, owner, ids);
+            }
+            if let Some(callee) = cx.module.call_res.get(&s.id) {
+                extend_args(cx, *callee, args, owner, ids);
+            }
+        }
+        StmtKind::Assign { lhs, rhs } => {
+            if let Some(ix) = &mut lhs.index {
+                rewrite_expr(cx, ix, owner, ids);
+            }
+            rewrite_expr(cx, rhs, owner, ids);
+        }
+        StmtKind::Compound(stmts) => {
+            for st in stmts {
+                rewrite_stmt(cx, st, owner, ids);
+            }
+        }
+        StmtKind::If {
+            cond,
+            then_branch,
+            else_branch,
+        } => {
+            rewrite_expr(cx, cond, owner, ids);
+            rewrite_stmt(cx, then_branch, owner, ids);
+            if let Some(e) = else_branch {
+                rewrite_stmt(cx, e, owner, ids);
+            }
+        }
+        StmtKind::Case {
+            scrutinee,
+            arms,
+            else_arm,
+        } => {
+            rewrite_expr(cx, scrutinee, owner, ids);
+            for a in arms {
+                rewrite_stmt(cx, &mut a.stmt, owner, ids);
+            }
+            if let Some(e) = else_arm {
+                rewrite_stmt(cx, e, owner, ids);
+            }
+        }
+        StmtKind::While { cond, body } => {
+            rewrite_expr(cx, cond, owner, ids);
+            rewrite_stmt(cx, body, owner, ids);
+        }
+        StmtKind::Repeat { body, cond } => {
+            for st in body {
+                rewrite_stmt(cx, st, owner, ids);
+            }
+            rewrite_expr(cx, cond, owner, ids);
+        }
+        StmtKind::For { from, to, body, .. } => {
+            rewrite_expr(cx, from, owner, ids);
+            rewrite_expr(cx, to, owner, ids);
+            rewrite_stmt(cx, body, owner, ids);
+        }
+        StmtKind::Labeled { stmt, .. } => rewrite_stmt(cx, stmt, owner, ids),
+        StmtKind::Read { args, .. } => {
+            for lv in args {
+                if let Some(ix) = &mut lv.index {
+                    rewrite_expr(cx, ix, owner, ids);
+                }
+            }
+        }
+        StmtKind::Write { args, .. } => {
+            for a in args {
+                rewrite_expr(cx, a, owner, ids);
+            }
+        }
+        StmtKind::Empty | StmtKind::Goto(_) => {}
+    }
+}
+
+fn rewrite_expr(cx: &RewriteCx<'_>, e: &mut Expr, owner: ProcId, ids: &mut IdGen) {
+    match &mut e.kind {
+        ExprKind::Call { args, .. } => {
+            for a in args.iter_mut() {
+                rewrite_expr(cx, a, owner, ids);
+            }
+            if let Some(NameRes::Proc(callee)) = cx.module.res.get(&e.id) {
+                extend_args(cx, *callee, args, owner, ids);
+            }
+        }
+        ExprKind::Name(_) => {
+            // A zero-argument function call gets its additions too, which
+            // requires rewriting Name → Call.
+            if let Some(NameRes::Proc(callee)) = cx.module.res.get(&e.id) {
+                if cx.additions.contains_key(callee) {
+                    let name = match &e.kind {
+                        ExprKind::Name(n) => n.clone(),
+                        _ => unreachable!(),
+                    };
+                    let mut args = Vec::new();
+                    extend_args(cx, *callee, &mut args, owner, ids);
+                    e.kind = ExprKind::Call { name, args };
+                }
+            }
+        }
+        ExprKind::Index { index, .. } => rewrite_expr(cx, index, owner, ids),
+        ExprKind::Unary { operand, .. } => rewrite_expr(cx, operand, owner, ids),
+        ExprKind::Binary { lhs, rhs, .. } => {
+            rewrite_expr(cx, lhs, owner, ids);
+            rewrite_expr(cx, rhs, owner, ids);
+        }
+        _ => {}
+    }
+}
+
+fn extend_args(
+    cx: &RewriteCx<'_>,
+    callee: ProcId,
+    args: &mut Vec<Expr>,
+    owner: ProcId,
+    ids: &mut IdGen,
+) {
+    let Some(adds) = cx.additions.get(&callee) else {
+        return;
+    };
+    for (v, _mode) in adds {
+        let name = (cx.arg_name)(owner, *v);
+        args.push(Expr {
+            id: ids.expr(),
+            kind: ExprKind::Name(Ident::synthetic(name)),
+            span: Span::dummy(),
+        });
+    }
+}
+
+/// Extension used by the rewriter: resolve a directly-declared child
+/// procedure of `owner` by name.
+trait ProcByPath {
+    fn proc_by_path(&self, owner: ProcId, child_key: &str) -> Option<ProcId>;
+}
+
+impl ProcByPath for Module {
+    fn proc_by_path(&self, owner: ProcId, child_key: &str) -> Option<ProcId> {
+        self.procs
+            .iter()
+            .find(|p| p.parent == Some(owner) && p.name.to_ascii_lowercase() == child_key)
+            .map(|p| p.id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gadt_pascal::interp::Interpreter;
+    use gadt_pascal::pretty::print_program;
+    use gadt_pascal::sema::{analyze, compile};
+    use gadt_pascal::testprogs;
+    use gadt_pascal::value::Value;
+
+    fn transform(src: &str) -> (Module, Module, Mapping) {
+        let m = compile(src).expect("compile original");
+        let (program, mapping) = convert_globals(&m).expect("transform");
+        let printed = print_program(&program);
+        let tm = analyze(program)
+            .unwrap_or_else(|e| panic!("transformed program fails sema: {e}\n{printed}"));
+        (m, tm, mapping)
+    }
+
+    fn behaves_identically(src: &str, inputs: Vec<Vec<i64>>) {
+        let m = compile(src).expect("compile");
+        let (program, _) = convert_globals(&m).expect("transform");
+        let printed = print_program(&program);
+        let tm = analyze(program).unwrap_or_else(|e| panic!("{e}\n{printed}"));
+        for input in inputs {
+            let mut i1 = Interpreter::new(&m);
+            i1.set_input(input.iter().map(|&n| Value::Int(n)));
+            let o1 = i1.run().expect("original runs");
+            let mut i2 = Interpreter::new(&tm);
+            i2.set_input(input.iter().map(|&n| Value::Int(n)));
+            let o2 = i2.run().unwrap_or_else(|e| panic!("{e}\n{printed}"));
+            assert_eq!(o1.output_text(), o2.output_text(), "output for {input:?}");
+            assert_eq!(o1.globals, o2.globals, "globals for {input:?}");
+        }
+    }
+
+    #[test]
+    fn section6_example_matches_paper_target_form() {
+        let (_, tm, mapping) = transform(testprogs::SECTION6_GLOBALS);
+        let printed = print_program(&tm.program);
+        // procedure p(var y: integer; in x: integer; out z: integer)
+        assert!(
+            printed.contains("procedure p(var y: integer; in x: integer; out z: integer);"),
+            "{printed}"
+        );
+        // Call site passes the globals.
+        assert!(printed.contains("p(w, x, z)"), "{printed}");
+        let p_added = &mapping.added_params["p"];
+        assert_eq!(p_added.len(), 2);
+        assert_eq!(p_added[0].origin, ParamOrigin::Global("x".to_string()));
+        assert_eq!(p_added[1].origin, ParamOrigin::Global("z".to_string()));
+    }
+
+    #[test]
+    fn transformed_program_is_side_effect_free() {
+        for src in [
+            testprogs::SECTION6_GLOBALS,
+            "program t; var g: integer;
+             procedure inner; begin g := g + 1 end;
+             procedure outer; begin inner; inner end;
+             begin g := 0; outer; writeln(g) end.",
+        ] {
+            let (_, tm, _) = transform(src);
+            let cfg = lower(&tm);
+            let (_cg, fx) = gadt_analysis::effects::analyze(&tm, &cfg);
+            for p in &tm.procs {
+                if p.id == MAIN_PROC {
+                    continue;
+                }
+                assert!(
+                    !fx.has_global_side_effects(p.id),
+                    "{} still has side effects after transformation",
+                    p.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn semantics_preserved_on_section6() {
+        behaves_identically(testprogs::SECTION6_GLOBALS, vec![vec![]]);
+    }
+
+    #[test]
+    fn semantics_preserved_through_nesting() {
+        behaves_identically(
+            "program t; var g, h: integer;
+             procedure outer;
+             var x: integer;
+               procedure inner;
+               begin x := x + g; h := h + 1 end;
+             begin x := 0; inner; inner; g := x end;
+             begin g := 3; h := 0; outer; writeln(g, ' ', h) end.",
+            vec![vec![]],
+        );
+    }
+
+    #[test]
+    fn semantics_preserved_with_functions() {
+        behaves_identically(
+            "program t; var base: integer;
+             function scaled(k: integer): integer;
+             begin scaled := base * k end;
+             begin base := 7; writeln(scaled(6)) end.",
+            vec![vec![]],
+        );
+    }
+
+    #[test]
+    fn zero_arg_function_with_globals_becomes_call_with_args() {
+        let (_, tm, _) = transform(
+            "program t; var seed: integer; r: integer;
+             function next: integer;
+             begin seed := seed * 16807 mod 2147483647; next := seed end;
+             begin seed := 42; r := next; writeln(r) end.",
+        );
+        let printed = print_program(&tm.program);
+        assert!(printed.contains("next(seed)"), "{printed}");
+        behaves_identically(
+            "program t; var seed: integer; r: integer;
+             function next: integer;
+             begin seed := seed * 16807 mod 2147483647; next := seed end;
+             begin seed := 42; r := next; writeln(r) end.",
+            vec![vec![]],
+        );
+    }
+
+    #[test]
+    fn recursion_with_globals() {
+        behaves_identically(
+            "program t; var depth: integer;
+             procedure p(n: integer);
+             begin
+               depth := depth + 1;
+               if n > 0 then p(n - 1)
+             end;
+             begin depth := 0; p(5); writeln(depth) end.",
+            vec![vec![]],
+        );
+    }
+
+    #[test]
+    fn name_collision_gets_mangled() {
+        let (_, tm, _) = transform(
+            "program t; var g: integer;
+             procedure p;
+             var g: integer;
+               procedure q; begin end;
+             begin g := 1; q end;
+             procedure r; begin g := g * 2 end;
+             begin g := 5; p; r; writeln(g) end.",
+        );
+        // r references the global g → gets a param named g (no collision
+        // in r). p's local g shadows; p itself has no global access.
+        let printed = print_program(&tm.program);
+        assert!(
+            printed.contains("procedure r(var g: integer);"),
+            "{printed}"
+        );
+    }
+
+    #[test]
+    fn collision_inside_proc_with_same_named_local() {
+        // inner references global g; outer has a *local* named g that
+        // shadows it for outer's own body, but inner is declared before…
+        // Actually inner sees outer's local g. The global g is only
+        // touched by top, whose name collides with its own local.
+        let src = "program t; var g: integer;
+             procedure top(k: integer);
+             var v: integer;
+               procedure deep; begin g := g + k end;
+             begin v := k; deep end;
+             begin g := 1; top(4); writeln(g) end.";
+        behaves_identically(src, vec![vec![]]);
+        let (_, tm, _) = transform(src);
+        let printed = print_program(&tm.program);
+        // deep gets (var g, in k-equivalent)… k is top's param referenced
+        // non-locally by deep → deep takes it as in-param.
+        assert!(
+            printed.contains("procedure deep(var g: integer; in k: integer);"),
+            "{printed}"
+        );
+        assert!(printed.contains("deep(g, k)"), "{printed}");
+    }
+
+    #[test]
+    fn aliasing_escalates_in_to_var() {
+        let src = "program t; var g: integer;
+             procedure p(var y: integer);
+             begin y := y + 1; y := y + g end;
+             begin g := 10; p(g); writeln(g) end.";
+        behaves_identically(src, vec![vec![]]);
+        let (_, tm, _) = transform(src);
+        let printed = print_program(&tm.program);
+        // g is read-only inside p, but p(g) aliases it with y → var mode.
+        assert!(
+            printed.contains("procedure p(var y: integer; var g: integer);"),
+            "{printed}"
+        );
+    }
+
+    #[test]
+    fn programs_without_side_effects_are_untouched() {
+        let m = compile(testprogs::SQRTEST).unwrap();
+        let (program, mapping) = convert_globals(&m).unwrap();
+        assert_eq!(program, m.program);
+        assert!(mapping.added_params.is_empty());
+    }
+
+    #[test]
+    fn growth_factor_is_small() {
+        // §9: "Small procedures usually grow less than a factor of two
+        // after transformations."
+        let m = compile(testprogs::SECTION6_GLOBALS).unwrap();
+        let before = m.program.stmt_count();
+        let (program, _) = convert_globals(&m).unwrap();
+        let after = program.stmt_count();
+        assert!(after <= before * 2, "{before} → {after}");
+    }
+}

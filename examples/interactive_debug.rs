@@ -1,0 +1,38 @@
+//! Debug the paper's `sqrtest` program interactively: *you* are the
+//! oracle. Answer `yes`, `no`, `no K` (error on output variable K —
+//! activates slicing), or `skip`.
+//!
+//! Hint: the planted bug is in `decrement` (it computes `y + 1` instead
+//! of `y - 1`), so `decrement(In y: 3) = 4` deserves a `no`.
+//!
+//! ```sh
+//! cargo run --example interactive_debug
+//! ```
+
+use gadt::debugger::DebugConfig;
+use gadt::interactive::InteractiveOracle;
+use gadt::oracle::ChainOracle;
+use gadt::session::{debug, prepare, run_traced};
+use gadt_pascal::sema::compile;
+use gadt_pascal::testprogs;
+use std::io::{stdin, stdout};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let buggy = compile(testprogs::SQRTEST)?;
+    let prepared = prepare(&buggy)?;
+    let run = run_traced(&prepared, [])?;
+
+    println!("The program computes the square of the sum of [1,2] in two");
+    println!("ways and compares them; it printed isok = false, so there");
+    println!("is a bug. Answer the queries (yes / no / no K / skip):\n");
+
+    let outcome;
+    {
+        let mut oracle = ChainOracle::new();
+        oracle.push(InteractiveOracle::new(stdin().lock(), stdout()));
+        outcome = debug(&prepared, &run, &mut oracle, DebugConfig::default());
+    }
+
+    println!("\n{}", outcome.render_transcript());
+    Ok(())
+}

@@ -1,0 +1,113 @@
+//! The paper's complete worked example (§8): the full GADT system —
+//! algorithmic debugging + T-GEN test lookup + program slicing — on the
+//! Figure 4 `sqrtest` program with the planted bug in `decrement`.
+//!
+//! Prints the Figure 7 execution tree, the Figure 8 and Figure 9 pruned
+//! trees, and the interaction session, showing that the `arrsum` query is
+//! answered by the test database and never shown to the user.
+//!
+//! ```sh
+//! cargo run --example paper_session
+//! ```
+
+use gadt::debugger::{DebugConfig, DebugResult};
+use gadt::oracle::{ChainOracle, CountingOracle, ReferenceOracle};
+use gadt::session::{debug, prepare, run_traced};
+use gadt::testlookup::TestLookup;
+use gadt_analysis::slice_dynamic::dynamic_slice_output;
+use gadt_pascal::sema::compile;
+use gadt_pascal::testprogs;
+use gadt_tgen::{cases, frames, spec};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let buggy = compile(testprogs::SQRTEST)?;
+    let fixed = compile(testprogs::SQRTEST_FIXED)?;
+
+    // Phase I+II: transformation (a no-op for this program — it is
+    // already side-effect free at the procedure level) and tracing.
+    let prepared = prepare(&buggy)?;
+    let run = run_traced(&prepared, [])?;
+
+    println!("=== Figure 7: the execution tree ===\n");
+    println!("{}", run.tree.render(run.tree.root));
+
+    // Figures 8 and 9: the pruned trees the slicer produces.
+    let module = &prepared.transformed.module;
+    let computs = run
+        .trace
+        .calls
+        .iter()
+        .find(|c| module.proc(c.proc).name == "computs")
+        .expect("computs call");
+    let slice8 = dynamic_slice_output(module, &run.trace, computs.id, 0);
+    let computs_node = run.tree.find_call(module, "computs").expect("node");
+    let fig8 = run.tree.prune(computs_node, &slice8);
+    println!("=== Figure 8: sliced on computs' first output (r1) ===\n");
+    println!("{}", fig8.render(fig8.root));
+
+    let ps = run
+        .trace
+        .calls
+        .iter()
+        .find(|c| module.proc(c.proc).name == "partialsums")
+        .expect("partialsums call");
+    let slice9 = dynamic_slice_output(module, &run.trace, ps.id, 1);
+    let ps_node = run.tree.find_call(module, "partialsums").expect("node");
+    let fig9 = run.tree.prune(ps_node, &slice9);
+    println!("=== Figure 9: sliced on partialsums' second output (s2) ===\n");
+    println!("{}", fig9.render(fig9.root));
+
+    // §5.3.2: T-GEN spec for arrsum (Figure 1), frames, executable test
+    // cases, and the report database.
+    let s = spec::parse_spec(spec::ARRSUM_SPEC)?;
+    let g = frames::generate_frames(&s, Default::default());
+    println!("=== Figure 1's spec: generated frames and scripts ===\n");
+    for f in &g.frames {
+        println!("  frame {f}");
+    }
+    for (script, _) in &g.scripts {
+        let members: Vec<String> = g.script(script).iter().map(|f| f.to_string()).collect();
+        println!("  {script}: {}", members.join(" "));
+    }
+    println!();
+
+    let tc = cases::instantiate_cases(&g, |f| cases::arrsum_instantiator(f, 2));
+    let db = cases::run_cases(&buggy, "arrsum", &tc, &|ins, r| {
+        cases::arrsum_oracle(ins, r)
+    })?;
+    println!(
+        "Test report database for arrsum: {} report(s), all passing: {}\n",
+        db.len(),
+        db.iter().all(|(_, rs)| rs.iter().all(|r| r.passed))
+    );
+    let mut lookup = TestLookup::new();
+    lookup.register("arrsum", db, Box::new(cases::arrsum_frame_selector));
+
+    // Phase III: the GADT debugging session (§8 steps 1–5).
+    let mut oracle = ChainOracle::new();
+    oracle.push(lookup);
+    oracle.push(CountingOracle::new(ReferenceOracle::new(&fixed, [])?));
+    let outcome = debug(&prepared, &run, &mut oracle, DebugConfig::default());
+
+    println!("=== The §8 interaction session ===\n");
+    println!("{}", outcome.render_transcript());
+    println!(
+        "Slices taken: {} (the paper's steps 2 and 4)",
+        outcome.slices_taken
+    );
+    println!(
+        "Queries answered by the test database: {} (the arrsum query was \
+         never shown to the user)",
+        outcome.queries_from("test database")
+    );
+    println!(
+        "Queries answered by the (simulated) user: {}",
+        outcome.queries_from("reference")
+    );
+
+    assert!(matches!(
+        outcome.result,
+        DebugResult::BugLocalized { ref unit, .. } if unit == "decrement"
+    ));
+    Ok(())
+}

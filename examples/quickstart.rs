@@ -1,0 +1,71 @@
+//! Quickstart: compile a Pascal program, run it, inspect its execution
+//! tree, and localize a planted bug with the GADT debugger.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use gadt::debugger::{DebugConfig, DebugResult};
+use gadt::oracle::{ChainOracle, CountingOracle, ReferenceOracle};
+use gadt::session::{debug, prepare, run_traced};
+use gadt_pascal::sema::compile;
+
+const BUGGY: &str = "
+program demo;
+var total: integer;
+
+procedure square(x: integer; var r: integer);
+begin
+  r := x * x;
+end;
+
+procedure sumsquares(n: integer; var s: integer);
+var i, sq: integer;
+begin
+  s := 0;
+  for i := 1 to n do begin
+    square(i, sq);
+    s := s + sq + 1;  (* planted bug: should be s + sq *)
+  end;
+end;
+
+begin
+  sumsquares(4, total);
+  writeln(total);
+end.
+";
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Compile and run.
+    let buggy = compile(BUGGY)?;
+    let fixed_src = BUGGY.replace(
+        "s + sq + 1;  (* planted bug: should be s + sq *)",
+        "s + sq;",
+    );
+    let fixed = compile(&fixed_src)?;
+
+    let prepared = prepare(&buggy)?;
+    let run = run_traced(&prepared, [])?;
+    println!("Program output: {}", run.output.trim());
+    println!("(1² + 2² + 3² + 4² = 30, so 34 is wrong.)\n");
+
+    // 2. The execution tree (paper §5.2, Figure 7 style).
+    println!("Execution tree:");
+    println!("{}", run.tree.render(run.tree.root));
+
+    // 3. Algorithmic debugging. The fixed program simulates the user.
+    let mut oracle = ChainOracle::new();
+    oracle.push(CountingOracle::new(ReferenceOracle::new(&fixed, [])?));
+    let outcome = debug(&prepared, &run, &mut oracle, DebugConfig::default());
+
+    println!("Debugging session:");
+    println!("{}", outcome.render_transcript());
+
+    match &outcome.result {
+        DebugResult::BugLocalized { unit, rendering } => {
+            println!("=> bug inside `{unit}`, first seen as {rendering}");
+        }
+        DebugResult::NoBugFound => println!("=> no bug found"),
+    }
+    Ok(())
+}

@@ -1,0 +1,26 @@
+//! # gadt-repro
+//!
+//! Umbrella crate for the reproduction of *Generalized Algorithmic
+//! Debugging and Testing* (Fritzson, Gyimóthy, Kamkar, Shahmehri; PLDI
+//! 1991). Re-exports every subsystem:
+//!
+//! * [`pascal`] — Pascal-subset front end and interpreter;
+//! * [`analysis`] — flow analysis, static and dynamic slicing;
+//! * [`transform`] — the §6 side-effect-removing transformations;
+//! * [`trace`] — execution trees;
+//! * [`tgen`] — the T-GEN category-partition test generator;
+//! * [`debugging`] — oracles and the GADT debugger itself.
+//!
+//! See the crate-level docs of [`debugging`] (the `gadt` crate) for a
+//! quickstart, and the repository's `examples/` directory for runnable
+//! walkthroughs of the paper's figures.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use gadt as debugging;
+pub use gadt_analysis as analysis;
+pub use gadt_pascal as pascal;
+pub use gadt_tgen as tgen;
+pub use gadt_trace as trace;
+pub use gadt_transform as transform;

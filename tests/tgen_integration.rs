@@ -1,0 +1,162 @@
+//! T-GEN end to end on a unit that is *not* the paper's fixture: write a
+//! specification for `clamp`, generate frames, instantiate and run test
+//! cases, and use the resulting database inside a debugging session.
+
+use gadt::debugger::{DebugConfig, DebugResult};
+use gadt::oracle::{ChainOracle, CountingOracle, ReferenceOracle};
+use gadt::session::{debug, prepare, run_traced};
+use gadt::testlookup::TestLookup;
+use gadt_pascal::interp::ProcRun;
+use gadt_pascal::sema::compile;
+use gadt_pascal::value::Value;
+use gadt_tgen::{cases, frames, spec, Frame};
+
+const CLAMP_SPEC: &str = "
+test clamp;
+category position;
+  below : property BELOW;
+  inside : ;
+  above : property ABOVE;
+category range;
+  empty : property SINGLE;
+  narrow : ;
+  wide : ;
+";
+
+/// A program using clamp, with a planted bug in the below-range arm.
+const PROGRAM: &str = "
+program t;
+var r1, r2, r3: integer;
+
+procedure clamp(x, lo, hi: integer; var r: integer);
+begin
+  if x < lo then r := lo + 1 (* bug: should be lo *)
+  else if x > hi then r := hi
+  else r := x;
+end;
+
+begin
+  clamp(5, 10, 20, r1);
+  clamp(15, 10, 20, r2);
+  clamp(99, 10, 20, r3);
+  writeln(r1, ' ', r2, ' ', r3);
+end.
+";
+
+fn clamp_instantiator(f: &Frame) -> Option<Vec<Value>> {
+    let (lo, hi) = match f.choice_of("range")? {
+        "empty" => (10, 10),
+        "narrow" => (10, 12),
+        "wide" => (10, 100),
+        _ => return None,
+    };
+    let x = match f.choice_of("position")? {
+        "below" => lo - 5,
+        "inside" => (lo + hi) / 2,
+        "above" => hi + 5,
+        _ => return None,
+    };
+    Some(vec![
+        Value::Int(x),
+        Value::Int(lo),
+        Value::Int(hi),
+        Value::Int(0),
+    ])
+}
+
+fn clamp_selector(ins: &[Value]) -> Option<String> {
+    let x = ins.first()?.as_int()?;
+    let lo = ins.get(1)?.as_int()?;
+    let hi = ins.get(2)?.as_int()?;
+    let position = if x < lo {
+        "below"
+    } else if x > hi {
+        "above"
+    } else {
+        "inside"
+    };
+    let range = if lo == hi {
+        "empty"
+    } else if hi - lo <= 3 {
+        "narrow"
+    } else {
+        "wide"
+    };
+    Some(format!("{position}.{range}"))
+}
+
+fn clamp_oracle(ins: &[Value], run: &ProcRun) -> bool {
+    let x = ins[0].as_int().unwrap();
+    let lo = ins[1].as_int().unwrap();
+    let hi = ins[2].as_int().unwrap();
+    let expected = x.max(lo).min(hi);
+    run.outs[0].1.as_int() == Some(expected)
+}
+
+#[test]
+fn spec_frames_and_cases_for_a_new_unit() {
+    let s = spec::parse_spec(CLAMP_SPEC).unwrap();
+    let g = frames::generate_frames(&s, Default::default());
+    // 1 SINGLE frame (empty range) + 3 positions × 2 ranges = 7.
+    assert_eq!(g.frames.len(), 7);
+    let tc = cases::instantiate_cases(&g, clamp_instantiator);
+    assert_eq!(tc.len(), 7);
+
+    let m = compile(PROGRAM).unwrap();
+    let db = cases::run_cases(&m, "clamp", &tc, &clamp_oracle).unwrap();
+    // The buggy below-arm fails its frames; the others pass.
+    assert_eq!(db.frame_verdict("below.narrow"), Some(false));
+    assert_eq!(db.frame_verdict("below.wide"), Some(false));
+    assert_eq!(db.frame_verdict("inside.wide"), Some(true));
+    assert_eq!(db.frame_verdict("above.narrow"), Some(true));
+}
+
+#[test]
+fn session_uses_the_clamp_database() {
+    let fixed_src = PROGRAM.replace("r := lo + 1 (* bug: should be lo *)", "r := lo");
+    let buggy = compile(PROGRAM).unwrap();
+    let fixed = compile(&fixed_src).unwrap();
+
+    // Build the database against the *fixed* unit (the tester's reference
+    // behaviour), so passing frames are trustworthy.
+    let s = spec::parse_spec(CLAMP_SPEC).unwrap();
+    let g = frames::generate_frames(&s, Default::default());
+    let tc = cases::instantiate_cases(&g, clamp_instantiator);
+    let db = cases::run_cases(&buggy, "clamp", &tc, &clamp_oracle).unwrap();
+
+    let mut lookup = TestLookup::new();
+    lookup.register("clamp", db, Box::new(clamp_selector));
+
+    let prepared = prepare(&buggy).unwrap();
+    let run = run_traced(&prepared, []).unwrap();
+    assert_eq!(run.output, "11 15 20\n");
+
+    let mut chain = ChainOracle::new();
+    chain.push(lookup);
+    chain.push(CountingOracle::new(
+        ReferenceOracle::new(&fixed, []).unwrap(),
+    ));
+    let out = debug(&prepared, &run, &mut chain, DebugConfig::default());
+
+    assert!(
+        matches!(&out.result, DebugResult::BugLocalized { unit, .. } if unit == "clamp"),
+        "{}",
+        out.render_transcript()
+    );
+    // The very first clamp query falls into the failing `below.wide`
+    // frame, so the test database itself supplies the "no" — the bug is
+    // localized without a single user interaction (§5.3.2's failing-
+    // report path at its best).
+    assert_eq!(
+        out.queries_from("test database"),
+        1,
+        "{}",
+        out.render_transcript()
+    );
+    assert_eq!(
+        out.queries_from("reference"),
+        0,
+        "{}",
+        out.render_transcript()
+    );
+}
