@@ -1,0 +1,19 @@
+#!/usr/bin/env sh
+# Offline CI gate: formatting, lints, and the full test suite (which
+# includes tests/parallel_determinism.rs — the byte-identical
+# sequential-vs-parallel checks for every batch entry point).
+set -eu
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo test"
+cargo test --workspace -q
+
+echo "==> parallel determinism harness"
+cargo test -q --test parallel_determinism
+
+echo "ci: all green"

@@ -338,7 +338,7 @@ mod unreachable_tests {
         let cfg = lower(&m);
         // Must not panic or loop; control dependences stay well-formed.
         let cd = ControlDeps::compute(cfg.proc(MAIN_PROC));
-        for (_, deps) in &cd.stmt_deps {
+        for deps in cd.stmt_deps.values() {
             assert!(!deps.is_empty());
         }
         let _ = PostDom::compute(cfg.proc(MAIN_PROC));

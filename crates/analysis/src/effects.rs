@@ -347,10 +347,8 @@ fn call_effects(
     for (&param, a) in module.proc(callee).params.iter().zip(args) {
         match a {
             CallArg::Value(e) => {
-                if summary.param_reads.contains(&param) || true {
-                    // Value args are always evaluated; count their uses.
-                    e.collect_uses(&mut out.uses);
-                }
+                // Value args are always evaluated; count their uses.
+                e.collect_uses(&mut out.uses);
                 collect_expr_call_effects(module, fx, e, out);
             }
             CallArg::Ref(place) => {

@@ -1,0 +1,197 @@
+//! Multi-criterion dynamic slicing over one shared trace.
+//!
+//! A debugging session slices many times against the *same* recorded
+//! [`DynTrace`]: §8's session alone slices twice, and the interaction
+//! experiments (E8) slice once per candidate output. Each criterion is
+//! independent, so a batch can fan out across worker threads — and
+//! because debugger queries revisit criteria (the user asks about the
+//! same call output again after the tree is pruned), a memo cache keyed
+//! by `(call, output index)` amortizes repeated work to a map lookup.
+//!
+//! [`dynamic_slice_batch`] is the one-shot entry point;
+//! [`SliceCache`] is the session-lifetime form the debugger can hold.
+
+use crate::dyntrace::DynTrace;
+use crate::slice_dynamic::{dynamic_slice_output, DynSlice};
+use gadt_pascal::sema::Module;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// A thread-safe memo cache of dynamic slices over one trace, keyed by
+/// `(dynamic call id, output index)`.
+///
+/// Slices are stored behind [`Arc`], so a cache hit is a map lookup plus
+/// a reference-count bump — no recomputation, no deep clone. The cache
+/// is criterion-addressed, not trace-addressed: build one cache per
+/// recorded trace.
+#[derive(Debug, Default)]
+pub struct SliceCache {
+    slices: Mutex<HashMap<(u64, usize), Arc<DynSlice>>>,
+}
+
+impl SliceCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        SliceCache::default()
+    }
+
+    /// Returns the slice for `(call, out_index)`, computing and caching
+    /// it on first use.
+    pub fn get_or_compute(
+        &self,
+        module: &Module,
+        trace: &DynTrace,
+        call: u64,
+        out_index: usize,
+    ) -> Arc<DynSlice> {
+        if let Some(hit) = self
+            .slices
+            .lock()
+            .expect("slice cache poisoned")
+            .get(&(call, out_index))
+        {
+            return Arc::clone(hit);
+        }
+        // Compute outside the lock: slicing can be expensive, and two
+        // threads racing on the same criterion produce identical slices
+        // (slicing is pure), so the loser's insert is harmless.
+        let computed = Arc::new(dynamic_slice_output(module, trace, call, out_index));
+        let mut map = self.slices.lock().expect("slice cache poisoned");
+        Arc::clone(map.entry((call, out_index)).or_insert(computed))
+    }
+
+    /// Number of distinct criteria cached.
+    pub fn len(&self) -> usize {
+        self.slices.lock().expect("slice cache poisoned").len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Computes dynamic slices for many `(call, output index)` criteria
+/// concurrently over one shared trace, on `threads` workers (`0` = all
+/// cores).
+///
+/// Results come back in criterion order, each equal to what a direct
+/// [`dynamic_slice_output`] call computes (`tests/parallel_determinism.rs`
+/// asserts equality). Duplicate criteria are computed once via a shared
+/// [`SliceCache`], which is also returned so a debugger session can keep
+/// querying it.
+///
+/// # Examples
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// use gadt_pascal::{sema::compile, cfg::lower, testprogs};
+/// use gadt_analysis::dyntrace::record_trace;
+/// use gadt_analysis::slice_batch::dynamic_slice_batch;
+/// let m = compile(testprogs::SQRTEST)?;
+/// let cfg = lower(&m);
+/// let trace = record_trace(&m, &cfg, [])?;
+/// let criteria: Vec<(u64, usize)> = trace
+///     .calls
+///     .iter()
+///     .flat_map(|c| (0..c.outs.len()).map(move |k| (c.id, k)))
+///     .collect();
+/// let (slices, cache) = dynamic_slice_batch(&m, &trace, &criteria, 0);
+/// assert_eq!(slices.len(), criteria.len());
+/// assert_eq!(cache.len(), criteria.len());
+/// # Ok(())
+/// # }
+/// ```
+pub fn dynamic_slice_batch(
+    module: &Module,
+    trace: &DynTrace,
+    criteria: &[(u64, usize)],
+    threads: usize,
+) -> (Vec<Arc<DynSlice>>, SliceCache) {
+    let cache = SliceCache::new();
+    // Deduplicate first so each unique criterion is sliced exactly once,
+    // however the batch repeats itself.
+    let mut unique: Vec<(u64, usize)> = criteria.to_vec();
+    unique.sort_unstable();
+    unique.dedup();
+
+    let pool = gadt_exec::BatchExecutor::new(threads);
+    pool.run(unique, |_, (call, k)| {
+        cache.get_or_compute(module, trace, call, k);
+    });
+
+    let slices = criteria
+        .iter()
+        .map(|&(call, k)| cache.get_or_compute(module, trace, call, k))
+        .collect();
+    (slices, cache)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dyntrace::record_trace;
+    use gadt_pascal::cfg::lower;
+    use gadt_pascal::sema::compile;
+    use gadt_pascal::testprogs;
+
+    fn sqrtest_trace() -> (Module, DynTrace) {
+        let m = compile(testprogs::SQRTEST).unwrap();
+        let cfg = lower(&m);
+        let t = record_trace(&m, &cfg, []).unwrap();
+        (m, t)
+    }
+
+    fn all_criteria(t: &DynTrace) -> Vec<(u64, usize)> {
+        t.calls
+            .iter()
+            .flat_map(|c| (0..c.outs.len()).map(move |k| (c.id, k)))
+            .collect()
+    }
+
+    #[test]
+    fn batch_matches_per_criterion_slicing() {
+        let (m, t) = sqrtest_trace();
+        let criteria = all_criteria(&t);
+        assert!(criteria.len() >= 10, "sqrtest has many sliceable outputs");
+        for threads in [1, 2, 8] {
+            let (slices, _) = dynamic_slice_batch(&m, &t, &criteria, threads);
+            for (slice, &(call, k)) in slices.iter().zip(&criteria) {
+                let direct = dynamic_slice_output(&m, &t, call, k);
+                assert_eq!(**slice, direct, "threads={threads} call={call} out={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_criteria_share_one_computation() {
+        let (m, t) = sqrtest_trace();
+        let call = t.calls[1].id;
+        let criteria = vec![(call, 0); 16];
+        let (slices, cache) = dynamic_slice_batch(&m, &t, &criteria, 4);
+        assert_eq!(slices.len(), 16);
+        assert_eq!(cache.len(), 1);
+        for s in &slices[1..] {
+            assert!(Arc::ptr_eq(&slices[0], s), "duplicates must share the Arc");
+        }
+    }
+
+    #[test]
+    fn cache_hits_return_the_same_slice() {
+        let (m, t) = sqrtest_trace();
+        let cache = SliceCache::new();
+        assert!(cache.is_empty());
+        let call = t.calls[1].id;
+        let a = cache.get_or_compute(&m, &t, call, 0);
+        let b = cache.get_or_compute(&m, &t, call, 0);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn empty_batch() {
+        let (m, t) = sqrtest_trace();
+        let (slices, cache) = dynamic_slice_batch(&m, &t, &[], 4);
+        assert!(slices.is_empty());
+        assert!(cache.is_empty());
+    }
+}

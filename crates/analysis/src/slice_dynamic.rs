@@ -36,7 +36,7 @@ impl DynCriterion {
 }
 
 /// The result of dynamic slicing.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct DynSlice {
     /// Relevant event indices.
     pub events: BTreeSet<usize>,
@@ -166,9 +166,10 @@ pub fn dynamic_slice_output(
     };
     let info = module.var(*var);
     let seed = match info.kind {
-        gadt_pascal::sema::VarKind::Param { mode, .. }
-            if matches!(mode, ParamMode::Var | ParamMode::Out) =>
-        {
+        gadt_pascal::sema::VarKind::Param {
+            mode: ParamMode::Var | ParamMode::Out,
+            ..
+        } => {
             // Resolve the parameter's binding and find the last write to
             // that location inside the call's extent.
             rec.bindings

@@ -3,8 +3,8 @@
 //! with the number of executed steps (§9: "the size of the execution tree
 //! … is strongly application dependent").
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gadt_analysis::dyntrace::record_trace;
+use gadt_bench::timing::Harness;
 use gadt_pascal::cfg::lower;
 use gadt_pascal::interp::Interpreter;
 use gadt_pascal::sema::compile;
@@ -24,62 +24,34 @@ begin
   writeln(s);
 end.";
 
-fn bench_plain_run(c: &mut Criterion) {
-    let m = compile(SCALED).unwrap();
-    let mut group = c.benchmark_group("interp/plain_run");
-    for n in [10i64, 100, 1000] {
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            b.iter(|| {
-                let mut i = Interpreter::new(&m);
-                i.push_input(Value::Int(n));
-                std::hint::black_box(i.run().unwrap())
-            })
-        });
-    }
-    group.finish();
-}
-
-fn bench_traced_run(c: &mut Criterion) {
+fn main() {
+    let h = Harness::new();
     let m = compile(SCALED).unwrap();
     let cfg = lower(&m);
-    let mut group = c.benchmark_group("trace/record_trace");
+
     for n in [10i64, 100, 1000] {
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            b.iter(|| std::hint::black_box(record_trace(&m, &cfg, [Value::Int(n)]).unwrap()))
+        h.bench(&format!("interp/plain_run/{n}"), || {
+            let mut i = Interpreter::new(&m);
+            i.push_input(Value::Int(n));
+            i.run().unwrap()
         });
     }
-    group.finish();
-}
 
-fn bench_tree_build(c: &mut Criterion) {
-    let m = compile(SCALED).unwrap();
-    let cfg = lower(&m);
-    let mut group = c.benchmark_group("trace/build_tree");
+    for n in [10i64, 100, 1000] {
+        h.bench(&format!("trace/record_trace/{n}"), || {
+            record_trace(&m, &cfg, [Value::Int(n)]).unwrap()
+        });
+    }
+
     for n in [10i64, 100, 1000] {
         let trace = record_trace(&m, &cfg, [Value::Int(n)]).unwrap();
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| std::hint::black_box(build_tree(&m, &trace)))
-        });
+        h.bench(&format!("trace/build_tree/{n}"), || build_tree(&m, &trace));
     }
-    group.finish();
-}
 
-fn bench_sqrtest_tree(c: &mut Criterion) {
     let m = compile(testprogs::SQRTEST).unwrap();
     let cfg = lower(&m);
-    c.bench_function("trace/figure7_tree", |b| {
-        b.iter(|| {
-            let trace = record_trace(&m, &cfg, []).unwrap();
-            std::hint::black_box(build_tree(&m, &trace))
-        })
+    h.bench("trace/figure7_tree", || {
+        let trace = record_trace(&m, &cfg, []).unwrap();
+        build_tree(&m, &trace)
     });
 }
-
-criterion_group!(
-    benches,
-    bench_plain_run,
-    bench_traced_run,
-    bench_tree_build,
-    bench_sqrtest_tree
-);
-criterion_main!(benches);

@@ -2,79 +2,74 @@
 //! the paper's §8 session end-to-end and the per-method cost on generated
 //! programs.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gadt::debugger::DebugConfig;
 use gadt::oracle::{ChainOracle, CountingOracle, ReferenceOracle};
 use gadt::session::{debug, prepare, run_traced};
 use gadt::testlookup::TestLookup;
 use gadt_bench::genprog::{generate, mutate, GenConfig};
 use gadt_bench::measure::{measure_session, MethodConfig};
+use gadt_bench::timing::Harness;
 use gadt_pascal::sema::compile;
 use gadt_pascal::testprogs;
 use gadt_tgen::{cases, frames, spec};
 
-fn bench_paper_session(c: &mut Criterion) {
+fn main() {
+    let h = Harness::new();
+
     let buggy = compile(testprogs::SQRTEST).unwrap();
     let fixed = compile(testprogs::SQRTEST_FIXED).unwrap();
-    c.bench_function("session/section8_full_gadt", |b| {
-        b.iter(|| {
-            let prepared = prepare(&buggy).unwrap();
-            let run = run_traced(&prepared, []).unwrap();
-            let s = spec::parse_spec(spec::ARRSUM_SPEC).unwrap();
-            let g = frames::generate_frames(&s, Default::default());
-            let tc = cases::instantiate_cases(&g, |f| cases::arrsum_instantiator(f, 2));
-            let db = cases::run_cases(&buggy, "arrsum", &tc, &|ins, r| {
-                cases::arrsum_oracle(ins, r)
-            })
-            .unwrap();
-            let mut lookup = TestLookup::new();
-            lookup.register("arrsum", db, Box::new(cases::arrsum_frame_selector));
-            let mut chain = ChainOracle::new();
-            chain.push(lookup);
-            chain.push(CountingOracle::new(
-                ReferenceOracle::new(&fixed, []).unwrap(),
-            ));
-            std::hint::black_box(debug(&prepared, &run, &mut chain, DebugConfig::default()))
+    h.bench("session/section8_full_gadt", || {
+        let prepared = prepare(&buggy).unwrap();
+        let run = run_traced(&prepared, []).unwrap();
+        let s = spec::parse_spec(spec::ARRSUM_SPEC).unwrap();
+        let g = frames::generate_frames(&s, Default::default());
+        let tc = cases::instantiate_cases(&g, |f| cases::arrsum_instantiator(f, 2));
+        let db = cases::run_cases(&buggy, "arrsum", &tc, &|ins, r| {
+            cases::arrsum_oracle(ins, r)
         })
+        .unwrap();
+        let mut lookup = TestLookup::new();
+        lookup.register("arrsum", db, Box::new(cases::arrsum_frame_selector));
+        let mut chain = ChainOracle::new();
+        chain.push(lookup);
+        chain.push(CountingOracle::new(
+            ReferenceOracle::new(&fixed, []).unwrap(),
+        ));
+        debug(&prepared, &run, &mut chain, DebugConfig::default())
     });
-}
 
-fn bench_methods_on_generated(c: &mut Criterion) {
-    let gp = generate(&GenConfig {
-        procs: 10,
-        max_calls: 2,
-        seed: 3,
-    });
-    let mutation = mutate(&gp, 3).expect("mutable");
+    // Pick the first seed with a viable (compiling, mutable) program.
+    let (gp, mutation) = (0..50u64)
+        .find_map(|seed| {
+            let gp = generate(&GenConfig {
+                procs: 10,
+                max_calls: 2,
+                seed,
+            });
+            let m = mutate(&gp, seed)?;
+            (compile(&gp.source).is_ok() && compile(&m.source).is_ok()).then_some((gp, m))
+        })
+        .expect("a mutable generated program");
     let fixed = compile(&gp.source).unwrap();
     let buggy = compile(&mutation.source).unwrap();
-    let mut group = c.benchmark_group("session/methods");
     for (name, slicing, coverage) in [
         ("pure_ad", false, 0.0),
         ("ad_slicing", true, 0.0),
         ("gadt", true, 0.9),
     ] {
-        group.bench_with_input(BenchmarkId::from_parameter(name), &name, |b, _| {
-            b.iter(|| {
-                std::hint::black_box(
-                    measure_session(
-                        &buggy,
-                        &fixed,
-                        &mutation.in_proc,
-                        MethodConfig {
-                            slicing,
-                            test_coverage: coverage,
-                            strategy: Default::default(),
-                        },
-                        3,
-                    )
-                    .unwrap(),
-                )
-            })
+        h.bench(&format!("session/methods/{name}"), || {
+            measure_session(
+                &buggy,
+                &fixed,
+                &mutation.in_proc,
+                MethodConfig {
+                    slicing,
+                    test_coverage: coverage,
+                    strategy: Default::default(),
+                },
+                3,
+            )
+            .unwrap()
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_paper_session, bench_methods_on_generated);
-criterion_main!(benches);

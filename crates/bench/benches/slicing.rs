@@ -2,29 +2,26 @@
 //! E10): how fast the slicers compute the paper's Figure 2/8/9 slices and
 //! how slicing cost scales with program size.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gadt_analysis::dyntrace::record_trace;
 use gadt_analysis::slice_dynamic::dynamic_slice_output;
 use gadt_analysis::slice_static::{static_slice, SliceContext, SliceCriterion};
 use gadt_bench::genprog::{generate, GenConfig};
+use gadt_bench::timing::Harness;
 use gadt_pascal::cfg::lower;
 use gadt_pascal::sema::compile;
 use gadt_pascal::testprogs;
 
-fn bench_static_figure2(c: &mut Criterion) {
+fn main() {
+    let h = Harness::new();
+
     let m = compile(testprogs::FIGURE2).unwrap();
     let cfg = lower(&m);
-    c.bench_function("static_slice/figure2_mul", |b| {
-        b.iter(|| {
-            let cx = SliceContext::new(&m, &cfg);
-            let crit = SliceCriterion::at_program_end(&m, "mul").unwrap();
-            std::hint::black_box(static_slice(&cx, &crit))
-        })
+    h.bench("static_slice/figure2_mul", || {
+        let cx = SliceContext::new(&m, &cfg);
+        let crit = SliceCriterion::at_program_end(&m, "mul").unwrap();
+        static_slice(&cx, &crit)
     });
-}
 
-fn bench_static_scaling(c: &mut Criterion) {
-    let mut group = c.benchmark_group("static_slice/generated");
     for procs in [5usize, 10, 20, 40] {
         let gp = generate(&GenConfig {
             procs,
@@ -33,18 +30,13 @@ fn bench_static_scaling(c: &mut Criterion) {
         });
         let m = compile(&gp.source).unwrap();
         let cfg = lower(&m);
-        group.bench_with_input(BenchmarkId::from_parameter(procs), &procs, |b, _| {
-            b.iter(|| {
-                let cx = SliceContext::new(&m, &cfg);
-                let crit = SliceCriterion::at_program_end(&m, "r1").unwrap();
-                std::hint::black_box(static_slice(&cx, &crit))
-            })
+        h.bench(&format!("static_slice/generated/{procs}"), || {
+            let cx = SliceContext::new(&m, &cfg);
+            let crit = SliceCriterion::at_program_end(&m, "r1").unwrap();
+            static_slice(&cx, &crit)
         });
     }
-    group.finish();
-}
 
-fn bench_dynamic_sqrtest(c: &mut Criterion) {
     let m = compile(testprogs::SQRTEST).unwrap();
     let cfg = lower(&m);
     let trace = record_trace(&m, &cfg, []).unwrap();
@@ -54,8 +46,8 @@ fn bench_dynamic_sqrtest(c: &mut Criterion) {
         .find(|cl| m.proc(cl.proc).name == "computs")
         .unwrap()
         .id;
-    c.bench_function("dynamic_slice/figure8_computs_r1", |b| {
-        b.iter(|| std::hint::black_box(dynamic_slice_output(&m, &trace, computs, 0)))
+    h.bench("dynamic_slice/figure8_computs_r1", || {
+        dynamic_slice_output(&m, &trace, computs, 0)
     });
     let ps = trace
         .calls
@@ -63,13 +55,10 @@ fn bench_dynamic_sqrtest(c: &mut Criterion) {
         .find(|cl| m.proc(cl.proc).name == "partialsums")
         .unwrap()
         .id;
-    c.bench_function("dynamic_slice/figure9_partialsums_s2", |b| {
-        b.iter(|| std::hint::black_box(dynamic_slice_output(&m, &trace, ps, 1)))
+    h.bench("dynamic_slice/figure9_partialsums_s2", || {
+        dynamic_slice_output(&m, &trace, ps, 1)
     });
-}
 
-fn bench_dynamic_scaling(c: &mut Criterion) {
-    let mut group = c.benchmark_group("dynamic_slice/generated");
     for procs in [5usize, 10, 20] {
         let gp = generate(&GenConfig {
             procs,
@@ -80,18 +69,8 @@ fn bench_dynamic_scaling(c: &mut Criterion) {
         let cfg = lower(&m);
         let trace = record_trace(&m, &cfg, []).unwrap();
         let top = trace.calls[1].id;
-        group.bench_with_input(BenchmarkId::from_parameter(procs), &procs, |b, _| {
-            b.iter(|| std::hint::black_box(dynamic_slice_output(&m, &trace, top, 0)))
+        h.bench(&format!("dynamic_slice/generated/{procs}"), || {
+            dynamic_slice_output(&m, &trace, top, 0)
         });
     }
-    group.finish();
 }
-
-criterion_group!(
-    benches,
-    bench_static_figure2,
-    bench_static_scaling,
-    bench_dynamic_sqrtest,
-    bench_dynamic_scaling
-);
-criterion_main!(benches);

@@ -1,24 +1,11 @@
 //! Benchmarks for T-GEN (experiment E1): spec parsing, frame generation
 //! (Figure 1 and synthetic larger specs), and test-case execution.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gadt_bench::timing::Harness;
 use gadt_pascal::sema::compile;
 use gadt_pascal::testprogs;
 use gadt_tgen::{cases, frames, spec};
 use std::fmt::Write as _;
-
-fn bench_parse_spec(c: &mut Criterion) {
-    c.bench_function("tgen/parse_figure1", |b| {
-        b.iter(|| std::hint::black_box(spec::parse_spec(spec::ARRSUM_SPEC).unwrap()))
-    });
-}
-
-fn bench_generate_figure1(c: &mut Criterion) {
-    let s = spec::parse_spec(spec::ARRSUM_SPEC).unwrap();
-    c.bench_function("tgen/frames_figure1", |b| {
-        b.iter(|| std::hint::black_box(frames::generate_frames(&s, Default::default())))
-    });
-}
 
 /// Synthetic spec with `cats` categories × `chs` choices each.
 fn synthetic_spec(cats: usize, chs: usize) -> String {
@@ -32,39 +19,30 @@ fn synthetic_spec(cats: usize, chs: usize) -> String {
     src
 }
 
-fn bench_generate_synthetic(c: &mut Criterion) {
-    let mut group = c.benchmark_group("tgen/frames_synthetic");
+fn main() {
+    let h = Harness::new();
+
+    h.bench("tgen/parse_figure1", || {
+        spec::parse_spec(spec::ARRSUM_SPEC).unwrap()
+    });
+
+    let s = spec::parse_spec(spec::ARRSUM_SPEC).unwrap();
+    h.bench("tgen/frames_figure1", || {
+        frames::generate_frames(&s, Default::default())
+    });
+
     for (cats, chs) in [(3usize, 3usize), (4, 4), (5, 4)] {
         let s = spec::parse_spec(&synthetic_spec(cats, chs)).unwrap();
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("{cats}x{chs}")),
-            &(cats, chs),
-            |b, _| b.iter(|| std::hint::black_box(frames::generate_frames(&s, Default::default()))),
-        );
+        h.bench(&format!("tgen/frames_synthetic/{cats}x{chs}"), || {
+            frames::generate_frames(&s, Default::default())
+        });
     }
-    group.finish();
-}
 
-fn bench_run_cases(c: &mut Criterion) {
     let m = compile(testprogs::SQRTEST).unwrap();
     let s = spec::parse_spec(spec::ARRSUM_SPEC).unwrap();
     let g = frames::generate_frames(&s, Default::default());
     let tc = cases::instantiate_cases(&g, |f| cases::arrsum_instantiator(f, 2));
-    c.bench_function("tgen/run_cases_arrsum", |b| {
-        b.iter(|| {
-            std::hint::black_box(
-                cases::run_cases(&m, "arrsum", &tc, &|ins, r| cases::arrsum_oracle(ins, r))
-                    .unwrap(),
-            )
-        })
+    h.bench("tgen/run_cases_arrsum", || {
+        cases::run_cases(&m, "arrsum", &tc, &|ins, r| cases::arrsum_oracle(ins, r)).unwrap()
     });
 }
-
-criterion_group!(
-    benches,
-    bench_parse_spec,
-    bench_generate_figure1,
-    bench_generate_synthetic,
-    bench_run_cases
-);
-criterion_main!(benches);

@@ -2,28 +2,25 @@
 //! full §6 pipeline on the paper's examples and generated programs, plus
 //! the side-effect analysis feeding it.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gadt_analysis::callgraph::CallGraph;
 use gadt_analysis::effects::Effects;
 use gadt_bench::genprog::{generate, GenConfig};
+use gadt_bench::timing::Harness;
 use gadt_pascal::cfg::lower;
 use gadt_pascal::sema::compile;
 use gadt_pascal::testprogs;
 use gadt_transform::transform;
 
-fn bench_effects(c: &mut Criterion) {
+fn main() {
+    let h = Harness::new();
+
     let m = compile(testprogs::SQRTEST).unwrap();
     let cfg = lower(&m);
-    c.bench_function("analysis/effects_sqrtest", |b| {
-        b.iter(|| {
-            let cg = CallGraph::build(&m, &cfg);
-            std::hint::black_box(Effects::compute(&m, &cfg, &cg))
-        })
+    h.bench("analysis/effects_sqrtest", || {
+        let cg = CallGraph::build(&m, &cfg);
+        Effects::compute(&m, &cfg, &cg)
     });
-}
 
-fn bench_transform_fixtures(c: &mut Criterion) {
-    let mut group = c.benchmark_group("transform/fixtures");
     for (name, src) in [
         ("globals", testprogs::SECTION6_GLOBALS),
         ("goto", testprogs::SECTION6_GOTO),
@@ -31,15 +28,11 @@ fn bench_transform_fixtures(c: &mut Criterion) {
         ("sqrtest", testprogs::SQRTEST),
     ] {
         let m = compile(src).unwrap();
-        group.bench_with_input(BenchmarkId::from_parameter(name), &name, |b, _| {
-            b.iter(|| std::hint::black_box(transform(&m).unwrap()))
+        h.bench(&format!("transform/fixtures/{name}"), || {
+            transform(&m).unwrap()
         });
     }
-    group.finish();
-}
 
-fn bench_transform_scaling(c: &mut Criterion) {
-    let mut group = c.benchmark_group("transform/generated");
     for procs in [5usize, 10, 20] {
         let gp = generate(&GenConfig {
             procs,
@@ -47,17 +40,8 @@ fn bench_transform_scaling(c: &mut Criterion) {
             seed: 1,
         });
         let m = compile(&gp.source).unwrap();
-        group.bench_with_input(BenchmarkId::from_parameter(procs), &procs, |b, _| {
-            b.iter(|| std::hint::black_box(transform(&m).unwrap()))
+        h.bench(&format!("transform/generated/{procs}"), || {
+            transform(&m).unwrap()
         });
     }
-    group.finish();
 }
-
-criterion_group!(
-    benches,
-    bench_effects,
-    bench_transform_fixtures,
-    bench_transform_scaling
-);
-criterion_main!(benches);

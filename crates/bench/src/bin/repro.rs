@@ -78,7 +78,7 @@ fn e1() {
     for f in &g.frames {
         println!("  {f}");
     }
-    for (name, _) in &g.scripts {
+    for name in g.scripts.keys() {
         let members: Vec<String> = g.script(name).iter().map(|f| f.to_string()).collect();
         println!("{name}: {}", members.join(" "));
     }

@@ -12,9 +12,58 @@
 //! procedure (the classic mutation operators), yielding a buggy/reference
 //! program pair for the simulated-user oracle.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::fmt::Write as _;
+
+/// A small deterministic linear congruential generator.
+///
+/// The workload generators below need nothing more than reproducible
+/// streams of small integers, and the offline build environment has no
+/// registry access for an external `rand` crate — so this is the whole
+/// RNG: one Knuth-constant LCG step per draw, with an xorshift-multiply
+/// finalizer so low bits are usable.
+#[derive(Debug, Clone)]
+pub struct Lcg(u64);
+
+impl Lcg {
+    /// Creates a generator from a seed. Equal seeds yield equal streams.
+    pub fn new(seed: u64) -> Self {
+        // Pre-mix so small consecutive seeds diverge immediately.
+        Lcg(seed
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add(0x1531_7acf))
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1_442_695_040_888_963_407);
+        let mut x = self.0;
+        x ^= x >> 33;
+        x = x.wrapping_mul(0xff51_afd7_ed55_8ccd);
+        x ^ (x >> 33)
+    }
+
+    /// A uniform draw from the half-open range `lo..hi` (requires
+    /// `lo < hi`).
+    pub fn range_i64(&mut self, lo: i64, hi: i64) -> i64 {
+        debug_assert!(lo < hi);
+        let span = (hi - lo) as u64;
+        lo + (self.next_u64() % span) as i64
+    }
+
+    /// A uniform draw from the half-open range `lo..hi` (requires
+    /// `lo < hi`).
+    pub fn range_usize(&mut self, lo: usize, hi: usize) -> usize {
+        debug_assert!(lo < hi);
+        lo + (self.next_u64() as usize) % (hi - lo)
+    }
+
+    /// A fair coin flip.
+    pub fn coin(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+}
 
 /// Parameters of a generated program.
 #[derive(Debug, Clone, Copy)]
@@ -54,7 +103,7 @@ pub struct GeneratedProgram {
 /// can drop the other chain's calls). Procedure `pK` may call `pJ` with
 /// `J < K`; `main` calls the top procedure and prints both outputs.
 pub fn generate(cfg: &GenConfig) -> GeneratedProgram {
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut rng = Lcg::new(cfg.seed);
     let n = cfg.procs.max(1);
     let mut src = String::new();
     let _ = writeln!(src, "program gen{};", cfg.seed);
@@ -71,25 +120,25 @@ pub fn generate(cfg: &GenConfig) -> GeneratedProgram {
         // Chain 1 computes o1 from a; chain 2 computes o2 from b.
         for (inp, tv, uv, out) in [("a", "t1", "u1", "o1"), ("b", "t2", "u2", "o2")] {
             // Seed the chain with a simple expression.
-            let c1 = rng.gen_range(1..5);
-            let c2 = rng.gen_range(1..4);
-            let op = ["+", "-", "*"][rng.gen_range(0..3)];
+            let c1 = rng.range_i64(1, 5);
+            let c2 = rng.range_i64(1, 4);
+            let op = ["+", "-", "*"][rng.range_usize(0, 3)];
             let _ = writeln!(src, "  {tv} := ({inp} {op} {c1}) * {c2} + 1;");
             // Route through a callee most of the time (deep trees make
             // the debugging-method comparison meaningful). Callees are
             // biased toward the next-lower procedure so call chains are
             // long rather than flat.
-            let makes_call = k > 1 && cfg.max_calls > 0 && rng.gen_range(0..10) < 7;
+            let makes_call = k > 1 && cfg.max_calls > 0 && rng.range_i64(0, 10) < 7;
             if makes_call {
-                let back = 1 + rng.gen_range(0..2.min(k - 1));
+                let back = 1 + rng.range_usize(0, 2.min(k - 1));
                 let callee = k - back;
                 let _ = writeln!(src, "  p{callee}({tv}, {tv} + {c2}, {uv}, {out});");
                 let _ = writeln!(src, "  {out} := {out} + {uv} mod 7;");
             } else {
                 // Leaf computation: vary the shape so slicing and control
                 // dependence get exercised (plain, branchy, or case).
-                let c3 = rng.gen_range(2..6);
-                match rng.gen_range(0..3) {
+                let c3 = rng.range_i64(2, 6);
+                match rng.range_i64(0, 3) {
                     0 => {
                         let _ = writeln!(src, "  {uv} := {tv} mod {c3} + {tv} div {c3};");
                         let _ = writeln!(src, "  {out} := {tv} + {uv};");
@@ -116,8 +165,8 @@ pub fn generate(cfg: &GenConfig) -> GeneratedProgram {
         proc_names.push(name);
     }
 
-    let a0 = rng.gen_range(1..20);
-    let b0 = rng.gen_range(1..20);
+    let a0 = rng.range_i64(1, 20);
+    let b0 = rng.range_i64(1, 20);
     let _ = writeln!(src, "begin");
     let _ = writeln!(src, "  p{n}({a0}, {b0}, r1, r2);");
     let _ = writeln!(src, "  writeln(r1, ' ', r2);");
@@ -141,7 +190,7 @@ pub struct Mutation {
 /// Plants one bug by mutating an arithmetic constant or operator inside
 /// one generated procedure. Returns `None` if no mutable site exists.
 pub fn mutate(prog: &GeneratedProgram, seed: u64) -> Option<Mutation> {
-    let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9e37_79b9).wrapping_add(17));
+    let mut rng = Lcg::new(seed.wrapping_mul(0x9e37_79b9).wrapping_add(17));
     // Find the body line ranges of each procedure.
     let lines: Vec<&str> = prog.source.lines().collect();
     let mut sites: Vec<(usize, String)> = Vec::new(); // (line idx, proc)
@@ -165,7 +214,7 @@ pub fn mutate(prog: &GeneratedProgram, seed: u64) -> Option<Mutation> {
     if sites.is_empty() {
         return None;
     }
-    let (line_idx, in_proc) = sites[rng.gen_range(0..sites.len())].clone();
+    let (line_idx, in_proc) = sites[rng.range_usize(0, sites.len())].clone();
     let line = lines[line_idx];
     // Mutation: flip the first `+` to `-` (or `-`→`+`, `*`→`+`).
     let mutated = if let Some(pos) = line.rfind("+ 1;") {
@@ -192,15 +241,15 @@ pub fn mutate(prog: &GeneratedProgram, seed: u64) -> Option<Mutation> {
 /// `while` loop with a goto out of it, and (optionally) a non-local goto
 /// from a nested procedure — the §6 constructs, combined randomly.
 pub fn generate_effectful(cfg: &GenConfig) -> GeneratedProgram {
-    let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(0xeffec7));
+    let mut rng = Lcg::new(cfg.seed.wrapping_add(0xeffec7));
     let mut src = String::new();
     let _ = writeln!(src, "program fx{};", cfg.seed);
     let _ = writeln!(src, "var g1, g2: integer;");
 
-    let use_nonlocal_goto = rng.gen_bool(0.5);
-    let use_loop_goto = rng.gen_bool(0.5);
-    let c1 = rng.gen_range(1..7);
-    let c2 = rng.gen_range(1..5);
+    let use_nonlocal_goto = rng.coin();
+    let use_loop_goto = rng.coin();
+    let c1 = rng.range_i64(1, 7);
+    let c2 = rng.range_i64(1, 5);
 
     let _ = writeln!(src, "procedure outer(n: integer);");
     if use_nonlocal_goto {
@@ -239,7 +288,7 @@ pub fn generate_effectful(cfg: &GenConfig) -> GeneratedProgram {
     // A loop-exit goto in main when requested.
     let _ = writeln!(src, "begin");
     let _ = writeln!(src, "  g1 := 0; g2 := 1;");
-    let _ = writeln!(src, "  outer({});", rng.gen_range(1..6));
+    let _ = writeln!(src, "  outer({});", rng.range_i64(1, 6));
     let _ = writeln!(src, "  writeln(g1, ' ', g2);");
     let _ = writeln!(src, "end.");
 

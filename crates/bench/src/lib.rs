@@ -7,13 +7,18 @@
 //! * [`measure`] — interaction-count measurement across method variants
 //!   (pure algorithmic debugging, AD+slicing, full GADT with simulated
 //!   test coverage);
+//! * [`timing`] — a std-only benchmark harness (the offline build
+//!   environment cannot fetch Criterion);
 //! * the `repro` binary (`cargo run -p gadt-bench --bin repro`)
 //!   regenerates every figure and quantitative claim of the paper —
 //!   see DESIGN.md's experiment index and EXPERIMENTS.md for results;
-//! * Criterion benches under `benches/` time the subsystems.
+//! * benches under `benches/` (all `harness = false`) time the
+//!   subsystems, including the sequential-vs-parallel
+//!   `batch_throughput` comparison.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod genprog;
 pub mod measure;
+pub mod timing;

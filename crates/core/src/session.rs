@@ -1,10 +1,13 @@
 //! The full GADT pipeline (§5, Figure 3): transformation → tracing →
 //! debugging with assertions, test-case lookup, slicing, and a final
-//! user-level oracle.
+//! user-level oracle. Batch entry points ([`run_traced_batch`],
+//! [`trace_inputs`]) trace many inputs in parallel and expose per-phase
+//! wall-clock timings through [`PhaseTimings`].
 
 use crate::debugger::{DebugConfig, DebugOutcome, Debugger};
 use crate::oracle::ChainOracle;
 use gadt_analysis::dyntrace::{DependenceRecorder, DynTrace};
+use gadt_exec::{BatchExecutor, Stopwatch};
 use gadt_pascal::cfg::{lower, ProgramCfg};
 use gadt_pascal::error::Result;
 use gadt_pascal::interp::Interpreter;
@@ -12,6 +15,7 @@ use gadt_pascal::sema::Module;
 use gadt_pascal::value::Value;
 use gadt_trace::{build_tree, ExecTree};
 use gadt_transform::{transform, Transformed};
+use std::time::Duration;
 
 /// Phase I output: the transformed program, ready for tracing.
 #[derive(Debug, Clone)]
@@ -78,6 +82,148 @@ pub fn run_traced(
         tree,
         output: outcome.output_text().to_string(),
     })
+}
+
+/// Per-phase wall-clock timings of a pipeline run — the first
+/// observability hook. Phases map to Figure 3: `transform` is Phase I
+/// (transformation + CFG lowering), `trace` is Phase II (all traced
+/// executions of the batch), `debug` is Phase III (bug localization).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseTimings {
+    /// Phase I: transformation and CFG lowering.
+    pub transform: Duration,
+    /// Phase II: traced execution(s), wall-clock (not summed per run —
+    /// parallel tracing makes this less than the per-run sum).
+    pub trace: Duration,
+    /// Phase III: debugging, when measured (zero until a debug phase
+    /// runs).
+    pub debug: Duration,
+}
+
+impl PhaseTimings {
+    /// Total wall-clock across the recorded phases.
+    pub fn total(&self) -> Duration {
+        self.transform + self.trace + self.debug
+    }
+}
+
+impl std::fmt::Display for PhaseTimings {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "transform {:?}, trace {:?}, debug {:?} (total {:?})",
+            self.transform,
+            self.trace,
+            self.debug,
+            self.total()
+        )
+    }
+}
+
+/// Runs the tracing phase on many inputs in parallel: each input gets
+/// its own interpreter and dependence recorder on one of `threads`
+/// workers (`0` = all cores); the control-dependence analysis is
+/// computed once and shared. Results come back in input order and are
+/// identical to per-input [`run_traced`] calls.
+///
+/// # Errors
+/// Propagates the runtime error of the lowest-indexed failing input —
+/// the same error a sequential loop would surface first.
+pub fn run_traced_batch(
+    prepared: &PreparedProgram,
+    inputs: Vec<Vec<Value>>,
+    threads: usize,
+) -> Result<Vec<TracedRun>> {
+    let module = &prepared.transformed.module;
+    let cd = gadt_analysis::controldep::ProgramControlDeps::compute(module, &prepared.cfg);
+    let pool = BatchExecutor::new(threads);
+    pool.try_run(inputs, |_, input| {
+        let mut rec = DependenceRecorder::new(&cd);
+        let mut interp = Interpreter::with_cfg(module, prepared.cfg.clone());
+        interp.set_input(input);
+        let outcome = interp.run_with(&mut rec)?;
+        let trace = rec.finish();
+        let tree = build_tree(module, &trace);
+        Ok(TracedRun {
+            trace,
+            tree,
+            output: outcome.output_text().to_string(),
+        })
+    })
+}
+
+/// The result of a timed batch session: Phase I output, one traced run
+/// per input, and the per-phase timings.
+#[derive(Debug)]
+pub struct BatchTraced {
+    /// Phase I output (shared by every run).
+    pub prepared: PreparedProgram,
+    /// One traced run per input, in input order.
+    pub runs: Vec<TracedRun>,
+    /// Wall-clock per phase (`debug` is zero; fill it via
+    /// [`debug_timed`] when a debugging phase follows).
+    pub timings: PhaseTimings,
+}
+
+/// Batch entry point: transforms `module` once, then traces every input
+/// of the batch in parallel on `threads` workers (`0` = all cores),
+/// recording per-phase wall-clock timings.
+///
+/// # Errors
+/// Propagates transformation errors and the first (by input index)
+/// runtime error.
+///
+/// # Examples
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// use gadt_pascal::{sema::compile, value::Value};
+/// let m = compile(
+///     "program t; var n, s, i: integer;
+///      begin read(n); s := 0; for i := 1 to n do s := s + i; writeln(s) end.",
+/// )?;
+/// let inputs: Vec<Vec<Value>> = (1..=8).map(|n| vec![Value::Int(n)]).collect();
+/// let batch = gadt::session::trace_inputs(&m, inputs, 0)?;
+/// assert_eq!(batch.runs.len(), 8);
+/// assert_eq!(batch.runs[3].output, "10\n"); // 1+2+3+4
+/// assert!(batch.timings.total() > std::time::Duration::ZERO);
+/// # Ok(())
+/// # }
+/// ```
+pub fn trace_inputs(
+    module: &Module,
+    inputs: Vec<Vec<Value>>,
+    threads: usize,
+) -> Result<BatchTraced> {
+    let mut sw = Stopwatch::start();
+    let prepared = prepare(module)?;
+    let transform_time = sw.lap();
+    let runs = run_traced_batch(&prepared, inputs, threads)?;
+    let trace_time = sw.lap();
+    Ok(BatchTraced {
+        prepared,
+        runs,
+        timings: PhaseTimings {
+            transform: transform_time,
+            trace: trace_time,
+            debug: Duration::ZERO,
+        },
+    })
+}
+
+/// Like [`debug`] but also measures the phase's wall-clock, recording it
+/// into `timings.debug` (accumulating across calls, so a batch of debug
+/// sessions sums into one Phase III figure).
+pub fn debug_timed(
+    prepared: &PreparedProgram,
+    run: &TracedRun,
+    oracle: &mut ChainOracle<'_>,
+    config: DebugConfig,
+    timings: &mut PhaseTimings,
+) -> DebugOutcome {
+    let mut sw = Stopwatch::start();
+    let outcome = debug(prepared, run, oracle, config);
+    timings.debug += sw.lap();
+    outcome
 }
 
 /// Phase III: debugs a traced run with the given oracle chain.
@@ -214,6 +360,96 @@ mod tests {
 }
 
 #[cfg(test)]
+mod batch_session_tests {
+    use super::*;
+    use crate::debugger::DebugResult;
+    use crate::oracle::{CountingOracle, ReferenceOracle};
+    use gadt_pascal::sema::compile;
+
+    const SUMMER: &str = "program t; var n, s, i: integer;
+         begin read(n); s := 0; for i := 1 to n do s := s + i; writeln(s) end.";
+
+    #[test]
+    fn batch_tracing_equals_sequential_tracing() {
+        let m = compile(SUMMER).unwrap();
+        let prepared = prepare(&m).unwrap();
+        let inputs: Vec<Vec<Value>> = (1..=6).map(|n| vec![Value::Int(n)]).collect();
+        let sequential: Vec<TracedRun> = inputs
+            .iter()
+            .map(|i| run_traced(&prepared, i.clone()).unwrap())
+            .collect();
+        for threads in [1, 2, 8] {
+            let batch = run_traced_batch(&prepared, inputs.clone(), threads).unwrap();
+            assert_eq!(batch.len(), sequential.len());
+            for (b, s) in batch.iter().zip(&sequential) {
+                assert_eq!(b.output, s.output, "threads={threads}");
+                assert_eq!(b.trace.events.len(), s.trace.events.len());
+                assert_eq!(b.tree.render(b.tree.root), s.tree.render(s.tree.root));
+            }
+        }
+    }
+
+    #[test]
+    fn batch_error_is_the_first_inputs_error() {
+        // Input 2 underflows the read; inputs after it would too.
+        let m = compile(SUMMER).unwrap();
+        let prepared = prepare(&m).unwrap();
+        let inputs = vec![vec![Value::Int(1)], vec![], vec![]];
+        let err = run_traced_batch(&prepared, inputs, 4).unwrap_err();
+        let seq_err = run_traced(&prepared, []).unwrap_err();
+        assert_eq!(format!("{err}"), format!("{seq_err}"));
+    }
+
+    #[test]
+    fn trace_inputs_records_phase_timings() {
+        let m = compile(SUMMER).unwrap();
+        let inputs: Vec<Vec<Value>> = (1..=4).map(|n| vec![Value::Int(n)]).collect();
+        let batch = trace_inputs(&m, inputs, 2).unwrap();
+        assert_eq!(batch.runs.len(), 4);
+        assert_eq!(batch.runs[2].output, "6\n");
+        assert!(batch.timings.trace > Duration::ZERO);
+        assert_eq!(batch.timings.debug, Duration::ZERO);
+        assert_eq!(
+            batch.timings.total(),
+            batch.timings.transform + batch.timings.trace
+        );
+        let rendered = format!("{}", batch.timings);
+        assert!(rendered.contains("transform"), "{rendered}");
+    }
+
+    #[test]
+    fn debug_timed_accumulates_phase3_time() {
+        let buggy = compile(
+            "program t; var r: integer;
+             function sq(x: integer): integer; begin sq := x * x + 1 end;
+             begin r := sq(6); writeln(r) end.",
+        )
+        .unwrap();
+        let fixed = compile(
+            "program t; var r: integer;
+             function sq(x: integer): integer; begin sq := x * x end;
+             begin r := sq(6); writeln(r) end.",
+        )
+        .unwrap();
+        let batch = trace_inputs(&buggy, vec![vec![]], 1).unwrap();
+        let mut timings = batch.timings;
+        let mut chain = ChainOracle::new();
+        chain.push(CountingOracle::new(
+            ReferenceOracle::new(&fixed, []).unwrap(),
+        ));
+        let out = debug_timed(
+            &batch.prepared,
+            &batch.runs[0],
+            &mut chain,
+            DebugConfig::default(),
+            &mut timings,
+        );
+        assert!(matches!(out.result, DebugResult::BugLocalized { ref unit, .. } if unit == "sq"));
+        assert!(timings.debug > Duration::ZERO);
+    }
+}
+
+#[cfg(test)]
 mod transparency_session_tests {
     use super::*;
     use crate::debugger::DebugConfig;
@@ -231,12 +467,8 @@ mod transparency_session_tests {
         let run = run_traced(&prepared, []).unwrap();
         let mut chain = ChainOracle::new();
         // Everything "incorrect" so the traversal visits q and records it.
-        chain.push(FnOracle::new("probe", |_m: &Module, t: &ExecTree, n| {
-            if t.node(n).name == "q" {
-                Answer::Incorrect { wrong_output: None }
-            } else {
-                Answer::Incorrect { wrong_output: None }
-            }
+        chain.push(FnOracle::new("probe", |_m: &Module, _t: &ExecTree, _n| {
+            Answer::Incorrect { wrong_output: None }
         }));
         let out = debug(&prepared, &run, &mut chain, DebugConfig::default());
         let q_entry = out

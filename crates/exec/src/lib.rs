@@ -1,0 +1,298 @@
+//! # gadt-exec
+//!
+//! A std-only parallel batch execution engine for the GADT pipeline.
+//!
+//! The paper's three phases (§5, Figure 3) are embarrassingly parallel
+//! at the *batch* level: every T-GEN test case is an independent run of
+//! the transformed program, every slicing criterion prunes the execution
+//! tree independently, and every traced input is an independent
+//! interpreter run. [`BatchExecutor`] fans such batches out to a fixed
+//! pool of scoped worker threads and hands the results back **in input
+//! order**, so parallel execution is observationally identical to the
+//! sequential loop it replaces — the determinism guarantee the
+//! integration suite (`tests/parallel_determinism.rs`) pins down.
+//!
+//! The implementation uses only `std`: [`std::thread::scope`] for
+//! borrow-friendly workers, an atomic cursor for work stealing, and an
+//! [`std::sync::mpsc`] channel to collect `(index, result)` pairs.
+//! No external crates, no unsafe code.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Mutex};
+use std::time::{Duration, Instant};
+
+/// A fixed-width work scheduler for independent jobs.
+///
+/// Construction is cheap (no threads are kept alive between batches);
+/// each [`BatchExecutor::run`] call spins up a scoped pool, drains the
+/// batch, and joins. Results always come back in input order regardless
+/// of which worker finished first, so `run` is a drop-in replacement
+/// for a sequential `map` over the batch.
+///
+/// # Examples
+/// ```
+/// let pool = gadt_exec::BatchExecutor::new(4);
+/// let squares = pool.run((1..=8).collect(), |_idx, n: i64| n * n);
+/// assert_eq!(squares, vec![1, 4, 9, 16, 25, 36, 49, 64]);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct BatchExecutor {
+    threads: usize,
+}
+
+impl BatchExecutor {
+    /// Creates an executor with an explicit worker count. `0` selects
+    /// the host's available parallelism (at least 1).
+    pub fn new(threads: usize) -> Self {
+        let threads = if threads == 0 {
+            std::thread::available_parallelism()
+                .map(NonZeroUsize::get)
+                .unwrap_or(1)
+        } else {
+            threads
+        };
+        BatchExecutor { threads }
+    }
+
+    /// The configured worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `f` over every item and returns the results in input order.
+    ///
+    /// `f` receives the item's index alongside the item, so callers can
+    /// label or seed per-item work deterministically. With one worker
+    /// (or at most one item) the batch runs inline on the calling
+    /// thread — bit-for-bit the sequential loop, with no thread-spawn
+    /// overhead.
+    ///
+    /// # Panics
+    /// A panic inside `f` propagates to the caller once the scope joins.
+    pub fn run<T, R, F>(&self, items: Vec<T>, f: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(usize, T) -> R + Sync,
+    {
+        let n = items.len();
+        let workers = self.threads.min(n);
+        if workers <= 1 {
+            return items
+                .into_iter()
+                .enumerate()
+                .map(|(i, t)| f(i, t))
+                .collect();
+        }
+
+        // Work distribution: an atomic cursor over index-addressed job
+        // slots. Each slot is taken exactly once; the mutexes are
+        // uncontended (a slot has one consumer) and exist only to give
+        // the scoped workers shared `&` access to owned items.
+        let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+        let cursor = AtomicUsize::new(0);
+        let (tx, rx) = mpsc::channel::<(usize, R)>();
+
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                let tx = tx.clone();
+                let slots = &slots;
+                let cursor = &cursor;
+                let f = &f;
+                scope.spawn(move || loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let item = slots[i]
+                        .lock()
+                        .expect("job slot poisoned")
+                        .take()
+                        .expect("job taken twice");
+                    // A send only fails if the receiver is gone, which
+                    // cannot happen while the scope holds it alive.
+                    let _ = tx.send((i, f(i, item)));
+                });
+            }
+            drop(tx);
+
+            let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
+            for (i, r) in rx {
+                results[i] = Some(r);
+            }
+            results
+                .into_iter()
+                .map(|r| r.expect("worker dropped a job"))
+                .collect()
+        })
+    }
+
+    /// Like [`BatchExecutor::run`] but for fallible jobs: stops at
+    /// nothing, then returns either every result (input order) or the
+    /// error of the **lowest-indexed** failing job — the same error a
+    /// sequential loop with `?` would surface, keeping error behaviour
+    /// deterministic under parallelism.
+    ///
+    /// # Errors
+    /// Returns the first (by input index) error produced by `f`.
+    pub fn try_run<T, R, E, F>(&self, items: Vec<T>, f: F) -> Result<Vec<R>, E>
+    where
+        T: Send,
+        R: Send,
+        E: Send,
+        F: Fn(usize, T) -> Result<R, E> + Sync,
+    {
+        let mut first_err: Option<E> = None;
+        let results = self.run(items, f);
+        let mut out = Vec::with_capacity(results.len());
+        for r in results {
+            match r {
+                Ok(v) => out.push(v),
+                Err(e) => {
+                    if first_err.is_none() {
+                        first_err = Some(e);
+                    }
+                }
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(out),
+        }
+    }
+}
+
+impl Default for BatchExecutor {
+    /// An executor sized to the host's available parallelism.
+    fn default() -> Self {
+        BatchExecutor::new(0)
+    }
+}
+
+/// A simple wall-clock stopwatch for phase timing.
+///
+/// [`Stopwatch::lap`] returns the time since construction or the last
+/// lap — the building block behind the pipeline's `PhaseTimings`
+/// observability hook in `gadt::session`.
+#[derive(Debug)]
+pub struct Stopwatch {
+    last: Instant,
+}
+
+impl Stopwatch {
+    /// Starts the stopwatch.
+    pub fn start() -> Self {
+        Stopwatch {
+            last: Instant::now(),
+        }
+    }
+
+    /// Returns the elapsed time since the start or the previous lap,
+    /// and resets the lap origin.
+    pub fn lap(&mut self) -> Duration {
+        let now = Instant::now();
+        let d = now - self.last;
+        self.last = now;
+        d
+    }
+}
+
+impl Default for Stopwatch {
+    fn default() -> Self {
+        Stopwatch::start()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_input_order() {
+        let pool = BatchExecutor::new(8);
+        let items: Vec<usize> = (0..100).collect();
+        let out = pool.run(items, |i, x| {
+            assert_eq!(i, x);
+            // Stagger completion so out-of-order finishes are likely.
+            if x % 7 == 0 {
+                std::thread::sleep(Duration::from_micros(200));
+            }
+            x * 2
+        });
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zero_threads_means_available_parallelism() {
+        let pool = BatchExecutor::new(0);
+        assert!(pool.threads() >= 1);
+    }
+
+    #[test]
+    fn single_thread_runs_inline() {
+        let pool = BatchExecutor::new(1);
+        let main_thread = std::thread::current().id();
+        let out = pool.run(vec![1, 2, 3], |_, x| {
+            assert_eq!(std::thread::current().id(), main_thread);
+            x + 1
+        });
+        assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let pool = BatchExecutor::new(4);
+        let out: Vec<i32> = pool.run(Vec::<i32>::new(), |_, x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn more_workers_than_items() {
+        let pool = BatchExecutor::new(64);
+        let out = pool.run(vec![10, 20], |_, x| x / 10);
+        assert_eq!(out, vec![1, 2]);
+    }
+
+    #[test]
+    fn try_run_surfaces_lowest_index_error() {
+        let pool = BatchExecutor::new(8);
+        let items: Vec<usize> = (0..50).collect();
+        let r: Result<Vec<usize>, String> = pool.try_run(items, |_, x| {
+            if x == 13 || x == 31 {
+                Err(format!("boom {x}"))
+            } else {
+                Ok(x)
+            }
+        });
+        assert_eq!(r.unwrap_err(), "boom 13");
+    }
+
+    #[test]
+    fn try_run_all_ok() {
+        let pool = BatchExecutor::new(3);
+        let r: Result<Vec<i64>, ()> = pool.try_run(vec![1i64, 2, 3], |_, x| Ok(x * x));
+        assert_eq!(r.unwrap(), vec![1, 4, 9]);
+    }
+
+    #[test]
+    fn borrowed_state_is_shared_across_workers() {
+        let base = [100i64, 200, 300];
+        let pool = BatchExecutor::new(4);
+        let out = pool.run(vec![0usize, 1, 2], |_, i| base[i] + 1);
+        assert_eq!(out, vec![101, 201, 301]);
+    }
+
+    #[test]
+    fn stopwatch_laps_are_monotonic() {
+        let mut sw = Stopwatch::start();
+        std::thread::sleep(Duration::from_millis(1));
+        let a = sw.lap();
+        let b = sw.lap();
+        assert!(a >= Duration::from_millis(1));
+        assert!(b <= a + Duration::from_millis(50));
+    }
+}

@@ -1091,6 +1091,7 @@ impl<'m> Interpreter<'m> {
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn fire_step(
         &mut self,
         monitor: &mut dyn Monitor,

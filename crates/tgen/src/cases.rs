@@ -54,7 +54,7 @@ pub fn instantiate_cases(
 }
 
 /// One test report.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TestReport {
     /// The frame's coded form.
     pub code: String,
@@ -68,7 +68,7 @@ pub struct TestReport {
 }
 
 /// The test-report database for one unit, keyed by frame code.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct TestDb {
     /// The unit the reports are about.
     pub unit: String,
@@ -177,6 +177,54 @@ pub fn run_cases(
             outputs,
             passed,
         });
+    }
+    Ok(db)
+}
+
+/// Runs test cases in parallel on `threads` workers (`0` = all cores),
+/// fanning each case out to its own [`Interpreter`] and merging the
+/// reports back into the [`TestDb`] **in case order** — the database is
+/// bit-for-bit identical to the one [`run_cases`] builds, whatever the
+/// thread count (`tests/parallel_determinism.rs` pins this down).
+///
+/// The oracle must be `Sync`: it is shared by all workers. Stateless
+/// verdict predicates (like [`arrsum_oracle`]) qualify as-is.
+///
+/// # Errors
+/// Propagates the error of the lowest-indexed failing case — the same
+/// error the sequential runner would surface first.
+pub fn run_cases_parallel(
+    threads: usize,
+    module: &Module,
+    unit: &str,
+    cases: &[TestCase],
+    oracle: &(dyn Fn(&[Value], &ProcRun) -> bool + Sync),
+) -> Result<TestDb> {
+    let proc = module.proc_by_name(unit).ok_or_else(|| {
+        gadt_pascal::error::Diagnostic::new(
+            gadt_pascal::error::Stage::Runtime,
+            format!("unit `{unit}` not found"),
+            gadt_pascal::span::Span::dummy(),
+        )
+    })?;
+    let pool = gadt_exec::BatchExecutor::new(threads);
+    let reports = pool.try_run(cases.to_vec(), |_, case| {
+        let run = run_unit(module, proc, case.inputs.clone())?;
+        let passed = oracle(&case.inputs, &run);
+        let mut outputs: Vec<Value> = run.outs.iter().map(|(_, v)| v.clone()).collect();
+        if let Some(r) = &run.result {
+            outputs.push(r.clone());
+        }
+        Ok(TestReport {
+            code: case.code,
+            inputs: case.inputs,
+            outputs,
+            passed,
+        })
+    })?;
+    let mut db = TestDb::new(unit);
+    for report in reports {
+        db.add(report);
     }
     Ok(db)
 }
@@ -424,5 +472,21 @@ mod tests {
     fn unknown_unit_is_an_error() {
         let m = compile(testprogs::SQRTEST).unwrap();
         assert!(run_cases(&m, "nosuch", &[], &|_, _| true).is_err());
+        assert!(run_cases_parallel(4, &m, "nosuch", &[], &|_, _| true).is_err());
+    }
+
+    #[test]
+    fn parallel_db_equals_sequential_db() {
+        let m = compile(testprogs::SQRTEST).unwrap();
+        let g = figure1_frames();
+        let cases = instantiate_cases(&g, |f| arrsum_instantiator(f, 2));
+        let seq = run_cases(&m, "arrsum", &cases, &|ins, run| arrsum_oracle(ins, run)).unwrap();
+        for threads in [1, 2, 8] {
+            let par = run_cases_parallel(threads, &m, "arrsum", &cases, &|ins, run| {
+                arrsum_oracle(ins, run)
+            })
+            .unwrap();
+            assert_eq!(seq, par, "threads={threads}");
+        }
     }
 }

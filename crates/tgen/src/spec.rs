@@ -269,7 +269,7 @@ impl<'s> SpecParser<'s> {
 
     fn spec(&mut self) -> Result<TestSpec> {
         let kw = self.word()?;
-        if kw.to_ascii_lowercase() != "test" {
+        if !kw.eq_ignore_ascii_case("test") {
             return Err(err("specification must start with `test`", 0));
         }
         let unit = self.word()?;

@@ -782,6 +782,71 @@ mod tests {
         // q is irrelevant to r's output d.
         assert_eq!(names, vec!["p", "r"]);
     }
+
+    #[test]
+    fn prune_against_default_slice_yields_empty_tree() {
+        // A slice retaining no calls and no events prunes everything,
+        // including the requested root.
+        let (_, _, tree) = tree_of(testprogs::PQR);
+        let pruned = tree.prune(tree.root, &DynSlice::default());
+        assert!(pruned.is_empty());
+        assert_eq!(pruned.len(), 0);
+    }
+
+    #[test]
+    fn prune_keeping_only_root_drops_all_children() {
+        let (m, t, tree) = tree_of(testprogs::PQR);
+        let p_node = tree.find_call(&m, "p").unwrap();
+        let NodeKind::Call { call, .. } = tree.node(p_node).kind else {
+            panic!("p is a call node");
+        };
+        let mut slice = DynSlice::default();
+        slice.calls.insert(call);
+        let pruned = tree.prune(p_node, &slice);
+        assert_eq!(pruned.len(), 1);
+        let root = pruned.node(pruned.root);
+        assert_eq!(root.name, "p");
+        assert!(root.children.is_empty());
+        assert_eq!(root.depth, 0, "pruned root is re-rooted at depth 0");
+        let _ = t;
+    }
+
+    #[test]
+    fn prune_at_sliced_out_subtree_root_yields_empty_tree() {
+        // Slice on r's output keeps p and r but not q; asking to prune
+        // the q subtree therefore yields the empty tree even though q's
+        // ancestors are retained by the slice.
+        let (m, t, tree) = tree_of(testprogs::PQR);
+        let r_call = t
+            .calls
+            .iter()
+            .find(|c| m.proc(c.proc).name == "r")
+            .unwrap()
+            .id;
+        let slice = dynamic_slice_output(&m, &t, r_call, 0);
+        let q_node = tree.find_call(&m, "q").unwrap();
+        let NodeKind::Call { call: q_call, .. } = tree.node(q_node).kind else {
+            panic!("q is a call node");
+        };
+        assert!(!slice.keeps_call(q_call), "q must be sliced out");
+        let pruned = tree.prune(q_node, &slice);
+        assert!(pruned.is_empty());
+    }
+
+    #[test]
+    fn prune_static_against_empty_slice_keeps_only_forced_root() {
+        // prune_static forces the requested root so the debugger always
+        // has a tree to walk; with an empty static slice nothing else
+        // survives.
+        let (m, t, tree) = tree_of(testprogs::PQR);
+        let empty = gadt_analysis::slice_static::StaticSlice {
+            stmts: Default::default(),
+            entry_relevant: Default::default(),
+        };
+        let pruned = tree.prune_static(tree.root, &m, &empty, &t);
+        assert_eq!(pruned.len(), 1);
+        assert!(pruned.node(pruned.root).children.is_empty());
+    }
 }
 
 #[cfg(test)]

@@ -216,7 +216,7 @@ fn rewrite_one(
             else_branch,
             ..
         } => {
-            *then_branch = Box::new(nest_one(
+            **then_branch = nest_one(
                 std::mem::replace(then_branch.as_mut(), empty_stmt(ids)),
                 ids,
                 mapping,
@@ -224,9 +224,9 @@ fn rewrite_one(
                 counter,
                 new_vars,
                 new_labels,
-            ));
+            );
             if let Some(e) = else_branch {
-                *e = Box::new(nest_one(
+                **e = nest_one(
                     std::mem::replace(e.as_mut(), empty_stmt(ids)),
                     ids,
                     mapping,
@@ -234,11 +234,11 @@ fn rewrite_one(
                     counter,
                     new_vars,
                     new_labels,
-                ));
+                );
             }
         }
         StmtKind::While { body, .. } | StmtKind::For { body, .. } => {
-            *body = Box::new(nest_one(
+            **body = nest_one(
                 std::mem::replace(body.as_mut(), empty_stmt(ids)),
                 ids,
                 mapping,
@@ -246,14 +246,14 @@ fn rewrite_one(
                 counter,
                 new_vars,
                 new_labels,
-            ));
+            );
         }
         StmtKind::Repeat { body, .. } => {
             let taken = std::mem::take(body);
             *body = rewrite_seq(taken, ids, mapping, changed, counter, new_vars, new_labels);
         }
         StmtKind::Labeled { stmt, .. } => {
-            *stmt = Box::new(nest_one(
+            **stmt = nest_one(
                 std::mem::replace(stmt.as_mut(), empty_stmt(ids)),
                 ids,
                 mapping,
@@ -261,7 +261,7 @@ fn rewrite_one(
                 counter,
                 new_vars,
                 new_labels,
-            ));
+            );
         }
         StmtKind::Case { arms, else_arm, .. } => {
             for a in arms {
@@ -269,7 +269,7 @@ fn rewrite_one(
                 a.stmt = nest_one(taken, ids, mapping, changed, counter, new_vars, new_labels);
             }
             if let Some(e) = else_arm {
-                *e = Box::new(nest_one(
+                **e = nest_one(
                     std::mem::replace(e.as_mut(), empty_stmt(ids)),
                     ids,
                     mapping,
@@ -277,7 +277,7 @@ fn rewrite_one(
                     counter,
                     new_vars,
                     new_labels,
-                ));
+                );
             }
         }
         _ => {}
@@ -333,11 +333,11 @@ fn rewrite_one(
                     let lab_stmt = labeled_empty(&whilelab, ids);
                     let cmp_id = ids.stmt();
                     mapping.add_synthetic(cmp_id, format!("loop {n} body wrapper"));
-                    *body = Box::new(Stmt {
+                    **body = Stmt {
                         id: cmp_id,
                         kind: StmtKind::Compound(vec![rewritten, lab_stmt]),
                         span: Span::dummy(),
-                    });
+                    };
                 }
                 StmtKind::Repeat { cond, body } => {
                     let old_cond = std::mem::replace(cond, ids.int(0));
@@ -829,19 +829,19 @@ pub fn break_global_gotos(module: &Module) -> Result<(Program, Mapping, bool)> {
                 ..
             } => {
                 let t = std::mem::replace(then_branch.as_mut(), empty_stmt(ids));
-                *then_branch = Box::new(rewrite(cx, t, owner, ids, mapping));
+                **then_branch = rewrite(cx, t, owner, ids, mapping);
                 if let Some(e) = else_branch {
                     let t = std::mem::replace(e.as_mut(), empty_stmt(ids));
-                    *e = Box::new(rewrite(cx, t, owner, ids, mapping));
+                    **e = rewrite(cx, t, owner, ids, mapping);
                 }
             }
             StmtKind::While { body, .. } | StmtKind::For { body, .. } => {
                 let t = std::mem::replace(body.as_mut(), empty_stmt(ids));
-                *body = Box::new(rewrite(cx, t, owner, ids, mapping));
+                **body = rewrite(cx, t, owner, ids, mapping);
             }
             StmtKind::Labeled { stmt, .. } => {
                 let t = std::mem::replace(stmt.as_mut(), empty_stmt(ids));
-                *stmt = Box::new(rewrite(cx, t, owner, ids, mapping));
+                **stmt = rewrite(cx, t, owner, ids, mapping);
             }
             StmtKind::Case { arms, else_arm, .. } => {
                 for a in arms {
@@ -850,7 +850,7 @@ pub fn break_global_gotos(module: &Module) -> Result<(Program, Mapping, bool)> {
                 }
                 if let Some(e) = else_arm {
                     let t = std::mem::replace(e.as_mut(), empty_stmt(ids));
-                    *e = Box::new(rewrite(cx, t, owner, ids, mapping));
+                    **e = rewrite(cx, t, owner, ids, mapping);
                 }
             }
             _ => {}

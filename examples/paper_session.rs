@@ -65,7 +65,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for f in &g.frames {
         println!("  frame {f}");
     }
-    for (script, _) in &g.scripts {
+    for script in g.scripts.keys() {
         let members: Vec<String> = g.script(script).iter().map(|f| f.to_string()).collect();
         println!("  {script}: {}", members.join(" "));
     }

@@ -46,7 +46,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("  {f}    [{}]", f.code());
     }
     println!();
-    for (script, _) in &g.scripts {
+    for script in g.scripts.keys() {
         let members: Vec<String> = g.script(script).iter().map(|f| f.to_string()).collect();
         println!("{script}: {}", members.join(", "));
     }

@@ -1,0 +1,109 @@
+//! Determinism harness for the parallel batch engine: every parallel
+//! entry point must produce byte-identical results to its sequential
+//! counterpart at any thread count. Thread counts 1, 2 and 8 cover the
+//! inline fast path, minimal contention, and more workers than cores.
+
+use gadt::session::{prepare, run_traced, run_traced_batch, trace_inputs};
+use gadt_analysis::dyntrace::record_trace;
+use gadt_analysis::slice_batch::dynamic_slice_batch;
+use gadt_analysis::slice_dynamic::dynamic_slice_output;
+use gadt_bench::genprog::{generate, GenConfig};
+use gadt_pascal::cfg::lower;
+use gadt_pascal::sema::compile;
+use gadt_pascal::testprogs;
+use gadt_pascal::value::Value;
+use gadt_tgen::{cases, frames, spec};
+
+const THREADS: [usize; 3] = [1, 2, 8];
+
+#[test]
+fn tgen_case_runs_are_thread_count_invariant() {
+    let m = compile(testprogs::SQRTEST).unwrap();
+    let s = spec::parse_spec(spec::ARRSUM_SPEC).unwrap();
+    let g = frames::generate_frames(&s, Default::default());
+    let tc = cases::instantiate_cases(&g, |f| cases::arrsum_instantiator(f, 2));
+    let oracle = |ins: &[Value], r: &gadt_pascal::interp::ProcRun| cases::arrsum_oracle(ins, r);
+    let seq = cases::run_cases(&m, "arrsum", &tc, &oracle).unwrap();
+    for threads in THREADS {
+        let par = cases::run_cases_parallel(threads, &m, "arrsum", &tc, &oracle).unwrap();
+        assert_eq!(seq, par, "TestDb diverges at {threads} threads");
+    }
+}
+
+#[test]
+fn slice_batch_matches_per_criterion_slicing() {
+    let gp = generate(&GenConfig {
+        procs: 8,
+        max_calls: 2,
+        seed: 5,
+    });
+    let m = compile(&gp.source).unwrap();
+    let cfg = lower(&m);
+    let trace = record_trace(&m, &cfg, []).unwrap();
+    let criteria: Vec<(u64, usize)> = trace
+        .calls
+        .iter()
+        .flat_map(|c| (0..c.outs.len()).map(move |k| (c.id, k)))
+        .collect();
+    assert!(criteria.len() > 2, "need a multi-criterion workload");
+    let seq: Vec<_> = criteria
+        .iter()
+        .map(|&(c, k)| dynamic_slice_output(&m, &trace, c, k))
+        .collect();
+    for threads in THREADS {
+        let (par, cache) = dynamic_slice_batch(&m, &trace, &criteria, threads);
+        assert_eq!(par.len(), seq.len());
+        for (i, (s, p)) in seq.iter().zip(&par).enumerate() {
+            assert_eq!(
+                s,
+                p.as_ref(),
+                "criterion {:?} diverges at {threads} threads",
+                criteria[i]
+            );
+        }
+        assert_eq!(cache.len(), criteria.len(), "all criteria unique here");
+    }
+}
+
+#[test]
+fn batch_tracing_matches_sequential_tracing() {
+    let src = "program t; var n, i, s: integer;
+         procedure step(x: integer; var acc: integer);
+         begin acc := acc + x * x end;
+         begin read(n); s := 0; for i := 1 to n do step(i, s); writeln(s) end.";
+    let m = compile(src).unwrap();
+    let prepared = prepare(&m).unwrap();
+    let inputs: Vec<Vec<Value>> = (1..=12).map(|n| vec![Value::Int(n)]).collect();
+    let seq: Vec<_> = inputs
+        .iter()
+        .map(|i| run_traced(&prepared, i.clone()).unwrap())
+        .collect();
+    for threads in THREADS {
+        let par = run_traced_batch(&prepared, inputs.clone(), threads).unwrap();
+        assert_eq!(par.len(), seq.len());
+        for (s, p) in seq.iter().zip(&par) {
+            assert_eq!(s.output, p.output);
+            assert_eq!(s.trace.events.len(), p.trace.events.len());
+            assert_eq!(s.tree.render(s.tree.root), p.tree.render(p.tree.root));
+        }
+    }
+}
+
+#[test]
+fn trace_inputs_reports_timings_and_matches_batch() {
+    let m = compile(
+        "program t; var n, r: integer;
+         function sq(x: integer): integer; begin sq := x * x end;
+         begin read(n); r := sq(n); writeln(r) end.",
+    )
+    .unwrap();
+    let inputs: Vec<Vec<Value>> = (1..=6).map(|n| vec![Value::Int(n)]).collect();
+    let batch = trace_inputs(&m, inputs.clone(), 2).unwrap();
+    assert_eq!(batch.runs.len(), inputs.len());
+    let prepared = prepare(&m).unwrap();
+    for (i, input) in inputs.iter().enumerate() {
+        let seq = run_traced(&prepared, input.clone()).unwrap();
+        assert_eq!(seq.output, batch.runs[i].output);
+    }
+    assert!(batch.timings.total() > std::time::Duration::ZERO);
+}

