@@ -16,4 +16,11 @@ cargo test --workspace -q
 echo "==> parallel determinism harness"
 cargo test -q --test parallel_determinism
 
+# Bounded mutation smoke tier: fixed seed 2026, at most 50 mutants, run
+# twice to pin fingerprint stability plus the >= 90% localization bar.
+# The full 200+ mutant conformance campaign runs under `cargo test`
+# above; this tier is the cheap re-check for quick iteration loops.
+echo "==> mutation localization smoke (fixed seed, <=50 mutants)"
+cargo test -q --test mutation_conformance bounded_smoke_campaign_is_deterministic_and_accurate
+
 echo "ci: all green"

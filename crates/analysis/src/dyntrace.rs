@@ -36,6 +36,13 @@ pub struct TraceEvent {
     pub defs: Vec<MemLoc>,
     /// Resolved data dependences: indices of defining events.
     pub data_deps: Vec<usize>,
+    /// Used locations that resolved to *no* defining event — they were
+    /// never written before this step. In a well-formed run every use has
+    /// a reaching definition; an entry here is the dynamic signature of an
+    /// omission fault (a deleted or misdirected write), where backward
+    /// slices are structurally incomplete and must compensate (see
+    /// `slice_dynamic`).
+    pub unresolved_uses: Vec<MemLoc>,
     /// Resolved dynamic control dependence.
     pub control_dep: Option<usize>,
     /// For branch instances, the outcome.
@@ -285,8 +292,13 @@ impl Monitor for DependenceRecorder<'_> {
             } => {
                 let idx = self.trace.events.len();
                 let mut data_deps: Vec<usize> = Vec::new();
+                let mut unresolved_uses: Vec<MemLoc> = Vec::new();
                 for u in *uses {
-                    data_deps.extend(self.resolve_use(u));
+                    let resolved = self.resolve_use(u);
+                    if resolved.is_empty() {
+                        unresolved_uses.push(*u);
+                    }
+                    data_deps.extend(resolved);
                 }
                 data_deps.sort_unstable();
                 data_deps.dedup();
@@ -309,6 +321,7 @@ impl Monitor for DependenceRecorder<'_> {
                     stmt: *stmt,
                     defs: defs.to_vec(),
                     data_deps,
+                    unresolved_uses,
                     control_dep,
                     branch_taken: *branch_taken,
                     call,

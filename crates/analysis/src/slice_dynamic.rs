@@ -10,6 +10,7 @@
 
 use crate::dyntrace::{CallRecord, DynTrace};
 use gadt_pascal::ast::{ParamMode, StmtId};
+use gadt_pascal::interp::MemLoc;
 use gadt_pascal::sema::{Module, VarId};
 use std::collections::BTreeSet;
 
@@ -45,12 +46,43 @@ pub struct DynSlice {
     /// Dynamic calls containing at least one relevant event, plus all
     /// their ancestors (so the pruned execution tree stays connected).
     pub calls: BTreeSet<u64>,
+    /// Whether the backward closure is *complete*: the criterion value had
+    /// a defining event and every use traversed had a reaching definition.
+    /// An incomplete closure is the signature of an omission fault (a
+    /// deleted or misdirected write). Such slices are *repaired* before
+    /// being returned: every call that could have written the undefined
+    /// location — the call owning its frame, and every call that received
+    /// it by reference — is kept (see [`repair_omissions`]), so pruning on
+    /// the slice remains sound even for faults of omission.
+    pub complete: bool,
+}
+
+/// Size accounting for one dynamic slice — how much of the traced
+/// execution the criterion actually depends on. Campaign reports use this
+/// to quantify pruning (mean slice size vs. trace size).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SliceStats {
+    /// Relevant trace events.
+    pub events: usize,
+    /// Distinct source statements among them.
+    pub stmts: usize,
+    /// Dynamic calls kept (including ancestors for connectivity).
+    pub calls: usize,
 }
 
 impl DynSlice {
     /// Whether a dynamic call is relevant.
     pub fn keeps_call(&self, id: u64) -> bool {
         self.calls.contains(&id)
+    }
+
+    /// Size accounting for this slice.
+    pub fn stats(&self) -> SliceStats {
+        SliceStats {
+            events: self.events.len(),
+            stmts: self.stmts.len(),
+            calls: self.calls.len(),
+        }
     }
 }
 
@@ -77,39 +109,52 @@ pub fn dynamic_slice(module: &Module, trace: &DynTrace, criterion: &DynCriterion
     let rec = trace.call(criterion.call);
     let seed = criterion_def_event(module, trace, rec, criterion.var);
 
-    let mut slice = DynSlice::default();
-    let Some(seed) = seed else {
-        // The output was never defined during the call (e.g. it still has
-        // its initial value): nothing contributed to it dynamically.
-        keep_ancestors(trace, criterion.call, &mut slice);
-        return slice;
-    };
+    match seed {
+        Some(seed_event) => slice_from_seed(trace, seed_event, rec),
+        None => {
+            // The output was never defined during the call (it still has
+            // its initial value): the write that should have defined it is
+            // exactly what is missing. Keep every candidate writer.
+            let mut slice = DynSlice::default();
+            keep_ancestors(trace, criterion.call, &mut slice);
+            let loc = rec
+                .bindings
+                .iter()
+                .find(|(p, _)| *p == criterion.var)
+                .map(|(_, l)| *l)
+                .unwrap_or(MemLoc {
+                    frame: rec.frame,
+                    var: criterion.var,
+                    elem: None,
+                });
+            repair_omissions(trace, &[loc], &mut slice);
+            slice
+        }
+    }
+}
 
-    let mut work = vec![seed];
-    while let Some(e) = work.pop() {
-        if !slice.events.insert(e) {
-            continue;
-        }
-        let ev = &trace.events[e];
-        slice.stmts.insert(ev.stmt);
-        for &d in &ev.data_deps {
-            if !slice.events.contains(&d) {
-                work.push(d);
-            }
-        }
-        if let Some(c) = ev.control_dep {
-            if !slice.events.contains(&c) {
-                work.push(c);
+/// Compensates for omission faults: for each location that was used (or
+/// demanded as a criterion) without ever being defined, keeps every call
+/// that *could have* written it — the call owning the location's frame,
+/// and every call that received the location through a reference-parameter
+/// binding. After the GADT transformation all data flows through explicit
+/// parameters (no non-local access), so these are exactly the units a
+/// deleted or misdirected write could hide in; keeping them makes pruning
+/// on an incomplete slice sound.
+fn repair_omissions(trace: &DynTrace, missing: &[MemLoc], slice: &mut DynSlice) {
+    for loc in missing {
+        for c in &trace.calls {
+            let owns = c.frame == loc.frame;
+            let bound = c.bindings.iter().any(|(_, b)| {
+                b.frame == loc.frame
+                    && b.var == loc.var
+                    && (b.elem == loc.elem || b.elem.is_none() || loc.elem.is_none())
+            });
+            if owns || bound {
+                keep_ancestors(trace, c.id, slice);
             }
         }
     }
-
-    // Calls containing relevant events, closed under ancestry.
-    for e in slice.events.clone() {
-        keep_ancestors(trace, trace.events[e].call, &mut slice);
-    }
-    keep_ancestors(trace, criterion.call, &mut slice);
-    slice
 }
 
 fn keep_ancestors(trace: &DynTrace, mut call: u64, slice: &mut DynSlice) {
@@ -165,19 +210,22 @@ pub fn dynamic_slice_output(
         return DynSlice::default();
     };
     let info = module.var(*var);
-    let seed = match info.kind {
+    let own_loc = MemLoc {
+        frame: rec.frame,
+        var: *var,
+        elem: None,
+    };
+    let (seed, criterion_loc) = match info.kind {
         gadt_pascal::sema::VarKind::Param {
             mode: ParamMode::Var | ParamMode::Out,
             ..
         } => {
             // Resolve the parameter's binding and find the last write to
             // that location inside the call's extent.
-            rec.bindings
-                .iter()
-                .find(|(p, _)| p == var)
-                .and_then(|(_, loc)| {
+            match rec.bindings.iter().find(|(p, _)| p == var) {
+                Some((_, loc)) => {
                     let range = rec.enter_idx..rec.exit_idx.min(trace.events.len());
-                    trace.events[range]
+                    let seed = trace.events[range]
                         .iter()
                         .rev()
                         .find(|e| {
@@ -189,29 +237,44 @@ pub fn dynamic_slice_output(
                                         || loc.elem.is_none())
                             })
                         })
-                        .map(|e| e.idx)
-                })
+                        .map(|e| e.idx);
+                    (seed, *loc)
+                }
+                None => (None, own_loc),
+            }
         }
-        _ => criterion_def_event(module, trace, rec, *var),
+        _ => (criterion_def_event(module, trace, rec, *var), own_loc),
     };
     match seed {
         Some(seed_event) => slice_from_seed(trace, seed_event, rec),
         None => {
+            // The criterion output was never written — an omission fault
+            // at the criterion itself. Keep every candidate writer of the
+            // bound location so the faulty unit survives pruning.
             let mut s = DynSlice::default();
             keep_ancestors(trace, call, &mut s);
+            repair_omissions(trace, &[criterion_loc], &mut s);
             s
         }
     }
 }
 
 fn slice_from_seed(trace: &DynTrace, seed: usize, rec: &CallRecord) -> DynSlice {
-    let mut slice = DynSlice::default();
+    let mut slice = DynSlice {
+        complete: true,
+        ..DynSlice::default()
+    };
+    let mut missing: Vec<MemLoc> = Vec::new();
     let mut work = vec![seed];
     while let Some(e) = work.pop() {
         if !slice.events.insert(e) {
             continue;
         }
         let ev = &trace.events[e];
+        if !ev.unresolved_uses.is_empty() {
+            slice.complete = false;
+            missing.extend(ev.unresolved_uses.iter().copied());
+        }
         slice.stmts.insert(ev.stmt);
         for &d in &ev.data_deps {
             if !slice.events.contains(&d) {
@@ -228,6 +291,7 @@ fn slice_from_seed(trace: &DynTrace, seed: usize, rec: &CallRecord) -> DynSlice 
         keep_ancestors(trace, trace.events[e].call, &mut slice);
     }
     keep_ancestors(trace, rec.id, &mut slice);
+    repair_omissions(trace, &missing, &mut slice);
     slice
 }
 
@@ -397,5 +461,33 @@ mod tests {
         let s = dynamic_slice_output(&m, &t, p, 0);
         assert!(s.keeps_call(p));
         assert!(s.events.is_empty());
+        assert!(!s.complete, "a slice with no criterion def is incomplete");
+    }
+
+    #[test]
+    fn slice_over_uninitialized_read_is_incomplete() {
+        // `r := u + 1` reads `u`, which nothing ever wrote — the classic
+        // shape left behind by a deleted assignment. The slice must flag
+        // itself incomplete so the debugger does not prune on it.
+        let m = compile(
+            "program t; var x: integer;
+             procedure p(var r: integer); var u: integer; begin r := u + 1 end;
+             begin p(x) end.",
+        )
+        .unwrap();
+        let cfg = lower(&m);
+        let t = record_trace(&m, &cfg, []).unwrap();
+        let p = call_named(&m, &t, "p");
+        let s = dynamic_slice_output(&m, &t, p, 0);
+        assert!(!s.events.is_empty());
+        assert!(!s.complete, "unresolved use must mark the slice incomplete");
+    }
+
+    #[test]
+    fn fully_defined_slices_are_complete() {
+        let (m, t) = sqrtest_trace();
+        let computs = call_named(&m, &t, "computs");
+        let s = dynamic_slice_output(&m, &t, computs, 0);
+        assert!(s.complete, "all uses in SQRTEST have reaching defs");
     }
 }

@@ -1,0 +1,74 @@
+//! Mutation-localization campaign benchmark: campaign throughput plus
+//! the headline conformance metrics (exact-unit accuracy and mean
+//! questions saved by slicing) reported as first-class numbers, so a
+//! regression in localization quality is as visible as one in speed.
+
+use gadt_bench::timing::Harness;
+use gadt_mutate::campaign::{run_campaign, CampaignConfig, CampaignProgram};
+use gadt_pascal::testprogs;
+
+fn campaign_programs() -> Vec<CampaignProgram> {
+    vec![
+        CampaignProgram::new("sqrtest", testprogs::SQRTEST_FIXED),
+        CampaignProgram::new("pqr", testprogs::PQR_FIXED),
+        CampaignProgram::new("multichain", testprogs::MULTICHAIN),
+    ]
+}
+
+fn main() {
+    let h = Harness::new();
+    let programs = campaign_programs();
+
+    let smoke = CampaignConfig {
+        seed: 2026,
+        max_mutants: 25,
+        threads: 1,
+        ..CampaignConfig::default()
+    };
+    h.bench("localization/smoke_campaign_25", || {
+        run_campaign(&programs, &smoke).unwrap()
+    });
+
+    let full = CampaignConfig {
+        seed: 2026,
+        max_mutants: 0,
+        threads: 0,
+        ..CampaignConfig::default()
+    };
+    h.bench("localization/full_campaign_parallel", || {
+        run_campaign(&programs, &full).unwrap()
+    });
+
+    let summary = run_campaign(&programs, &full).unwrap();
+    println!();
+    println!(
+        "campaign mutants                             {:>11}  ({} stillborn, {} crashed, {} equivalent, {} masked)",
+        summary.total(),
+        summary.stillborn(),
+        summary.crashed(),
+        summary.equivalent(),
+        summary.masked()
+    );
+    if let Some(acc) = summary.accuracy() {
+        println!(
+            "exact-unit accuracy                          {:>11.1}%  ({}/{} localized)",
+            acc * 100.0,
+            summary.exact(),
+            summary.localized()
+        );
+    }
+    if let (Some(with), Some(without)) = (
+        summary.mean_questions_with_slicing(),
+        summary.mean_questions_without_slicing(),
+    ) {
+        println!(
+            "mean questions with / without slicing        {with:>6.2} / {without:.2}  (saved {:.2})",
+            without - with
+        );
+    }
+    println!(
+        "mutants with strictly fewer questions        {:>11}  (of {} localized)",
+        summary.strictly_fewer(),
+        summary.localized()
+    );
+}

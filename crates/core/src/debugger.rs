@@ -18,7 +18,7 @@
 
 use crate::oracle::{Answer, ChainOracle, Oracle};
 use gadt_analysis::dyntrace::DynTrace;
-use gadt_analysis::slice_dynamic::dynamic_slice_output;
+use gadt_analysis::slice_dynamic::{dynamic_slice_output, SliceStats};
 use gadt_pascal::sema::Module;
 use gadt_trace::{ExecTree, NodeId, NodeKind};
 use std::collections::BTreeSet;
@@ -89,6 +89,8 @@ pub struct DebugOutcome {
     pub transcript: Vec<TranscriptEntry>,
     /// How many times slicing pruned the tree.
     pub slices_taken: usize,
+    /// Size accounting for each slice taken, in order.
+    pub slice_stats: Vec<SliceStats>,
 }
 
 impl DebugOutcome {
@@ -134,6 +136,7 @@ pub struct Debugger<'a> {
     config: DebugConfig,
     transcript: Vec<TranscriptEntry>,
     slices_taken: usize,
+    slice_stats: Vec<SliceStats>,
     /// When set, queries are rendered in terms of the *original* program
     /// via the transformation mapping (§6.1 transparency).
     mapping: Option<&'a gadt_transform::Mapping>,
@@ -148,6 +151,7 @@ impl<'a> Debugger<'a> {
             config,
             transcript: Vec::new(),
             slices_taken: 0,
+            slice_stats: Vec::new(),
             mapping: None,
         }
     }
@@ -181,6 +185,7 @@ impl<'a> Debugger<'a> {
             result,
             transcript: self.transcript,
             slices_taken: self.slices_taken,
+            slice_stats: self.slice_stats,
         }
     }
 
@@ -223,10 +228,15 @@ impl<'a> Debugger<'a> {
                 // several output values and only some of these values are
                 // erroneous".
                 if tree.node(node).outs.len() > 1 {
+                    // Slices compensate for omission faults (uses with no
+                    // reaching definition) by keeping every candidate
+                    // writer of the undefined location, so pruning on them
+                    // is sound even when the bug is a deleted write.
                     let slice = dynamic_slice_output(self.module, self.trace, *call, k);
                     let pruned = tree.prune(node, &slice);
                     if !pruned.is_empty() {
                         self.slices_taken += 1;
+                        self.slice_stats.push(slice.stats());
                         return self.locate_in(&pruned, pruned.root, oracle);
                     }
                 }
@@ -291,6 +301,7 @@ impl<'a> Debugger<'a> {
                                 let pruned = tree.prune(candidate, &slice);
                                 if !pruned.is_empty() {
                                     self.slices_taken += 1;
+                                    self.slice_stats.push(slice.stats());
                                     return self.dq(&pruned.clone(), pruned.root, oracle);
                                 }
                             }

@@ -64,8 +64,12 @@ pub mod testlookup;
 pub mod transparency;
 
 pub use debugger::{DebugConfig, DebugOutcome, DebugResult, Debugger, Strategy};
-pub use oracle::{Answer, AssertionOracle, ChainOracle, CountingOracle, Oracle, ReferenceOracle};
+pub use oracle::{
+    Answer, AssertionOracle, ChainOracle, CountingOracle, GoldenOracle, Oracle, ReferenceOracle,
+};
 pub use retry::{debug_with_retry, RetryOutcome};
-pub use session::{debug, prepare, quick_debug, run_traced, PreparedProgram, TracedRun};
+pub use session::{
+    debug, prepare, quick_debug, run_traced, run_traced_limited, PreparedProgram, TracedRun,
+};
 pub use testlookup::TestLookup;
 pub use transparency::render_query_original;

@@ -86,6 +86,16 @@ impl<'m> ReferenceOracle<'m> {
         })
     }
 
+    /// Builds the oracle from an execution tree recorded earlier for the
+    /// reference program — saves the reference re-run when many oracles
+    /// over the same reference are constructed (mutation campaigns).
+    pub fn from_tree(reference: &'m Module, reference_tree: ExecTree) -> Self {
+        ReferenceOracle {
+            reference,
+            reference_tree,
+        }
+    }
+
     fn compare_outs(expected: &[(String, Value)], actual: &[(String, Value)]) -> Answer {
         if expected.len() != actual.len() {
             return Answer::Incorrect { wrong_output: None };
@@ -186,6 +196,53 @@ impl Oracle for ReferenceOracle<'_> {
 
     fn source_name(&self) -> &str {
         "simulated user (reference implementation)"
+    }
+}
+
+/// The mutation harness's *golden-reference* oracle: judges a mutant's
+/// execution-tree nodes against the **un-mutated** ("golden") program,
+/// replacing the human in automated bug-localization campaigns (after
+/// Ohta & Mizuno's framework, PAPERS.md).
+///
+/// It is a [`ReferenceOracle`] over the golden program with a campaign-
+/// appropriate source name; judgement rules are identical (tree match,
+/// then isolated re-execution of top-level units, then
+/// [`Answer::DontKnow`]).
+pub struct GoldenOracle<'m> {
+    inner: ReferenceOracle<'m>,
+}
+
+impl<'m> GoldenOracle<'m> {
+    /// Builds the oracle by running the golden program once on `input`.
+    ///
+    /// # Errors
+    /// Propagates golden-program runtime errors.
+    pub fn new(
+        golden: &'m Module,
+        input: impl IntoIterator<Item = Value>,
+    ) -> gadt_pascal::error::Result<Self> {
+        Ok(GoldenOracle {
+            inner: ReferenceOracle::new(golden, input)?,
+        })
+    }
+
+    /// Builds the oracle from a pre-recorded golden execution tree — the
+    /// per-mutant fast path: the campaign records the golden run once and
+    /// clones its tree into each worker's oracle.
+    pub fn from_tree(golden: &'m Module, golden_tree: ExecTree) -> Self {
+        GoldenOracle {
+            inner: ReferenceOracle::from_tree(golden, golden_tree),
+        }
+    }
+}
+
+impl Oracle for GoldenOracle<'_> {
+    fn judge(&mut self, module: &Module, tree: &ExecTree, node: NodeId) -> Answer {
+        self.inner.judge(module, tree, node)
+    }
+
+    fn source_name(&self) -> &str {
+        "golden reference (un-mutated program)"
     }
 }
 

@@ -84,6 +84,37 @@ pub fn run_traced(
     })
 }
 
+/// Like [`run_traced`] but with interpreter [`Limits`] — the mutation
+/// harness's entry point: injected faults routinely produce runaway loops
+/// or unbounded recursion, and a step budget turns those into clean
+/// runtime errors (classified as *crashed* mutants) instead of hangs.
+///
+/// # Errors
+/// Propagates runtime errors of the subject program, including limit
+/// exhaustion.
+///
+/// [`Limits`]: gadt_pascal::interp::Limits
+pub fn run_traced_limited(
+    prepared: &PreparedProgram,
+    input: impl IntoIterator<Item = Value>,
+    limits: gadt_pascal::interp::Limits,
+) -> Result<TracedRun> {
+    let module = &prepared.transformed.module;
+    let cd = gadt_analysis::controldep::ProgramControlDeps::compute(module, &prepared.cfg);
+    let mut rec = DependenceRecorder::new(&cd);
+    let mut interp = Interpreter::with_cfg(module, prepared.cfg.clone());
+    interp.set_limits(limits);
+    interp.set_input(input);
+    let outcome = interp.run_with(&mut rec)?;
+    let trace = rec.finish();
+    let tree = build_tree(module, &trace);
+    Ok(TracedRun {
+        trace,
+        tree,
+        output: outcome.output_text().to_string(),
+    })
+}
+
 /// Per-phase wall-clock timings of a pipeline run — the first
 /// observability hook. Phases map to Figure 3: `transform` is Phase I
 /// (transformation + CFG lowering), `trace` is Phase II (all traced

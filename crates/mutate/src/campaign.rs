@@ -1,0 +1,359 @@
+//! Mutant campaigns: fault injection × the full GADT pipeline, fanned
+//! out over [`gadt_exec::BatchExecutor`].
+//!
+//! A campaign takes a set of known-good programs, enumerates every
+//! mutation site, (optionally) subsamples them with a seeded LCG, and
+//! runs each mutant through transform → trace → debug twice — once with
+//! slicing, once without — judged by the golden-reference oracle
+//! ([`gadt::oracle::GoldenOracle`]). Per-mutant work is fully
+//! independent, so results are byte-identical at any thread count; only
+//! the recorded wall-clock timings differ.
+
+use crate::operators::{apply, enumerate_sites, MutationSite};
+use crate::report::{CampaignSummary, LocalizationReport, MutantStatus};
+use gadt::debugger::{DebugConfig, DebugOutcome, DebugResult, Strategy};
+use gadt::oracle::{ChainOracle, CountingOracle, GoldenOracle};
+use gadt::session::{self, PhaseTimings, PreparedProgram, TracedRun};
+use gadt_exec::{BatchExecutor, Stopwatch};
+use gadt_pascal::ast::Program;
+use gadt_pascal::interp::Limits;
+use gadt_pascal::parser::parse_program;
+use gadt_pascal::pretty::print_program;
+use gadt_pascal::sema::{compile, Module};
+use gadt_pascal::value::Value;
+
+/// Campaign parameters.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Seed for mutant subsampling (only consulted when the site count
+    /// exceeds `max_mutants`).
+    pub seed: u64,
+    /// Upper bound on mutants run; `0` means all sites.
+    pub max_mutants: usize,
+    /// Worker threads for the batch executor (`0` = all cores).
+    pub threads: usize,
+    /// Interpreter step budget per mutant run — injected faults
+    /// routinely loop forever; exhaustion classifies as crashed.
+    pub max_steps: u64,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            seed: 0xA11CE,
+            max_mutants: 0,
+            threads: 0,
+            max_steps: 200_000,
+        }
+    }
+}
+
+/// One known-good subject program of a campaign.
+#[derive(Debug, Clone)]
+pub struct CampaignProgram {
+    /// Display name used in reports.
+    pub name: String,
+    /// Pascal source (must compile and run cleanly).
+    pub source: String,
+    /// Input stream for every run of this program and its mutants.
+    pub input: Vec<Value>,
+}
+
+impl CampaignProgram {
+    /// Convenience constructor for a no-input subject.
+    pub fn new(name: impl Into<String>, source: impl Into<String>) -> Self {
+        CampaignProgram {
+            name: name.into(),
+            source: source.into(),
+            input: Vec::new(),
+        }
+    }
+}
+
+/// The golden (un-mutated) context of one subject program, computed once
+/// and shared read-only by every worker.
+struct GoldenCtx {
+    name: String,
+    ast: Program,
+    prepared: PreparedProgram,
+    golden_run: TracedRun,
+    /// Full execution-tree rendering — detects *any* behavioral divergence.
+    golden_render: String,
+    /// Top-level interface rendering — what a user of algorithmic
+    /// debugging can actually observe (see [`interface_render`]).
+    golden_interface: String,
+    input: Vec<Value>,
+    sites: Vec<MutationSite>,
+}
+
+/// The observable top level of a run: the root node plus the In/Out line
+/// of each top-level invocation. Algorithmic debugging starts from a
+/// user-visible wrong result; a mutant whose program output and top-level
+/// interfaces all match the golden run presents no such result, however
+/// much its internals diverge.
+fn interface_render(tree: &gadt_trace::ExecTree) -> String {
+    let mut out = tree.render_node(tree.root);
+    for &c in &tree.node(tree.root).children {
+        out.push('\n');
+        out.push_str(&tree.render_node(c));
+    }
+    out
+}
+
+fn golden_ctx(p: &CampaignProgram) -> Result<GoldenCtx, String> {
+    let err = |stage: &str, e: String| format!("golden program `{}` {stage}: {e}", p.name);
+    let ast = parse_program(&p.source).map_err(|e| err("parse", e.to_string()))?;
+    let module = compile(&p.source).map_err(|e| err("compile", e.to_string()))?;
+    let prepared = session::prepare(&module).map_err(|e| err("transform", e.to_string()))?;
+    let golden_run = session::run_traced(&prepared, p.input.iter().cloned())
+        .map_err(|e| err("run", e.to_string()))?;
+    let golden_render = golden_run.tree.render(golden_run.tree.root);
+    let golden_interface = interface_render(&golden_run.tree);
+    let sites = enumerate_sites(&ast);
+    Ok(GoldenCtx {
+        name: p.name.clone(),
+        ast,
+        prepared,
+        golden_run,
+        golden_render,
+        golden_interface,
+        input: p.input.clone(),
+        sites,
+    })
+}
+
+/// Runs a campaign over `programs`.
+///
+/// # Errors
+/// Fails when a *golden* program does not parse, compile, transform, or
+/// run — that is a harness configuration error, not a mutant outcome.
+pub fn run_campaign(
+    programs: &[CampaignProgram],
+    config: &CampaignConfig,
+) -> Result<CampaignSummary, String> {
+    let contexts: Vec<GoldenCtx> = programs.iter().map(golden_ctx).collect::<Result<_, _>>()?;
+
+    let mut work: Vec<(usize, MutationSite)> = Vec::new();
+    for (i, ctx) in contexts.iter().enumerate() {
+        for site in &ctx.sites {
+            work.push((i, site.clone()));
+        }
+    }
+    if config.max_mutants > 0 && work.len() > config.max_mutants {
+        work = subsample(work, config.max_mutants, config.seed);
+    }
+
+    let limits = Limits {
+        max_steps: config.max_steps,
+        ..Limits::default()
+    };
+    let pool = BatchExecutor::new(config.threads);
+    let reports = pool.run(work, |_, (prog_idx, site)| {
+        run_mutant(&contexts[prog_idx], &site, limits)
+    });
+    Ok(CampaignSummary { reports })
+}
+
+/// The full pipeline on one mutant: mutate → print → compile →
+/// transform → trace (bounded) → kill check → debug twice (slicing
+/// on/off) against the golden oracle.
+fn run_mutant(ctx: &GoldenCtx, site: &MutationSite, limits: Limits) -> LocalizationReport {
+    let mut timings = PhaseTimings::default();
+    let report = |status: MutantStatus, timings: PhaseTimings| LocalizationReport {
+        program: ctx.name.clone(),
+        op: site.op,
+        ordinal: site.ordinal,
+        mutated_unit: site.unit.clone(),
+        description: site.description.clone(),
+        status,
+        timings,
+    };
+
+    let mut sw = Stopwatch::start();
+    let Some(mutant_ast) = apply(&ctx.ast, site) else {
+        return report(
+            MutantStatus::Stillborn {
+                reason: "mutation site not found".into(),
+            },
+            timings,
+        );
+    };
+    let source = print_program(&mutant_ast);
+    let module = match compile(&source) {
+        Ok(m) => m,
+        Err(e) => {
+            timings.transform += sw.lap();
+            return report(MutantStatus::Stillborn { reason: e.message }, timings);
+        }
+    };
+    let prepared = match session::prepare(&module) {
+        Ok(p) => p,
+        Err(e) => {
+            timings.transform += sw.lap();
+            return report(MutantStatus::Stillborn { reason: e.message }, timings);
+        }
+    };
+    timings.transform += sw.lap();
+
+    let run = match session::run_traced_limited(&prepared, ctx.input.iter().cloned(), limits) {
+        Ok(r) => r,
+        Err(e) => {
+            timings.trace += sw.lap();
+            return report(MutantStatus::Crashed { error: e.message }, timings);
+        }
+    };
+    timings.trace += sw.lap();
+
+    // Killed means *observably* killed: the program output or a top-level
+    // invocation's In/Out interface differs. Internal-only divergence is
+    // masked — no symptom a user could hand to the debugger.
+    let observable =
+        run.output != ctx.golden_run.output || interface_render(&run.tree) != ctx.golden_interface;
+    if !observable {
+        let diverged = run.tree.render(run.tree.root) != ctx.golden_render;
+        return report(
+            if diverged {
+                MutantStatus::Masked
+            } else {
+                MutantStatus::Equivalent
+            },
+            timings,
+        );
+    }
+
+    let with = debug_against_golden(ctx, &prepared, &run, true);
+    let without = debug_against_golden(ctx, &prepared, &run, false);
+    timings.debug += sw.lap();
+
+    let unit = match &with.result {
+        DebugResult::BugLocalized { unit, .. } => unit.clone(),
+        DebugResult::NoBugFound => {
+            // The start node is assumed incorrect, so a started search
+            // always localizes; a killed mutant reaching here means the
+            // root had no children at all — blame the program unit.
+            ctx.name.clone()
+        }
+    };
+    // Loop units belong to their owning procedure's body; a bug placed in
+    // `loop in p` is a bug in `p`.
+    let blamed = unit.strip_prefix("loop in ").unwrap_or(&unit);
+    let exact = blamed.eq_ignore_ascii_case(&site.unit);
+    let (mut ev, mut st, mut ca) = (0, 0, 0);
+    for s in &with.slice_stats {
+        ev += s.events;
+        st += s.stmts;
+        ca += s.calls;
+    }
+    report(
+        MutantStatus::Localized {
+            unit,
+            exact,
+            questions_with_slicing: with.total_queries(),
+            questions_without_slicing: without.total_queries(),
+            slices_taken: with.slices_taken,
+            slice_events: ev,
+            slice_stmts: st,
+            slice_calls: ca,
+        },
+        timings,
+    )
+}
+
+fn debug_against_golden(
+    ctx: &GoldenCtx,
+    prepared: &PreparedProgram,
+    run: &TracedRun,
+    slicing: bool,
+) -> DebugOutcome {
+    // The oracle judges the mutant's transformed tree against the golden
+    // program's transformed tree, so In/Out shapes line up.
+    let golden_module: &Module = &ctx.prepared.transformed.module;
+    let oracle = GoldenOracle::from_tree(golden_module, ctx.golden_run.tree.clone());
+    let mut chain = ChainOracle::new();
+    chain.push(CountingOracle::new(oracle));
+    session::debug(
+        prepared,
+        run,
+        &mut chain,
+        DebugConfig {
+            strategy: Strategy::TopDown,
+            slicing,
+        },
+    )
+}
+
+/// Seeded Fisher–Yates prefix selection, then restored to campaign
+/// order: deterministic in `seed`, independent of thread count.
+fn subsample(
+    mut work: Vec<(usize, MutationSite)>,
+    max: usize,
+    seed: u64,
+) -> Vec<(usize, MutationSite)> {
+    let mut state = seed ^ 0x9E37_79B9_7F4A_7C15;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        state >> 33
+    };
+    let n = work.len();
+    for i in 0..max.min(n) {
+        let j = i + (next() as usize) % (n - i);
+        work.swap(i, j);
+    }
+    work.truncate(max);
+    work.sort_by_key(|(prog, site)| (*prog, site.op, site.ordinal));
+    work
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gadt_pascal::testprogs;
+
+    fn small_campaign(threads: usize) -> CampaignSummary {
+        let programs = vec![CampaignProgram::new("pqr", testprogs::PQR_FIXED)];
+        let config = CampaignConfig {
+            threads,
+            max_mutants: 12,
+            ..CampaignConfig::default()
+        };
+        run_campaign(&programs, &config).unwrap()
+    }
+
+    #[test]
+    fn campaign_runs_and_reports() {
+        let summary = small_campaign(1);
+        assert_eq!(summary.total(), 12);
+        assert!(summary.localized() > 0, "{}", summary.fingerprint());
+        let rendered = summary.render();
+        assert!(rendered.contains("mutants: 12 total"), "{rendered}");
+    }
+
+    #[test]
+    fn thread_count_does_not_change_the_fingerprint() {
+        let one = small_campaign(1).fingerprint();
+        let four = small_campaign(4).fingerprint();
+        assert_eq!(one, four);
+    }
+
+    #[test]
+    fn subsampling_is_seed_deterministic() {
+        let p = parse_program(testprogs::SQRTEST_FIXED).unwrap();
+        let sites = enumerate_sites(&p);
+        let work: Vec<(usize, MutationSite)> = sites.into_iter().map(|s| (0, s)).collect();
+        let a = subsample(work.clone(), 10, 42);
+        let b = subsample(work.clone(), 10, 42);
+        let c = subsample(work, 10, 43);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.len(), 10);
+    }
+
+    #[test]
+    fn golden_failure_is_a_campaign_error() {
+        let programs = vec![CampaignProgram::new("bad", "program x; begin y := 1 end.")];
+        let err = run_campaign(&programs, &CampaignConfig::default()).unwrap_err();
+        assert!(err.contains("bad"), "{err}");
+    }
+}

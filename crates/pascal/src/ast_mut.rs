@@ -1,0 +1,417 @@
+//! Mutable AST visitors and structural normalization.
+//!
+//! The immutable walkers in [`crate::ast`] serve the analyses; this
+//! module adds their mutating counterparts, which the fault-injection
+//! engine (`gadt-mutate`) uses to plant bugs into parsed programs, plus
+//! deterministic id renumbering and a normal form for AST comparison
+//! "modulo spans" (used by the parse → print → re-parse round-trip
+//! suite).
+
+use crate::ast::*;
+use crate::span::Span;
+
+/// Visits `stmt` and every statement nested inside it, pre-order.
+///
+/// The callback runs *before* the children are visited, so a callback
+/// that rewrites `stmt.kind` (e.g. replacing an assignment with a
+/// compound) will have the replacement's children visited too.
+pub fn walk_stmt_mut(stmt: &mut Stmt, visit: &mut dyn FnMut(&mut Stmt)) {
+    visit(stmt);
+    match &mut stmt.kind {
+        StmtKind::Compound(stmts) | StmtKind::Repeat { body: stmts, .. } => {
+            for s in stmts {
+                walk_stmt_mut(s, visit);
+            }
+        }
+        StmtKind::If {
+            then_branch,
+            else_branch,
+            ..
+        } => {
+            walk_stmt_mut(then_branch, visit);
+            if let Some(e) = else_branch {
+                walk_stmt_mut(e, visit);
+            }
+        }
+        StmtKind::Case { arms, else_arm, .. } => {
+            for a in arms {
+                walk_stmt_mut(&mut a.stmt, visit);
+            }
+            if let Some(e) = else_arm {
+                walk_stmt_mut(e, visit);
+            }
+        }
+        StmtKind::While { body, .. } | StmtKind::For { body, .. } => walk_stmt_mut(body, visit),
+        StmtKind::Labeled { stmt, .. } => walk_stmt_mut(stmt, visit),
+        StmtKind::Empty
+        | StmtKind::Assign { .. }
+        | StmtKind::Call { .. }
+        | StmtKind::Goto(_)
+        | StmtKind::Read { .. }
+        | StmtKind::Write { .. } => {}
+    }
+}
+
+/// Visits `expr` and every expression nested inside it, pre-order.
+pub fn walk_expr_mut(expr: &mut Expr, visit: &mut dyn FnMut(&mut Expr)) {
+    visit(expr);
+    match &mut expr.kind {
+        ExprKind::Index { index, .. } => walk_expr_mut(index, visit),
+        ExprKind::Call { args, .. } => {
+            for a in args {
+                walk_expr_mut(a, visit);
+            }
+        }
+        ExprKind::Unary { operand, .. } => walk_expr_mut(operand, visit),
+        ExprKind::Binary { lhs, rhs, .. } => {
+            walk_expr_mut(lhs, visit);
+            walk_expr_mut(rhs, visit);
+        }
+        ExprKind::IntLit(_)
+        | ExprKind::RealLit(_)
+        | ExprKind::BoolLit(_)
+        | ExprKind::StrLit(_)
+        | ExprKind::Name(_) => {}
+    }
+}
+
+/// Visits the expressions owned *directly* by one statement node (not
+/// those of nested statements), each recursively via [`walk_expr_mut`].
+/// Array-index expressions of assignment and `read` targets are
+/// included.
+pub fn walk_stmt_exprs_mut(stmt: &mut Stmt, visit: &mut dyn FnMut(&mut Expr)) {
+    match &mut stmt.kind {
+        StmtKind::Assign { lhs, rhs } => {
+            if let Some(i) = &mut lhs.index {
+                walk_expr_mut(i, visit);
+            }
+            walk_expr_mut(rhs, visit);
+        }
+        StmtKind::Call { args, .. } | StmtKind::Write { args, .. } => {
+            for a in args {
+                walk_expr_mut(a, visit);
+            }
+        }
+        StmtKind::If { cond, .. }
+        | StmtKind::While { cond, .. }
+        | StmtKind::Repeat { cond, .. } => walk_expr_mut(cond, visit),
+        StmtKind::Case { scrutinee, .. } => walk_expr_mut(scrutinee, visit),
+        StmtKind::For { from, to, .. } => {
+            walk_expr_mut(from, visit);
+            walk_expr_mut(to, visit);
+        }
+        StmtKind::Read { args, .. } => {
+            for lv in args {
+                if let Some(i) = &mut lv.index {
+                    walk_expr_mut(i, visit);
+                }
+            }
+        }
+        StmtKind::Empty | StmtKind::Compound(_) | StmtKind::Goto(_) | StmtKind::Labeled { .. } => {}
+    }
+}
+
+/// Visits every procedure declaration of the program, depth-first in
+/// declaration order (the same order as [`Program::walk_procs`]). The
+/// callback receives each declaration before its nested declarations;
+/// it should restrict itself to the declaration's *own* body
+/// (`block.body`), since nested procedures get their own visit.
+pub fn walk_procs_mut(program: &mut Program, visit: &mut dyn FnMut(&mut ProcDecl)) {
+    fn rec(block: &mut Block, visit: &mut dyn FnMut(&mut ProcDecl)) {
+        for p in &mut block.procs {
+            visit(p);
+            rec(&mut p.block, visit);
+        }
+    }
+    rec(&mut program.block, visit);
+}
+
+/// Reassigns every statement and expression id (including `LValue` ids)
+/// in a deterministic traversal order — procedures depth-first in
+/// declaration order, then the main body — and resets the program's
+/// fresh-id counters.
+///
+/// Mutation operators clone or synthesize AST nodes, which leaves
+/// duplicate or placeholder ids behind; renumbering restores the
+/// "ids are unique per program" invariant semantic analysis relies on.
+pub fn renumber(program: &mut Program) {
+    let mut next_stmt: u32 = 0;
+    let mut next_expr: u32 = 0;
+    {
+        let mut number_body = |body: &mut Vec<Stmt>| {
+            for s in body {
+                walk_stmt_mut(s, &mut |s| {
+                    s.id = StmtId(next_stmt);
+                    next_stmt += 1;
+                    if let StmtKind::Assign { lhs, .. } = &mut s.kind {
+                        lhs.id = ExprId(next_expr);
+                        next_expr += 1;
+                    }
+                    if let StmtKind::Read { args, .. } = &mut s.kind {
+                        for lv in args {
+                            lv.id = ExprId(next_expr);
+                            next_expr += 1;
+                        }
+                    }
+                    walk_stmt_exprs_mut(s, &mut |e| {
+                        e.id = ExprId(next_expr);
+                        next_expr += 1;
+                    });
+                });
+            }
+        };
+        let mut bodies: Vec<&mut Vec<Stmt>> = Vec::new();
+        collect_bodies(&mut program.block, &mut bodies);
+        for body in bodies {
+            number_body(body);
+        }
+    }
+    program.next_stmt_id = next_stmt;
+    program.next_expr_id = next_expr;
+}
+
+/// Collects every procedure body (depth-first, declaration order) and
+/// finally the enclosing block's own body — the canonical body order
+/// used by [`renumber`].
+fn collect_bodies<'a>(block: &'a mut Block, out: &mut Vec<&'a mut Vec<Stmt>>) {
+    for p in &mut block.procs {
+        collect_bodies(&mut p.block, out);
+    }
+    out.push(&mut block.body);
+}
+
+/// Rewrites every span in the program to [`Span::dummy`], erasing
+/// source positions. Combined with [`normalize`] this gives the
+/// "equality modulo spans" notion the round-trip suite asserts.
+pub fn strip_spans(program: &mut Program) {
+    program.span = Span::dummy();
+    program.name.span = Span::dummy();
+    strip_block(&mut program.block);
+}
+
+fn strip_block(block: &mut Block) {
+    block.span = Span::dummy();
+    for l in &mut block.labels {
+        l.span = Span::dummy();
+    }
+    for c in &mut block.consts {
+        c.span = Span::dummy();
+        c.name.span = Span::dummy();
+    }
+    for t in &mut block.types {
+        t.span = Span::dummy();
+        t.name.span = Span::dummy();
+        strip_type(&mut t.ty);
+    }
+    for v in &mut block.vars {
+        v.span = Span::dummy();
+        for n in &mut v.names {
+            n.span = Span::dummy();
+        }
+        strip_type(&mut v.ty);
+    }
+    for p in &mut block.procs {
+        p.span = Span::dummy();
+        p.name.span = Span::dummy();
+        for g in &mut p.params {
+            g.span = Span::dummy();
+            for n in &mut g.names {
+                n.span = Span::dummy();
+            }
+            strip_type(&mut g.ty);
+        }
+        if let Some(rt) = &mut p.return_type {
+            strip_type(rt);
+        }
+        strip_block(&mut p.block);
+    }
+    for s in &mut block.body {
+        strip_stmt(s);
+    }
+}
+
+fn strip_type(t: &mut TypeExpr) {
+    match t {
+        TypeExpr::Named(n) => n.span = Span::dummy(),
+        TypeExpr::Array { lo, hi, elem, span } => {
+            *span = Span::dummy();
+            for b in [lo, hi] {
+                if let ArrayBound::Const(c) = b {
+                    c.span = Span::dummy();
+                }
+            }
+            strip_type(elem);
+        }
+    }
+}
+
+fn strip_stmt(stmt: &mut Stmt) {
+    walk_stmt_mut(stmt, &mut |s| {
+        s.span = Span::dummy();
+        match &mut s.kind {
+            StmtKind::Assign { lhs, .. } => {
+                lhs.span = Span::dummy();
+                lhs.base.span = Span::dummy();
+            }
+            StmtKind::Call { name, .. } => name.span = Span::dummy(),
+            StmtKind::For { var, .. } => var.span = Span::dummy(),
+            StmtKind::Goto(l) => l.span = Span::dummy(),
+            StmtKind::Labeled { label, .. } => label.span = Span::dummy(),
+            StmtKind::Read { args, .. } => {
+                for lv in args {
+                    lv.span = Span::dummy();
+                    lv.base.span = Span::dummy();
+                }
+            }
+            _ => {}
+        }
+        walk_stmt_exprs_mut(s, &mut |e| {
+            e.span = Span::dummy();
+            match &mut e.kind {
+                ExprKind::Name(n) => n.span = Span::dummy(),
+                ExprKind::Index { base, .. } => base.span = Span::dummy(),
+                ExprKind::Call { name, .. } => name.span = Span::dummy(),
+                _ => {}
+            }
+        });
+    });
+}
+
+/// Brings a program into the comparison normal form:
+///
+/// 1. empty statements are pruned from statement sequences, and
+///    childless compounds collapse to the empty statement (the printer
+///    drops both, so a re-parsed program can differ only in them);
+/// 2. spans are erased ([`strip_spans`]);
+/// 3. ids are renumbered deterministically ([`renumber`]), so two
+///    structurally identical programs get identical ids.
+///
+/// Two parses are "equal modulo spans" exactly when their normal forms
+/// are `==`.
+pub fn normalize(program: &mut Program) {
+    normalize_block(&mut program.block);
+    strip_spans(program);
+    renumber(program);
+}
+
+fn normalize_block(block: &mut Block) {
+    for p in &mut block.procs {
+        normalize_block(&mut p.block);
+    }
+    for s in &mut block.body {
+        normalize_stmt(s);
+    }
+    block.body.retain(|s| !matches!(s.kind, StmtKind::Empty));
+}
+
+fn normalize_stmt(stmt: &mut Stmt) {
+    match &mut stmt.kind {
+        StmtKind::Compound(stmts) | StmtKind::Repeat { body: stmts, .. } => {
+            for s in stmts.iter_mut() {
+                normalize_stmt(s);
+            }
+            stmts.retain(|s| !matches!(s.kind, StmtKind::Empty));
+        }
+        StmtKind::If {
+            then_branch,
+            else_branch,
+            ..
+        } => {
+            normalize_stmt(then_branch);
+            if let Some(e) = else_branch {
+                normalize_stmt(e);
+            }
+        }
+        StmtKind::Case { arms, else_arm, .. } => {
+            for a in arms {
+                normalize_stmt(&mut a.stmt);
+            }
+            if let Some(e) = else_arm {
+                normalize_stmt(e);
+            }
+        }
+        StmtKind::While { body, .. } | StmtKind::For { body, .. } => normalize_stmt(body),
+        StmtKind::Labeled { stmt, .. } => normalize_stmt(stmt),
+        _ => {}
+    }
+    // A compound left empty is the empty statement.
+    if matches!(&stmt.kind, StmtKind::Compound(stmts) if stmts.is_empty()) {
+        stmt.kind = StmtKind::Empty;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    #[test]
+    fn walk_stmt_mut_visits_everything() {
+        let mut p = parse_program(crate::testprogs::SQRTEST).unwrap();
+        let mut immut = 0;
+        p.block.walk_stmts(&mut |_| immut += 1);
+        crate::ast::Program::walk_procs(&p.clone(), &mut |_, pd| {
+            pd.block.walk_stmts(&mut |_| immut += 1)
+        });
+        let mut mutable = 0;
+        let mut count = |body: &mut Vec<Stmt>| {
+            for s in body {
+                walk_stmt_mut(s, &mut |_| mutable += 1);
+            }
+        };
+        let mut bodies = Vec::new();
+        collect_bodies(&mut p.block, &mut bodies);
+        for b in bodies {
+            count(b);
+        }
+        assert_eq!(immut, mutable);
+    }
+
+    #[test]
+    fn renumber_makes_ids_unique_and_dense() {
+        let mut p = parse_program(crate::testprogs::PQR).unwrap();
+        // Clone a statement to create a duplicate id.
+        let dup = p.block.body[0].clone();
+        p.block.body.push(dup);
+        renumber(&mut p);
+        let mut seen = std::collections::BTreeSet::new();
+        let mut bodies = Vec::new();
+        collect_bodies(&mut p.block, &mut bodies);
+        for body in bodies {
+            for s in body.iter_mut() {
+                walk_stmt_mut(s, &mut |s| {
+                    assert!(seen.insert(s.id), "duplicate id {}", s.id);
+                });
+            }
+        }
+        assert_eq!(seen.len() as u32, p.next_stmt_id);
+        assert_eq!(
+            seen.iter().map(|s| s.0).max().map(|m| m + 1),
+            Some(p.next_stmt_id)
+        );
+    }
+
+    #[test]
+    fn normalize_prunes_trailing_empty_statements() {
+        let a = {
+            let mut p = parse_program("program t; var x: integer; begin x := 1; end.").unwrap();
+            normalize(&mut p);
+            p
+        };
+        let b = {
+            let mut p = parse_program("program t; var x: integer; begin x := 1 end.").unwrap();
+            normalize(&mut p);
+            p
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn normalized_programs_detect_real_differences() {
+        let mut a = parse_program("program t; var x: integer; begin x := 1 end.").unwrap();
+        let mut b = parse_program("program t; var x: integer; begin x := 2 end.").unwrap();
+        normalize(&mut a);
+        normalize(&mut b);
+        assert_ne!(a, b);
+    }
+}

@@ -43,6 +43,7 @@
 #![forbid(unsafe_code)]
 
 pub mod ast;
+pub mod ast_mut;
 pub mod cfg;
 pub mod error;
 pub mod interp;

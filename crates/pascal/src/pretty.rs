@@ -26,7 +26,7 @@ use std::fmt::Write as _;
 /// ```
 pub fn print_program(program: &Program) -> String {
     let keep_all = |_: StmtId| true;
-    Printer::new(&keep_all).program(program)
+    Printer::full(&keep_all).program(program)
 }
 
 /// Renders the program restricted to the statements in `keep`.
@@ -43,6 +43,10 @@ struct Printer<'k> {
     keep: &'k dyn Fn(StmtId) -> bool,
     out: String,
     indent: usize,
+    /// Whether unreferenced declarations and statement-free procedures
+    /// are dropped (slice printing). Full-program printing keeps every
+    /// declaration so printing is lossless up to empty statements.
+    prune_decls: bool,
 }
 
 impl<'k> Printer<'k> {
@@ -51,6 +55,14 @@ impl<'k> Printer<'k> {
             keep,
             out: String::new(),
             indent: 0,
+            prune_decls: true,
+        }
+    }
+
+    fn full(keep: &'k dyn Fn(StmtId) -> bool) -> Self {
+        Printer {
+            prune_decls: false,
+            ..Printer::new(keep)
         }
     }
 
@@ -60,6 +72,10 @@ impl<'k> Printer<'k> {
         }
         self.out.push_str(s);
         self.out.push('\n');
+    }
+
+    fn keeps_name(&self, used: &BTreeSet<String>, key: &str) -> bool {
+        !self.prune_decls || used.contains(key)
     }
 
     fn kept(&self, s: &Stmt) -> bool {
@@ -91,7 +107,7 @@ impl<'k> Printer<'k> {
         let used_labels: Vec<&Ident> = b
             .labels
             .iter()
-            .filter(|l| used.contains(&l.key()))
+            .filter(|l| self.keeps_name(used, &l.key()))
             .collect();
         if !used_labels.is_empty() {
             let names: Vec<String> = used_labels.iter().map(|l| l.name.clone()).collect();
@@ -100,7 +116,7 @@ impl<'k> Printer<'k> {
         let used_consts: Vec<&ConstDecl> = b
             .consts
             .iter()
-            .filter(|c| used.contains(&c.name.key()))
+            .filter(|c| self.keeps_name(used, &c.name.key()))
             .collect();
         if !used_consts.is_empty() {
             self.line("const");
@@ -119,7 +135,7 @@ impl<'k> Printer<'k> {
         let used_types: Vec<&TypeDecl> = b
             .types
             .iter()
-            .filter(|t| used.contains(&t.name.key()))
+            .filter(|t| self.keeps_name(used, &t.name.key()))
             .collect();
         if !used_types.is_empty() {
             self.line("type");
@@ -134,7 +150,7 @@ impl<'k> Printer<'k> {
             let names: Vec<String> = g
                 .names
                 .iter()
-                .filter(|n| used.contains(&n.key()))
+                .filter(|n| self.keeps_name(used, &n.key()))
                 .map(|n| n.name.clone())
                 .collect();
             if !names.is_empty() {
@@ -150,7 +166,7 @@ impl<'k> Printer<'k> {
             self.indent -= 1;
         }
         for proc in &b.procs {
-            if self.proc_is_kept(proc) {
+            if !self.prune_decls || self.proc_is_kept(proc) {
                 self.proc_decl(proc, used);
             }
         }

@@ -382,6 +382,74 @@ begin
 end.
 "#;
 
+/// A multi-level call-chain program built for mutation campaigns.
+///
+/// Each level calls a cheap *probe* procedure before descending into the
+/// deeper chain, so a dynamic slice that excludes the probe lets the
+/// debugger skip an earlier sibling at every level — the structural
+/// situation where slicing-pruned algorithmic debugging saves questions
+/// over the plain top-down search (§2, §5 of the paper).
+pub const MULTICHAIN: &str = r#"
+program chain;
+var a, u1, v1, total: integer;
+
+procedure probe1(x: integer; var r: integer);
+begin
+  r := x + 1;
+end;
+
+procedure probe2(x: integer; var r: integer);
+begin
+  r := x - 1;
+end;
+
+procedure probe3(x: integer; var r: integer);
+var i: integer;
+begin
+  r := 0;
+  i := 0;
+  while i < x do begin
+    i := i + 1;
+    r := r + 2;
+  end;
+end;
+
+procedure core3(x: integer; var r: integer);
+begin
+  r := x * 3 - 4;
+end;
+
+procedure level3(x: integer; var s, t: integer);
+begin
+  probe3(x, s);
+  core3(x, t);
+end;
+
+procedure level2(x: integer; var s, t: integer);
+var p, q: integer;
+begin
+  probe2(x, s);
+  level3(x, p, q);
+  t := p + q;
+  if t < 0 then t := 0;
+end;
+
+procedure level1(x: integer; var s, t: integer);
+var p, q: integer;
+begin
+  probe1(x, s);
+  level2(x, p, q);
+  t := p - q + x;
+end;
+
+begin
+  a := 5;
+  level1(a, u1, v1);
+  total := u1 + v1;
+  writeln(total);
+end.
+"#;
+
 /// All named fixtures, for data-driven tests.
 pub const ALL: &[(&str, &str)] = &[
     ("sqrtest", SQRTEST),
@@ -393,6 +461,7 @@ pub const ALL: &[(&str, &str)] = &[
     ("section6_globals", SECTION6_GLOBALS),
     ("section6_goto", SECTION6_GOTO),
     ("section6_loop_goto", SECTION6_LOOP_GOTO),
+    ("multichain", MULTICHAIN),
 ];
 
 #[cfg(test)]

@@ -1,0 +1,130 @@
+//! Conformance harness for the mutation-based fault-injection engine:
+//! a fixed-seed campaign across three known-good testprogs must be
+//! localized accurately, deterministically at any thread count, and
+//! with slicing saving questions on most mutants.
+
+use gadt_mutate::campaign::{run_campaign, CampaignConfig, CampaignProgram};
+use gadt_mutate::operators::MutOp;
+use gadt_mutate::report::{CampaignSummary, MutantStatus};
+use gadt_pascal::testprogs;
+use std::collections::BTreeSet;
+
+fn campaign_programs() -> Vec<CampaignProgram> {
+    vec![
+        CampaignProgram::new("sqrtest", testprogs::SQRTEST_FIXED),
+        CampaignProgram::new("pqr", testprogs::PQR_FIXED),
+        CampaignProgram::new("multichain", testprogs::MULTICHAIN),
+    ]
+}
+
+fn full_config(threads: usize) -> CampaignConfig {
+    CampaignConfig {
+        seed: 2026,
+        max_mutants: 0,
+        threads,
+        ..CampaignConfig::default()
+    }
+}
+
+fn run_full(threads: usize) -> CampaignSummary {
+    run_campaign(&campaign_programs(), &full_config(threads)).expect("golden programs are good")
+}
+
+/// The headline acceptance bar: ≥ 100 mutants over ≥ 3 programs, ≥ 90%
+/// exact-unit localization, and slicing strictly fewer questions than the
+/// unpruned search on at least half the localized mutants — all from one
+/// fixed seed, byte-identical at 1, 2, and 8 worker threads.
+#[test]
+fn full_campaign_meets_conformance_bar_and_is_thread_deterministic() {
+    let one = run_full(1);
+    let two = run_full(2);
+    let eight = run_full(8);
+    assert_eq!(one.fingerprint(), two.fingerprint(), "1 vs 2 threads");
+    assert_eq!(one.fingerprint(), eight.fingerprint(), "1 vs 8 threads");
+
+    let programs: BTreeSet<&str> = one.reports.iter().map(|r| r.program.as_str()).collect();
+    assert!(programs.len() >= 3, "campaign spans {programs:?}");
+    assert!(one.total() >= 100, "only {} mutants", one.total());
+
+    let accuracy = one.accuracy().expect("campaign localized mutants");
+    assert!(
+        accuracy >= 0.90,
+        "exact-unit localization {:.1}% below the 90% bar:\n{}",
+        accuracy * 100.0,
+        misses(&one)
+    );
+    assert!(
+        2 * one.strictly_fewer() >= one.localized(),
+        "slicing saved questions on only {}/{} mutants",
+        one.strictly_fewer(),
+        one.localized()
+    );
+    let with = one.mean_questions_with_slicing().unwrap();
+    let without = one.mean_questions_without_slicing().unwrap();
+    assert!(
+        with < without,
+        "mean questions with slicing ({with:.2}) not below without ({without:.2})"
+    );
+}
+
+/// Omission faults (deleted assignments) historically defeated dynamic
+/// slicing: the deleted write leaves no dependence edge, so a naive slice
+/// prunes away the faulty unit. The slicer compensates by keeping every
+/// candidate writer of an undefined location; this pins that every
+/// localized deleted-assignment mutant is blamed on exactly its unit.
+#[test]
+fn deleted_assignments_are_localized_exactly() {
+    let summary = run_full(0);
+    for r in &summary.reports {
+        if r.op != MutOp::DeleteAssign {
+            continue;
+        }
+        if let MutantStatus::Localized { unit, exact, .. } = &r.status {
+            assert!(
+                exact,
+                "omission fault in `{}` blamed on `{}`: {}",
+                r.mutated_unit,
+                unit,
+                r.render_line()
+            );
+        }
+    }
+}
+
+/// The bounded smoke tier `ci.sh` runs: a seeded subsample must stay
+/// deterministic and keep the same localization quality.
+#[test]
+fn bounded_smoke_campaign_is_deterministic_and_accurate() {
+    let config = CampaignConfig {
+        seed: 2026,
+        max_mutants: 50,
+        threads: 0,
+        ..CampaignConfig::default()
+    };
+    let a = run_campaign(&campaign_programs(), &config).expect("golden programs are good");
+    let b = run_campaign(&campaign_programs(), &config).expect("golden programs are good");
+    assert_eq!(
+        a.fingerprint(),
+        b.fingerprint(),
+        "smoke tier must be stable"
+    );
+    assert_eq!(a.total(), 50);
+    assert!(a.localized() > 0, "{}", a.render());
+    let accuracy = a.accuracy().expect("smoke campaign localized mutants");
+    assert!(
+        accuracy >= 0.90,
+        "smoke accuracy {:.1}%:\n{}",
+        accuracy * 100.0,
+        misses(&a)
+    );
+}
+
+fn misses(summary: &CampaignSummary) -> String {
+    summary
+        .reports
+        .iter()
+        .filter(|r| matches!(r.status, MutantStatus::Localized { exact: false, .. }))
+        .map(|r| r.render_line())
+        .collect::<Vec<_>>()
+        .join("\n")
+}

@@ -270,3 +270,69 @@ fn e12_misnamed_variable() {
         out.render_transcript()
     );
 }
+
+/// Golden transcript — the §3 P/Q/R session, pinned verbatim. Any change
+/// to traversal order, question wording, or answer attribution fails here
+/// loudly instead of silently drifting from the paper.
+#[test]
+fn golden_transcript_pqr_session() {
+    let buggy = compile(testprogs::PQR).unwrap();
+    let fixed = compile(testprogs::PQR_FIXED).unwrap();
+    let prepared = prepare(&buggy).unwrap();
+    let run = run_traced(&prepared, []).unwrap();
+    let mut chain = ChainOracle::new();
+    chain.push(CountingOracle::new(
+        ReferenceOracle::new(&fixed, []).unwrap(),
+    ));
+    let out = debug(
+        &prepared,
+        &run,
+        &mut chain,
+        DebugConfig {
+            slicing: false,
+            ..Default::default()
+        },
+    );
+    let expected = "\
+p(In a: 5, In c: 7, Out b: 10, Out d: 10)?
+> no, error on output variable 2    [simulated user (reference implementation)]
+q(In a: 5, Out b: 10)?
+> yes    [simulated user (reference implementation)]
+r(In c: 7, Out d: 10)?
+> no, error on output variable 1    [simulated user (reference implementation)]
+An error is localized inside the body of r.";
+    assert_eq!(out.render_transcript().trim_end(), expected);
+}
+
+/// Golden transcript — the §8 slicing-pruned SQRTEST session, pinned
+/// verbatim: seven questions straight down the pruned spine to
+/// `decrement`, exactly the paper's walkthrough.
+#[test]
+fn golden_transcript_sqrtest_sliced_session() {
+    let buggy = compile(testprogs::SQRTEST).unwrap();
+    let fixed = compile(testprogs::SQRTEST_FIXED).unwrap();
+    let prepared = prepare(&buggy).unwrap();
+    let run = run_traced(&prepared, []).unwrap();
+    let mut chain = ChainOracle::new();
+    chain.push(CountingOracle::new(
+        ReferenceOracle::new(&fixed, []).unwrap(),
+    ));
+    let out = debug(&prepared, &run, &mut chain, DebugConfig::default());
+    let expected = "\
+sqrtest(In ary: [1,2], In n: 2, Out isok: false)?
+> no, error on output variable 1    [simulated user (reference implementation)]
+arrsum(In a: [1,2], In n: 2, Out b: 3)?
+> yes    [simulated user (reference implementation)]
+computs(In y: 3, Out r1: 12, Out r2: 9)?
+> no, error on output variable 1    [simulated user (reference implementation)]
+comput1(In y: 3, Out r1: 12)?
+> no, error on output variable 1    [simulated user (reference implementation)]
+partialsums(In y: 3, Out s1: 6, Out s2: 6)?
+> no, error on output variable 2    [simulated user (reference implementation)]
+sum2(In y: 3, Out s2: 6)?
+> no, error on output variable 1    [simulated user (reference implementation)]
+decrement(In y: 3) = 4?
+> no, error on output variable 1    [simulated user (reference implementation)]
+An error is localized inside the body of decrement.";
+    assert_eq!(out.render_transcript().trim_end(), expected);
+}

@@ -128,6 +128,60 @@ mod deterministic {
         }
     }
 
+    /// Slice soundness: a backward dynamic slice must contain every traced
+    /// write that flowed into the criterion — i.e. the slice's event set is
+    /// closed under both data and control dependences, starting from the
+    /// criterion's defining event. A miss prints the offending program and
+    /// seed so the case can be replayed.
+    #[test]
+    fn dynamic_slice_contains_every_contributing_write() {
+        use gadt_analysis::dyntrace::record_trace;
+        use gadt_analysis::slice_dynamic::dynamic_slice_output;
+        for (procs, seed) in grid() {
+            let src = gen_source(procs, seed);
+            let m = compile(&src).unwrap();
+            let cfg = gadt_pascal::cfg::lower(&m);
+            let trace = record_trace(&m, &cfg, []).unwrap();
+            for call in &trace.calls {
+                for k in 0..call.outs.len() {
+                    let slice = dynamic_slice_output(&m, &trace, call.id, k);
+                    for &e in &slice.events {
+                        let ev = &trace.events[e];
+                        for &d in &ev.data_deps {
+                            assert!(
+                                slice.events.contains(&d),
+                                "procs={procs} seed={seed} call={} out={k}: event {e} \
+                                 depends on write {d} which the slice misses\n{src}",
+                                call.id
+                            );
+                        }
+                        if let Some(c) = ev.control_dep {
+                            assert!(
+                                slice.events.contains(&c),
+                                "procs={procs} seed={seed} call={} out={k}: event {e} \
+                                 is controlled by {c} which the slice misses\n{src}",
+                                call.id
+                            );
+                        }
+                        assert!(
+                            slice.keeps_call(ev.call),
+                            "procs={procs} seed={seed}: sliced event {e} lives in a \
+                             pruned call\n{src}"
+                        );
+                    }
+                    // A generated program initializes everything it reads,
+                    // so its slices must never need omission repair.
+                    assert!(
+                        slice.complete,
+                        "procs={procs} seed={seed} call={} out={k}: spurious \
+                         incomplete slice\n{src}",
+                        call.id
+                    );
+                }
+            }
+        }
+    }
+
     #[test]
     fn debugger_localizes_planted_mutations() {
         use gadt_bench::measure::{measure_session, MethodConfig};
