@@ -10,11 +10,20 @@ cargo fmt --all -- --check
 echo "==> cargo clippy -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> cargo doc (warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
 echo "==> cargo test"
 cargo test --workspace -q
 
 echo "==> parallel determinism harness"
 cargo test -q --test parallel_determinism
+
+# Observability smoke tier: the golden §8 session traced with exact
+# journal counters, every journal line revalidated as JSON, and the
+# campaign journal fingerprint pinned across 1/2/8 worker threads.
+echo "==> observability smoke (golden counters + JSON-lines journal)"
+cargo test -q --test observability
 
 # Bounded mutation smoke tier: fixed seed 2026, at most 50 mutants, run
 # twice to pin fingerprint stability plus the >= 90% localization bar.

@@ -150,6 +150,16 @@ impl DynTrace {
             .find(|e| e.defs.iter().any(|d| d.frame == frame && d.var == var))
             .map(|e| e.idx)
     }
+
+    /// Records this trace's sizes on `rec` as the counters
+    /// `trace.events`, `trace.calls` and `trace.loops`, plus one
+    /// `trace.runs` tick so merged journals count traced executions.
+    pub fn observe(&self, rec: &mut gadt_obs::Recorder) {
+        rec.incr("trace.runs");
+        rec.add("trace.events", self.events.len() as u64);
+        rec.add("trace.calls", self.calls.len() as u64);
+        rec.add("trace.loops", self.loops.len() as u64);
+    }
 }
 
 /// Records a dynamic trace while the interpreter runs.

@@ -15,6 +15,7 @@ use crate::dyntrace::DynTrace;
 use crate::slice_dynamic::{dynamic_slice_output, DynSlice};
 use gadt_pascal::sema::Module;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// A thread-safe memo cache of dynamic slices over one trace, keyed by
@@ -27,6 +28,7 @@ use std::sync::{Arc, Mutex};
 #[derive(Debug, Default)]
 pub struct SliceCache {
     slices: Mutex<HashMap<(u64, usize), Arc<DynSlice>>>,
+    requests: AtomicU64,
 }
 
 impl SliceCache {
@@ -44,6 +46,7 @@ impl SliceCache {
         call: u64,
         out_index: usize,
     ) -> Arc<DynSlice> {
+        self.requests.fetch_add(1, Ordering::Relaxed);
         if let Some(hit) = self
             .slices
             .lock()
@@ -68,6 +71,23 @@ impl SliceCache {
     /// Whether the cache is empty.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Total [`SliceCache::get_or_compute`] calls so far. The request
+    /// count depends only on how often callers ask, never on thread
+    /// interleaving, so it is safe to fold into deterministic journals
+    /// (unlike a hit/miss split, which races when two threads compute
+    /// the same criterion concurrently).
+    pub fn requests(&self) -> u64 {
+        self.requests.load(Ordering::Relaxed)
+    }
+
+    /// Records the cache's lifetime statistics on `rec` as the counters
+    /// `slice.cache.requests` and `slice.cache.computed` (distinct
+    /// criteria actually sliced). Cache *hits* are the difference.
+    pub fn observe(&self, rec: &mut gadt_obs::Recorder) {
+        rec.add("slice.cache.requests", self.requests());
+        rec.add("slice.cache.computed", self.len() as u64);
     }
 }
 
@@ -107,6 +127,41 @@ pub fn dynamic_slice_batch(
     criteria: &[(u64, usize)],
     threads: usize,
 ) -> (Vec<Arc<DynSlice>>, SliceCache) {
+    dynamic_slice_batch_observed(
+        module,
+        trace,
+        criteria,
+        threads,
+        &mut gadt_obs::Recorder::disabled(),
+    )
+}
+
+/// [`dynamic_slice_batch`] with instrumentation: wraps the batch in a
+/// `slice_batch` span tagged with the criterion count, records one
+/// `slice` point event per unique criterion (in deterministic sorted
+/// criterion order, tagged with the slice's event/stmt/call sizes), and
+/// folds in the cache statistics via [`SliceCache::observe`].
+pub fn dynamic_slice_batch_observed(
+    module: &Module,
+    trace: &DynTrace,
+    criteria: &[(u64, usize)],
+    threads: usize,
+    rec: &mut gadt_obs::Recorder,
+) -> (Vec<Arc<DynSlice>>, SliceCache) {
+    let span = gadt_obs::span!(rec, "slice_batch", criteria = criteria.len());
+    let (slices, cache) = slice_batch_inner(module, trace, criteria, threads, rec);
+    cache.observe(rec);
+    rec.exit(span);
+    (slices, cache)
+}
+
+fn slice_batch_inner(
+    module: &Module,
+    trace: &DynTrace,
+    criteria: &[(u64, usize)],
+    threads: usize,
+    rec: &mut gadt_obs::Recorder,
+) -> (Vec<Arc<DynSlice>>, SliceCache) {
     let cache = SliceCache::new();
     // Deduplicate first so each unique criterion is sliced exactly once,
     // however the batch repeats itself.
@@ -115,9 +170,23 @@ pub fn dynamic_slice_batch(
     unique.dedup();
 
     let pool = gadt_exec::BatchExecutor::new(threads);
-    pool.run(unique, |_, (call, k)| {
+    pool.run(unique.clone(), |_, (call, k)| {
         cache.get_or_compute(module, trace, call, k);
     });
+    if rec.is_enabled() {
+        for (call, k) in unique {
+            let s = cache.get_or_compute(module, trace, call, k);
+            gadt_obs::event!(
+                rec,
+                "slice",
+                call = call,
+                out = k,
+                events = s.events.len(),
+                stmts = s.stmts.len(),
+                calls = s.calls.len(),
+            );
+        }
+    }
 
     let slices = criteria
         .iter()
@@ -185,6 +254,40 @@ mod tests {
         let b = cache.get_or_compute(&m, &t, call, 0);
         assert!(Arc::ptr_eq(&a, &b));
         assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn observed_batch_is_thread_count_invariant() {
+        let (m, t) = sqrtest_trace();
+        let criteria = all_criteria(&t);
+        let journal_at = |threads: usize| {
+            let mut rec = gadt_obs::Recorder::untimed();
+            t.observe(&mut rec);
+            dynamic_slice_batch_observed(&m, &t, &criteria, threads, &mut rec);
+            rec.finish()
+        };
+        let one = journal_at(1);
+        assert_eq!(one.fingerprint(), journal_at(2).fingerprint());
+        assert_eq!(one.fingerprint(), journal_at(8).fingerprint());
+        assert_eq!(one.counter("trace.events"), t.events.len() as u64);
+        assert_eq!(one.counter("slice.cache.computed"), criteria.len() as u64);
+        assert!(one.counter("slice.cache.requests") >= one.counter("slice.cache.computed"));
+        assert_eq!(one.events_named("slice").count(), criteria.len());
+    }
+
+    #[test]
+    fn cache_counts_requests() {
+        let (m, t) = sqrtest_trace();
+        let cache = SliceCache::new();
+        let call = t.calls[1].id;
+        cache.get_or_compute(&m, &t, call, 0);
+        cache.get_or_compute(&m, &t, call, 0);
+        assert_eq!(cache.requests(), 2);
+        let mut rec = gadt_obs::Recorder::untimed();
+        cache.observe(&mut rec);
+        let j = rec.finish();
+        assert_eq!(j.counter("slice.cache.requests"), 2);
+        assert_eq!(j.counter("slice.cache.computed"), 1);
     }
 
     #[test]

@@ -52,7 +52,7 @@ pub struct DynSlice {
     /// deleted or misdirected write). Such slices are *repaired* before
     /// being returned: every call that could have written the undefined
     /// location — the call owning its frame, and every call that received
-    /// it by reference — is kept (see [`repair_omissions`]), so pruning on
+    /// it by reference — is kept (see `repair_omissions`), so pruning on
     /// the slice remains sound even for faults of omission.
     pub complete: bool,
 }

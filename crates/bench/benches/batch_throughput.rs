@@ -1,6 +1,6 @@
 //! Sequential-vs-parallel batch throughput (the `BatchExecutor`
 //! speedup landing in the perf trajectory): T-GEN case runs through
-//! `run_cases` vs `run_cases_parallel`, multi-criterion dynamic slicing
+//! `run_cases` vs `run_cases_batch`, multi-criterion dynamic slicing
 //! through a per-criterion loop vs `dynamic_slice_batch`, and batch
 //! tracing through per-input `run_traced` vs `run_traced_batch`.
 //!
@@ -49,7 +49,7 @@ fn main() {
         cases::run_cases(&m, "arrsum", &tc, &oracle).unwrap()
     });
     let par = h.bench(&format!("tgen/run_cases/par{threads}/{}", tc.len()), || {
-        cases::run_cases_parallel(threads, &m, "arrsum", &tc, &oracle).unwrap()
+        cases::run_cases_batch(threads, &m, "arrsum", &tc, &oracle).unwrap()
     });
     speedup_line(
         "T-GEN cases",

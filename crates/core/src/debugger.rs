@@ -140,6 +140,10 @@ pub struct Debugger<'a> {
     /// When set, queries are rendered in terms of the *original* program
     /// via the transformation mapping (§6.1 transparency).
     mapping: Option<&'a gadt_transform::Mapping>,
+    /// When set, every question and slice is journaled: a `question`
+    /// point event plus `debug.questions` / `debug.questions.by_source.*`
+    /// counters per query, a `slice` event plus `debug.slices` per prune.
+    obs: Option<&'a mut gadt_obs::Recorder>,
 }
 
 impl<'a> Debugger<'a> {
@@ -153,6 +157,7 @@ impl<'a> Debugger<'a> {
             slices_taken: 0,
             slice_stats: Vec::new(),
             mapping: None,
+            obs: None,
         }
     }
 
@@ -160,6 +165,12 @@ impl<'a> Debugger<'a> {
     /// (§6.1), using the transformation's construct mapping.
     pub fn with_mapping(mut self, mapping: &'a gadt_transform::Mapping) -> Self {
         self.mapping = Some(mapping);
+        self
+    }
+
+    /// Journals per-question and per-slice events into `rec`.
+    pub fn with_obs(mut self, rec: &'a mut gadt_obs::Recorder) -> Self {
+        self.obs = Some(rec);
         self
     }
 
@@ -197,13 +208,43 @@ impl<'a> Debugger<'a> {
 
     fn ask(&mut self, tree: &ExecTree, node: NodeId, oracle: &mut ChainOracle<'_>) -> Answer {
         let answer = oracle.judge(self.module, tree, node);
+        let unit = tree.node(node).name.clone();
+        let source = oracle.last_source().to_string();
+        if let Some(rec) = self.obs.as_deref_mut() {
+            rec.incr("debug.questions");
+            rec.incr(&format!(
+                "debug.questions.by_source.{}",
+                gadt_obs::slug(&source)
+            ));
+            gadt_obs::event!(
+                rec,
+                "question",
+                unit = unit.as_str(),
+                source = source.as_str(),
+                answer = answer.to_string(),
+            );
+        }
         self.transcript.push(TranscriptEntry {
             query: self.render(tree, node),
-            unit: tree.node(node).name.clone(),
+            unit,
             answer: answer.clone(),
-            source: oracle.last_source().to_string(),
+            source,
         });
         answer
+    }
+
+    /// Journals one accepted slice (counter + point event).
+    fn observe_slice(&mut self, stats: &SliceStats) {
+        if let Some(rec) = self.obs.as_deref_mut() {
+            rec.incr("debug.slices");
+            gadt_obs::event!(
+                rec,
+                "slice",
+                events = stats.events,
+                stmts = stats.stmts,
+                calls = stats.calls,
+            );
+        }
     }
 
     fn bug_at(&self, tree: &ExecTree, node: NodeId) -> DebugResult {
@@ -236,7 +277,9 @@ impl<'a> Debugger<'a> {
                     let pruned = tree.prune(node, &slice);
                     if !pruned.is_empty() {
                         self.slices_taken += 1;
-                        self.slice_stats.push(slice.stats());
+                        let stats = slice.stats();
+                        self.observe_slice(&stats);
+                        self.slice_stats.push(stats);
                         return self.locate_in(&pruned, pruned.root, oracle);
                     }
                 }
@@ -301,7 +344,9 @@ impl<'a> Debugger<'a> {
                                 let pruned = tree.prune(candidate, &slice);
                                 if !pruned.is_empty() {
                                     self.slices_taken += 1;
-                                    self.slice_stats.push(slice.stats());
+                                    let stats = slice.stats();
+                                    self.observe_slice(&stats);
+                                    self.slice_stats.push(stats);
                                     return self.dq(&pruned.clone(), pruned.root, oracle);
                                 }
                             }

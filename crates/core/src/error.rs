@@ -1,0 +1,172 @@
+//! The unified pipeline error type.
+//!
+//! Every front-end stage reports a [`gadt_pascal::error::Diagnostic`];
+//! the mutation harness historically reported bare strings. [`Error`]
+//! folds both into one type that records *which pipeline phase* failed
+//! (the [`Error::phase`] accessor) and keeps the originating diagnostic
+//! reachable through [`std::error::Error::source`], so callers can both
+//! route on the phase and drill down to the span.
+
+use gadt_pascal::error::{Diagnostic, Stage};
+use std::fmt;
+
+/// The pipeline phase an error belongs to (Figure 3's stages plus the
+/// harness layers around them).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Lexing, parsing, or semantic analysis of the subject program.
+    Compile,
+    /// The §5.1/§6 program transformation.
+    Transform,
+    /// Traced execution of the transformed program.
+    Trace,
+    /// Bug localization (Phase III).
+    Debug,
+    /// Test-case generation or execution (T-GEN).
+    Testing,
+    /// The mutation campaign harness.
+    Campaign,
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Phase::Compile => "compile",
+            Phase::Transform => "transform",
+            Phase::Trace => "trace",
+            Phase::Debug => "debug",
+            Phase::Testing => "testing",
+            Phase::Campaign => "campaign",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A pipeline error: a phase tag, a message, and (when the failure came
+/// from the front end or interpreter) the source [`Diagnostic`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Error {
+    phase: Phase,
+    message: String,
+    diagnostic: Option<Diagnostic>,
+}
+
+impl Error {
+    /// Creates an error in a phase from a bare message.
+    pub fn new(phase: Phase, message: impl Into<String>) -> Self {
+        Error {
+            phase,
+            message: message.into(),
+            diagnostic: None,
+        }
+    }
+
+    /// Wraps a diagnostic, attributing it to `phase` (overriding the
+    /// stage-derived default of [`Error::from`]).
+    pub fn from_diagnostic(phase: Phase, diagnostic: Diagnostic) -> Self {
+        Error {
+            phase,
+            message: diagnostic.to_string(),
+            diagnostic: Some(diagnostic),
+        }
+    }
+
+    /// Adds leading context to the message, keeping phase and source:
+    /// `err.context("mutant add/3")` renders as
+    /// `mutant add/3: <original message>`.
+    #[must_use]
+    pub fn context(mut self, what: impl fmt::Display) -> Self {
+        self.message = format!("{what}: {}", self.message);
+        self
+    }
+
+    /// The phase that failed.
+    pub fn phase(&self) -> Phase {
+        self.phase
+    }
+
+    /// The human-readable message (context prefixes included).
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+
+    /// The originating front-end diagnostic, when there is one.
+    pub fn diagnostic(&self) -> Option<&Diagnostic> {
+        self.diagnostic.as_ref()
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}", self.phase, self.message)
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        self.diagnostic
+            .as_ref()
+            .map(|d| d as &(dyn std::error::Error + 'static))
+    }
+}
+
+impl From<Diagnostic> for Error {
+    /// Maps the diagnostic's stage to a phase: front-end stages become
+    /// [`Phase::Compile`], runtime errors [`Phase::Trace`].
+    fn from(d: Diagnostic) -> Self {
+        let phase = match d.stage {
+            Stage::Lex | Stage::Parse | Stage::Sema => Phase::Compile,
+            Stage::Runtime => Phase::Trace,
+        };
+        Error::from_diagnostic(phase, d)
+    }
+}
+
+/// Result alias over the unified pipeline error.
+pub type Result<T, E = Error> = std::result::Result<T, E>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gadt_pascal::span::Span;
+
+    #[test]
+    fn diagnostic_conversion_keeps_source_chain() {
+        let d = Diagnostic::new(Stage::Parse, "unexpected token", Span::new(4, 5));
+        let e: Error = d.clone().into();
+        assert_eq!(e.phase(), Phase::Compile);
+        assert_eq!(e.diagnostic(), Some(&d));
+        let src = std::error::Error::source(&e).expect("source");
+        assert_eq!(src.to_string(), d.to_string());
+        assert!(e.to_string().starts_with("[compile]"), "{e}");
+    }
+
+    #[test]
+    fn runtime_diagnostics_map_to_trace_phase() {
+        let d = Diagnostic::new(Stage::Runtime, "division by zero", Span::dummy());
+        let e: Error = d.into();
+        assert_eq!(e.phase(), Phase::Trace);
+    }
+
+    #[test]
+    fn context_prefixes_the_message() {
+        let e = Error::new(Phase::Campaign, "golden run failed").context("mutant add/3");
+        assert_eq!(e.message(), "mutant add/3: golden run failed");
+        assert_eq!(e.phase(), Phase::Campaign);
+        assert!(std::error::Error::source(&e).is_none());
+    }
+
+    #[test]
+    fn phases_render_lowercase() {
+        for (p, s) in [
+            (Phase::Compile, "compile"),
+            (Phase::Transform, "transform"),
+            (Phase::Trace, "trace"),
+            (Phase::Debug, "debug"),
+            (Phase::Testing, "testing"),
+            (Phase::Campaign, "campaign"),
+        ] {
+            assert_eq!(p.to_string(), s);
+        }
+    }
+}

@@ -56,6 +56,7 @@
 #![forbid(unsafe_code)]
 
 pub mod debugger;
+pub mod error;
 pub mod interactive;
 pub mod oracle;
 pub mod retry;
@@ -64,12 +65,19 @@ pub mod testlookup;
 pub mod transparency;
 
 pub use debugger::{DebugConfig, DebugOutcome, DebugResult, Debugger, Strategy};
+pub use error::{Error, Phase};
 pub use oracle::{
     Answer, AssertionOracle, ChainOracle, CountingOracle, GoldenOracle, Oracle, ReferenceOracle,
 };
 pub use retry::{debug_with_retry, RetryOutcome};
 pub use session::{
-    debug, prepare, quick_debug, run_traced, run_traced_limited, PreparedProgram, TracedRun,
+    debug, debug_observed, prepare, prepare_observed, quick_debug, run_traced, run_traced_limited,
+    trace_batch, BatchTraced, PhaseTimings, PreparedProgram, TracedRun,
 };
 pub use testlookup::TestLookup;
 pub use transparency::render_query_original;
+
+/// The observability layer, re-exported so downstream crates can
+/// journal through `gadt::obs::Recorder` without a direct `gadt-obs`
+/// dependency.
+pub use gadt_obs as obs;

@@ -1,21 +1,28 @@
 //! The full GADT pipeline (§5, Figure 3): transformation → tracing →
 //! debugging with assertions, test-case lookup, slicing, and a final
 //! user-level oracle. Batch entry points ([`run_traced_batch`],
-//! [`trace_inputs`]) trace many inputs in parallel and expose per-phase
-//! wall-clock timings through [`PhaseTimings`].
+//! [`trace_batch`]) trace many inputs in parallel; the `*_observed`
+//! variants additionally record spans and counters into a
+//! [`gadt_obs::Recorder`], from whose journal the historical
+//! [`PhaseTimings`] roll-up is derived.
 
 use crate::debugger::{DebugConfig, DebugOutcome, Debugger};
 use crate::oracle::ChainOracle;
 use gadt_analysis::dyntrace::{DependenceRecorder, DynTrace};
-use gadt_exec::{BatchExecutor, Stopwatch};
+use gadt_exec::BatchExecutor;
+use gadt_obs::{Journal, Recorder};
 use gadt_pascal::cfg::{lower, ProgramCfg};
 use gadt_pascal::error::Result;
 use gadt_pascal::interp::Interpreter;
 use gadt_pascal::sema::Module;
 use gadt_pascal::value::Value;
 use gadt_trace::{build_tree, ExecTree};
-use gadt_transform::{transform, Transformed};
-use std::time::Duration;
+use gadt_transform::{transform_observed, Transformed};
+
+/// The per-phase wall-clock roll-up, re-exported from `gadt-obs` where
+/// it now lives (derive one from a journal via
+/// [`gadt_obs::Journal::phase_timings`]).
+pub use gadt_obs::PhaseTimings;
 
 /// Phase I output: the transformed program, ready for tracing.
 #[derive(Debug, Clone)]
@@ -44,7 +51,18 @@ pub struct PreparedProgram {
 /// # }
 /// ```
 pub fn prepare(module: &Module) -> Result<PreparedProgram> {
-    let transformed = transform(module)?;
+    prepare_observed(module, &mut Recorder::disabled())
+}
+
+/// [`prepare`] with instrumentation: the transformation runs inside a
+/// `transform` span with its round/growth counters (see
+/// [`gadt_transform::transform_observed`]), so a later
+/// [`gadt_obs::Journal::phase_timings`] attributes Phase I correctly.
+///
+/// # Errors
+/// Same as [`prepare`].
+pub fn prepare_observed(module: &Module, rec: &mut Recorder) -> Result<PreparedProgram> {
+    let transformed = transform_observed(module, rec)?;
     let cfg = lower(&transformed.module);
     Ok(PreparedProgram { transformed, cfg })
 }
@@ -115,42 +133,6 @@ pub fn run_traced_limited(
     })
 }
 
-/// Per-phase wall-clock timings of a pipeline run — the first
-/// observability hook. Phases map to Figure 3: `transform` is Phase I
-/// (transformation + CFG lowering), `trace` is Phase II (all traced
-/// executions of the batch), `debug` is Phase III (bug localization).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct PhaseTimings {
-    /// Phase I: transformation and CFG lowering.
-    pub transform: Duration,
-    /// Phase II: traced execution(s), wall-clock (not summed per run —
-    /// parallel tracing makes this less than the per-run sum).
-    pub trace: Duration,
-    /// Phase III: debugging, when measured (zero until a debug phase
-    /// runs).
-    pub debug: Duration,
-}
-
-impl PhaseTimings {
-    /// Total wall-clock across the recorded phases.
-    pub fn total(&self) -> Duration {
-        self.transform + self.trace + self.debug
-    }
-}
-
-impl std::fmt::Display for PhaseTimings {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "transform {:?}, trace {:?}, debug {:?} (total {:?})",
-            self.transform,
-            self.trace,
-            self.debug,
-            self.total()
-        )
-    }
-}
-
 /// Runs the tracing phase on many inputs in parallel: each input gets
 /// its own interpreter and dependence recorder on one of `threads`
 /// workers (`0` = all cores); the control-dependence analysis is
@@ -165,34 +147,60 @@ pub fn run_traced_batch(
     inputs: Vec<Vec<Value>>,
     threads: usize,
 ) -> Result<Vec<TracedRun>> {
+    run_traced_batch_observed(prepared, inputs, threads, &mut Recorder::disabled())
+}
+
+/// [`run_traced_batch`] with instrumentation: the batch runs inside a
+/// `trace` span tagged with the input count; every input records its
+/// trace sizes (`trace.runs`, `trace.events`, …) and execution-tree size
+/// (`tree.nodes`) into a per-input recorder, merged back in input order
+/// so the journal is thread-count invariant.
+///
+/// # Errors
+/// Same as [`run_traced_batch`].
+pub fn run_traced_batch_observed(
+    prepared: &PreparedProgram,
+    inputs: Vec<Vec<Value>>,
+    threads: usize,
+    rec: &mut Recorder,
+) -> Result<Vec<TracedRun>> {
     let module = &prepared.transformed.module;
     let cd = gadt_analysis::controldep::ProgramControlDeps::compute(module, &prepared.cfg);
     let pool = BatchExecutor::new(threads);
-    pool.try_run(inputs, |_, input| {
-        let mut rec = DependenceRecorder::new(&cd);
+    let span = gadt_obs::span!(rec, "trace", inputs = inputs.len());
+    let result = pool.try_run_observed(inputs, rec, |_, input, irec| {
+        let mut drec = DependenceRecorder::new(&cd);
         let mut interp = Interpreter::with_cfg(module, prepared.cfg.clone());
         interp.set_input(input);
-        let outcome = interp.run_with(&mut rec)?;
-        let trace = rec.finish();
+        let outcome = interp.run_with(&mut drec)?;
+        let trace = drec.finish();
         let tree = build_tree(module, &trace);
+        trace.observe(irec);
+        tree.observe(irec);
         Ok(TracedRun {
             trace,
             tree,
             output: outcome.output_text().to_string(),
         })
-    })
+    });
+    rec.exit(span);
+    result
 }
 
 /// The result of a timed batch session: Phase I output, one traced run
-/// per input, and the per-phase timings.
+/// per input, the observability journal of both phases, and the
+/// per-phase timings derived from it.
 #[derive(Debug)]
 pub struct BatchTraced {
     /// Phase I output (shared by every run).
     pub prepared: PreparedProgram,
     /// One traced run per input, in input order.
     pub runs: Vec<TracedRun>,
-    /// Wall-clock per phase (`debug` is zero; fill it via
-    /// [`debug_timed`] when a debugging phase follows).
+    /// The structured journal of the transform and trace phases: spans,
+    /// per-run trace/tree size counters, and transform round counts.
+    pub journal: Journal,
+    /// Wall-clock per phase, derived from `journal` (`debug` is zero;
+    /// fill it via [`debug_timed`] when a debugging phase follows).
     pub timings: PhaseTimings,
 }
 
@@ -213,32 +221,41 @@ pub struct BatchTraced {
 ///      begin read(n); s := 0; for i := 1 to n do s := s + i; writeln(s) end.",
 /// )?;
 /// let inputs: Vec<Vec<Value>> = (1..=8).map(|n| vec![Value::Int(n)]).collect();
-/// let batch = gadt::session::trace_inputs(&m, inputs, 0)?;
+/// let batch = gadt::session::trace_batch(&m, inputs, 0)?;
 /// assert_eq!(batch.runs.len(), 8);
 /// assert_eq!(batch.runs[3].output, "10\n"); // 1+2+3+4
 /// assert!(batch.timings.total() > std::time::Duration::ZERO);
+/// assert_eq!(batch.journal.counter("trace.runs"), 8);
 /// # Ok(())
 /// # }
 /// ```
+pub fn trace_batch(
+    module: &Module,
+    inputs: Vec<Vec<Value>>,
+    threads: usize,
+) -> Result<BatchTraced> {
+    let mut rec = Recorder::new();
+    let prepared = prepare_observed(module, &mut rec)?;
+    let runs = run_traced_batch_observed(&prepared, inputs, threads, &mut rec)?;
+    let journal = rec.finish();
+    let timings = journal.phase_timings();
+    Ok(BatchTraced {
+        prepared,
+        runs,
+        journal,
+        timings,
+    })
+}
+
+/// Deprecated name for [`trace_batch`] (the repo-wide convention is
+/// `*_batch` for thread-fanned entry points).
+#[deprecated(since = "0.1.0", note = "renamed to `trace_batch`")]
 pub fn trace_inputs(
     module: &Module,
     inputs: Vec<Vec<Value>>,
     threads: usize,
 ) -> Result<BatchTraced> {
-    let mut sw = Stopwatch::start();
-    let prepared = prepare(module)?;
-    let transform_time = sw.lap();
-    let runs = run_traced_batch(&prepared, inputs, threads)?;
-    let trace_time = sw.lap();
-    Ok(BatchTraced {
-        prepared,
-        runs,
-        timings: PhaseTimings {
-            transform: transform_time,
-            trace: trace_time,
-            debug: Duration::ZERO,
-        },
-    })
+    trace_batch(module, inputs, threads)
 }
 
 /// Like [`debug`] but also measures the phase's wall-clock, recording it
@@ -251,9 +268,9 @@ pub fn debug_timed(
     config: DebugConfig,
     timings: &mut PhaseTimings,
 ) -> DebugOutcome {
-    let mut sw = Stopwatch::start();
-    let outcome = debug(prepared, run, oracle, config);
-    timings.debug += sw.lap();
+    let mut rec = Recorder::new();
+    let outcome = debug_observed(prepared, run, oracle, config, &mut rec);
+    timings.debug += rec.finish().phase_timings().debug;
     outcome
 }
 
@@ -269,9 +286,31 @@ pub fn debug(
     oracle: &mut ChainOracle<'_>,
     config: DebugConfig,
 ) -> DebugOutcome {
-    let dbg = Debugger::new(&prepared.transformed.module, &run.trace, config)
-        .with_mapping(&prepared.transformed.mapping);
-    dbg.run_program(&run.tree, oracle)
+    debug_observed(prepared, run, oracle, config, &mut Recorder::disabled())
+}
+
+/// [`debug`] with instrumentation: the session runs inside a `debug`
+/// span (tagged with the slicing setting), and every question lands in
+/// the journal as a `question` point event with `unit`/`source`/`answer`
+/// fields plus the counters `debug.questions` and
+/// `debug.questions.by_source.<slug>`; every accepted prune adds a
+/// `slice` event and `debug.slices`.
+pub fn debug_observed(
+    prepared: &PreparedProgram,
+    run: &TracedRun,
+    oracle: &mut ChainOracle<'_>,
+    config: DebugConfig,
+    rec: &mut Recorder,
+) -> DebugOutcome {
+    let span = gadt_obs::span!(rec, "debug", slicing = config.slicing);
+    let outcome = {
+        let dbg = Debugger::new(&prepared.transformed.module, &run.trace, config)
+            .with_mapping(&prepared.transformed.mapping)
+            .with_obs(rec);
+        dbg.run_program(&run.tree, oracle)
+    };
+    rec.exit(span);
+    outcome
 }
 
 #[cfg(test)]
@@ -396,6 +435,7 @@ mod batch_session_tests {
     use crate::debugger::DebugResult;
     use crate::oracle::{CountingOracle, ReferenceOracle};
     use gadt_pascal::sema::compile;
+    use std::time::Duration;
 
     const SUMMER: &str = "program t; var n, s, i: integer;
          begin read(n); s := 0; for i := 1 to n do s := s + i; writeln(s) end.";
@@ -432,10 +472,10 @@ mod batch_session_tests {
     }
 
     #[test]
-    fn trace_inputs_records_phase_timings() {
+    fn trace_batch_records_phase_timings_and_journal() {
         let m = compile(SUMMER).unwrap();
         let inputs: Vec<Vec<Value>> = (1..=4).map(|n| vec![Value::Int(n)]).collect();
-        let batch = trace_inputs(&m, inputs, 2).unwrap();
+        let batch = trace_batch(&m, inputs, 2).unwrap();
         assert_eq!(batch.runs.len(), 4);
         assert_eq!(batch.runs[2].output, "6\n");
         assert!(batch.timings.trace > Duration::ZERO);
@@ -446,6 +486,24 @@ mod batch_session_tests {
         );
         let rendered = format!("{}", batch.timings);
         assert!(rendered.contains("transform"), "{rendered}");
+        // The journal carries the structured view of the same phases.
+        assert_eq!(batch.journal.counter("trace.runs"), 4);
+        assert_eq!(
+            batch.journal.counter("tree.built"),
+            4,
+            "{}",
+            batch.journal.render_summary()
+        );
+        assert!(batch.journal.counter("trace.events") > 0);
+        assert_eq!(batch.journal.phase_timings(), batch.timings);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_trace_inputs_alias_still_works() {
+        let m = compile(SUMMER).unwrap();
+        let batch = trace_inputs(&m, vec![vec![Value::Int(3)]], 1).unwrap();
+        assert_eq!(batch.runs[0].output, "6\n");
     }
 
     #[test]
@@ -462,7 +520,7 @@ mod batch_session_tests {
              begin r := sq(6); writeln(r) end.",
         )
         .unwrap();
-        let batch = trace_inputs(&buggy, vec![vec![]], 1).unwrap();
+        let batch = trace_batch(&buggy, vec![vec![]], 1).unwrap();
         let mut timings = batch.timings;
         let mut chain = ChainOracle::new();
         chain.push(CountingOracle::new(

@@ -131,6 +131,72 @@ impl BatchExecutor {
         })
     }
 
+    /// Like [`BatchExecutor::run`] but observed: every job records into
+    /// its own [`gadt_obs::Recorder`] (a [`Recorder::child`] of `rec`),
+    /// and the finished per-job journals are adopted back into `rec` in
+    /// **submission order** — the merge discipline that keeps journal
+    /// fingerprints byte-identical at any thread count.
+    ///
+    /// [`Recorder::child`]: gadt_obs::Recorder::child
+    pub fn run_observed<T, R, F>(&self, items: Vec<T>, rec: &mut gadt_obs::Recorder, f: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(usize, T, &mut gadt_obs::Recorder) -> R + Sync,
+    {
+        let template = rec.child();
+        let pairs = self.run(items, |i, item| {
+            let mut child = template.child();
+            let r = f(i, item, &mut child);
+            (r, child.finish())
+        });
+        let mut out = Vec::with_capacity(pairs.len());
+        for (r, journal) in pairs {
+            rec.adopt(journal, None);
+            out.push(r);
+        }
+        out
+    }
+
+    /// The fallible form of [`BatchExecutor::run_observed`]: journals of
+    /// **every** job (including failed ones) are adopted in submission
+    /// order, then the lowest-indexed error, if any, is returned — so
+    /// the observability record is identical whether or not the batch
+    /// succeeded, and identical to the sequential loop's record.
+    ///
+    /// # Errors
+    /// Returns the first (by input index) error produced by `f`.
+    pub fn try_run_observed<T, R, E, F>(
+        &self,
+        items: Vec<T>,
+        rec: &mut gadt_obs::Recorder,
+        f: F,
+    ) -> Result<Vec<R>, E>
+    where
+        T: Send,
+        R: Send,
+        E: Send,
+        F: Fn(usize, T, &mut gadt_obs::Recorder) -> Result<R, E> + Sync,
+    {
+        let results = self.run_observed(items, rec, f);
+        let mut out = Vec::with_capacity(results.len());
+        let mut first_err: Option<E> = None;
+        for r in results {
+            match r {
+                Ok(v) => out.push(v),
+                Err(e) => {
+                    if first_err.is_none() {
+                        first_err = Some(e);
+                    }
+                }
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(out),
+        }
+    }
+
     /// Like [`BatchExecutor::run`] but for fallible jobs: stops at
     /// nothing, then returns either every result (input order) or the
     /// error of the **lowest-indexed** failing job — the same error a
@@ -284,6 +350,75 @@ mod tests {
         let pool = BatchExecutor::new(4);
         let out = pool.run(vec![0usize, 1, 2], |_, i| base[i] + 1);
         assert_eq!(out, vec![101, 201, 301]);
+    }
+
+    #[test]
+    fn observed_run_merges_journals_in_submission_order() {
+        let pool = BatchExecutor::new(8);
+        let mut rec = gadt_obs::Recorder::untimed();
+        let out = pool.run_observed((0..20usize).collect(), &mut rec, |i, x, r| {
+            // Stagger so completion order differs from submission order.
+            if x % 3 == 0 {
+                std::thread::sleep(Duration::from_micros(150));
+            }
+            r.event("job", &[("index", gadt_obs::FieldValue::from(i))]);
+            r.incr("jobs");
+            x
+        });
+        assert_eq!(out, (0..20).collect::<Vec<_>>());
+        let j = rec.finish();
+        assert_eq!(j.counter("jobs"), 20);
+        let indices: Vec<u64> = j
+            .events_named("job")
+            .map(|e| match e.field("index") {
+                Some(gadt_obs::FieldValue::UInt(n)) => *n,
+                other => panic!("unexpected field {other:?}"),
+            })
+            .collect();
+        assert_eq!(indices, (0..20).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn observed_fingerprint_is_thread_count_invariant() {
+        let journal_at = |threads: usize| {
+            let pool = BatchExecutor::new(threads);
+            let mut rec = gadt_obs::Recorder::new();
+            pool.run_observed((0..12usize).collect(), &mut rec, |i, _x, r| {
+                r.event("tick", &[("i", gadt_obs::FieldValue::from(i))]);
+                r.add("ticks", 1);
+            });
+            rec.finish().fingerprint()
+        };
+        let one = journal_at(1);
+        assert_eq!(one, journal_at(2));
+        assert_eq!(one, journal_at(8));
+    }
+
+    #[test]
+    fn try_run_observed_keeps_journals_of_failed_jobs() {
+        let pool = BatchExecutor::new(4);
+        let mut rec = gadt_obs::Recorder::untimed();
+        let r: Result<Vec<usize>, String> =
+            pool.try_run_observed((0..10usize).collect(), &mut rec, |_, x, rr| {
+                rr.incr("attempts");
+                if x == 4 {
+                    Err("boom".to_string())
+                } else {
+                    Ok(x)
+                }
+            });
+        assert_eq!(r.unwrap_err(), "boom");
+        assert_eq!(rec.finish().counter("attempts"), 10);
+    }
+
+    #[test]
+    fn disabled_parent_disables_children() {
+        let pool = BatchExecutor::new(4);
+        let mut rec = gadt_obs::Recorder::disabled();
+        pool.run_observed(vec![1, 2, 3], &mut rec, |_, _x, r| {
+            r.incr("c");
+        });
+        assert!(rec.finish().is_empty());
     }
 
     #[test]

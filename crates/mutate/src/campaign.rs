@@ -12,9 +12,11 @@
 use crate::operators::{apply, enumerate_sites, MutationSite};
 use crate::report::{CampaignSummary, LocalizationReport, MutantStatus};
 use gadt::debugger::{DebugConfig, DebugOutcome, DebugResult, Strategy};
+use gadt::error::{Error, Phase};
 use gadt::oracle::{ChainOracle, CountingOracle, GoldenOracle};
-use gadt::session::{self, PhaseTimings, PreparedProgram, TracedRun};
-use gadt_exec::{BatchExecutor, Stopwatch};
+use gadt::session::{self, PreparedProgram, TracedRun};
+use gadt_exec::BatchExecutor;
+use gadt_obs::Recorder;
 use gadt_pascal::ast::Program;
 use gadt_pascal::interp::Limits;
 use gadt_pascal::parser::parse_program;
@@ -100,13 +102,14 @@ fn interface_render(tree: &gadt_trace::ExecTree) -> String {
     out
 }
 
-fn golden_ctx(p: &CampaignProgram) -> Result<GoldenCtx, String> {
-    let err = |stage: &str, e: String| format!("golden program `{}` {stage}: {e}", p.name);
-    let ast = parse_program(&p.source).map_err(|e| err("parse", e.to_string()))?;
-    let module = compile(&p.source).map_err(|e| err("compile", e.to_string()))?;
-    let prepared = session::prepare(&module).map_err(|e| err("transform", e.to_string()))?;
-    let golden_run = session::run_traced(&prepared, p.input.iter().cloned())
-        .map_err(|e| err("run", e.to_string()))?;
+fn golden_ctx(p: &CampaignProgram) -> Result<GoldenCtx, Error> {
+    let ctx = |e: Error| e.context(format!("golden program `{}`", p.name));
+    let ast = parse_program(&p.source).map_err(|e| ctx(e.into()))?;
+    let module = compile(&p.source).map_err(|e| ctx(e.into()))?;
+    let prepared =
+        session::prepare(&module).map_err(|e| ctx(Error::from_diagnostic(Phase::Transform, e)))?;
+    let golden_run =
+        session::run_traced(&prepared, p.input.iter().cloned()).map_err(|e| ctx(e.into()))?;
     let golden_render = golden_run.tree.render(golden_run.tree.root);
     let golden_interface = interface_render(&golden_run.tree);
     let sites = enumerate_sites(&ast);
@@ -125,12 +128,13 @@ fn golden_ctx(p: &CampaignProgram) -> Result<GoldenCtx, String> {
 /// Runs a campaign over `programs`.
 ///
 /// # Errors
-/// Fails when a *golden* program does not parse, compile, transform, or
-/// run — that is a harness configuration error, not a mutant outcome.
+/// Fails with a [`Phase`]-tagged [`Error`] when a *golden* program does
+/// not parse, compile, transform, or run — that is a harness
+/// configuration error, not a mutant outcome.
 pub fn run_campaign(
     programs: &[CampaignProgram],
     config: &CampaignConfig,
-) -> Result<CampaignSummary, String> {
+) -> Result<CampaignSummary, Error> {
     let contexts: Vec<GoldenCtx> = programs.iter().map(golden_ctx).collect::<Result<_, _>>()?;
 
     let mut work: Vec<(usize, MutationSite)> = Vec::new();
@@ -157,52 +161,74 @@ pub fn run_campaign(
 /// The full pipeline on one mutant: mutate → print → compile →
 /// transform → trace (bounded) → kill check → debug twice (slicing
 /// on/off) against the golden oracle.
+///
+/// Every step journals into a per-mutant [`Recorder`]: a `mutant` root
+/// span tagged with program/operator/ordinal, the standard
+/// transform/trace/debug phase spans, and the two debug sessions adopted
+/// under the `with_slicing.` / `without_slicing.` counter prefixes. The
+/// report's [`gadt::session::PhaseTimings`] roll-up is derived from that
+/// journal.
 fn run_mutant(ctx: &GoldenCtx, site: &MutationSite, limits: Limits) -> LocalizationReport {
-    let mut timings = PhaseTimings::default();
-    let report = |status: MutantStatus, timings: PhaseTimings| LocalizationReport {
+    let mut rec = Recorder::new();
+    let mspan = gadt_obs::span!(
+        rec,
+        "mutant",
+        program = ctx.name.as_str(),
+        op = site.op.to_string(),
+        ordinal = site.ordinal,
+        unit = site.unit.as_str(),
+    );
+    let status = run_mutant_status(ctx, site, limits, &mut rec);
+    rec.exit(mspan);
+    let journal = rec.finish();
+    let timings = journal.phase_timings();
+    LocalizationReport {
         program: ctx.name.clone(),
         op: site.op,
         ordinal: site.ordinal,
         mutated_unit: site.unit.clone(),
         description: site.description.clone(),
         status,
+        journal,
         timings,
-    };
+    }
+}
 
-    let mut sw = Stopwatch::start();
+fn run_mutant_status(
+    ctx: &GoldenCtx,
+    site: &MutationSite,
+    limits: Limits,
+    rec: &mut Recorder,
+) -> MutantStatus {
     let Some(mutant_ast) = apply(&ctx.ast, site) else {
-        return report(
-            MutantStatus::Stillborn {
-                reason: "mutation site not found".into(),
-            },
-            timings,
-        );
+        return MutantStatus::Stillborn {
+            reason: "mutation site not found".into(),
+        };
     };
     let source = print_program(&mutant_ast);
     let module = match compile(&source) {
         Ok(m) => m,
-        Err(e) => {
-            timings.transform += sw.lap();
-            return report(MutantStatus::Stillborn { reason: e.message }, timings);
-        }
+        Err(e) => return MutantStatus::Stillborn { reason: e.message },
     };
-    let prepared = match session::prepare(&module) {
+    let prepared = match session::prepare_observed(&module, rec) {
         Ok(p) => p,
-        Err(e) => {
-            timings.transform += sw.lap();
-            return report(MutantStatus::Stillborn { reason: e.message }, timings);
-        }
+        Err(e) => return MutantStatus::Stillborn { reason: e.message },
     };
-    timings.transform += sw.lap();
 
-    let run = match session::run_traced_limited(&prepared, ctx.input.iter().cloned(), limits) {
-        Ok(r) => r,
+    let tspan = gadt_obs::span!(rec, "trace", inputs = 1u64);
+    let run = session::run_traced_limited(&prepared, ctx.input.iter().cloned(), limits);
+    let run = match run {
+        Ok(r) => {
+            r.trace.observe(rec);
+            r.tree.observe(rec);
+            rec.exit(tspan);
+            r
+        }
         Err(e) => {
-            timings.trace += sw.lap();
-            return report(MutantStatus::Crashed { error: e.message }, timings);
+            rec.exit(tspan);
+            return MutantStatus::Crashed { error: e.message };
         }
     };
-    timings.trace += sw.lap();
 
     // Killed means *observably* killed: the program output or a top-level
     // invocation's In/Out interface differs. Internal-only divergence is
@@ -211,19 +237,25 @@ fn run_mutant(ctx: &GoldenCtx, site: &MutationSite, limits: Limits) -> Localizat
         run.output != ctx.golden_run.output || interface_render(&run.tree) != ctx.golden_interface;
     if !observable {
         let diverged = run.tree.render(run.tree.root) != ctx.golden_render;
-        return report(
-            if diverged {
-                MutantStatus::Masked
-            } else {
-                MutantStatus::Equivalent
-            },
-            timings,
-        );
+        return if diverged {
+            MutantStatus::Masked
+        } else {
+            MutantStatus::Equivalent
+        };
     }
 
-    let with = debug_against_golden(ctx, &prepared, &run, true);
-    let without = debug_against_golden(ctx, &prepared, &run, false);
-    timings.debug += sw.lap();
+    let dspan = gadt_obs::span!(rec, "debug");
+    let mut with_rec = rec.child();
+    let with = debug_against_golden(ctx, &prepared, &run, true, &mut with_rec);
+    rec.adopt(with_rec.finish(), Some("with_slicing"));
+    let mut without_rec = rec.child();
+    let without = debug_against_golden(ctx, &prepared, &run, false, &mut without_rec);
+    rec.adopt(without_rec.finish(), Some("without_slicing"));
+    rec.exit(dspan);
+    rec.add(
+        "campaign.questions_saved_by_slicing",
+        without.total_queries().saturating_sub(with.total_queries()) as u64,
+    );
 
     let unit = match &with.result {
         DebugResult::BugLocalized { unit, .. } => unit.clone(),
@@ -244,19 +276,16 @@ fn run_mutant(ctx: &GoldenCtx, site: &MutationSite, limits: Limits) -> Localizat
         st += s.stmts;
         ca += s.calls;
     }
-    report(
-        MutantStatus::Localized {
-            unit,
-            exact,
-            questions_with_slicing: with.total_queries(),
-            questions_without_slicing: without.total_queries(),
-            slices_taken: with.slices_taken,
-            slice_events: ev,
-            slice_stmts: st,
-            slice_calls: ca,
-        },
-        timings,
-    )
+    MutantStatus::Localized {
+        unit,
+        exact,
+        questions_with_slicing: with.total_queries(),
+        questions_without_slicing: without.total_queries(),
+        slices_taken: with.slices_taken,
+        slice_events: ev,
+        slice_stmts: st,
+        slice_calls: ca,
+    }
 }
 
 fn debug_against_golden(
@@ -264,6 +293,7 @@ fn debug_against_golden(
     prepared: &PreparedProgram,
     run: &TracedRun,
     slicing: bool,
+    rec: &mut Recorder,
 ) -> DebugOutcome {
     // The oracle judges the mutant's transformed tree against the golden
     // program's transformed tree, so In/Out shapes line up.
@@ -271,7 +301,7 @@ fn debug_against_golden(
     let oracle = GoldenOracle::from_tree(golden_module, ctx.golden_run.tree.clone());
     let mut chain = ChainOracle::new();
     chain.push(CountingOracle::new(oracle));
-    session::debug(
+    session::debug_observed(
         prepared,
         run,
         &mut chain,
@@ -279,6 +309,7 @@ fn debug_against_golden(
             strategy: Strategy::TopDown,
             slicing,
         },
+        rec,
     )
 }
 
@@ -338,6 +369,26 @@ mod tests {
     }
 
     #[test]
+    fn thread_count_does_not_change_the_journal() {
+        let one = small_campaign(1).journal();
+        let four = small_campaign(4).journal();
+        assert_eq!(one.fingerprint(), four.fingerprint());
+        assert_eq!(one.counter("campaign.mutants"), 12);
+        // Every localized mutant ran two debug sessions; their question
+        // counters land under distinct prefixes.
+        assert!(one.counter("with_slicing.debug.questions") > 0);
+        assert!(
+            one.counter("without_slicing.debug.questions")
+                >= one.counter("with_slicing.debug.questions")
+        );
+        assert_eq!(
+            one.counter("campaign.questions_saved_by_slicing"),
+            one.counter("without_slicing.debug.questions")
+                - one.counter("with_slicing.debug.questions")
+        );
+    }
+
+    #[test]
     fn subsampling_is_seed_deterministic() {
         let p = parse_program(testprogs::SQRTEST_FIXED).unwrap();
         let sites = enumerate_sites(&p);
@@ -354,6 +405,8 @@ mod tests {
     fn golden_failure_is_a_campaign_error() {
         let programs = vec![CampaignProgram::new("bad", "program x; begin y := 1 end.")];
         let err = run_campaign(&programs, &CampaignConfig::default()).unwrap_err();
-        assert!(err.contains("bad"), "{err}");
+        assert_eq!(err.phase(), Phase::Compile);
+        assert!(err.to_string().contains("bad"), "{err}");
+        assert!(std::error::Error::source(&err).is_some());
     }
 }

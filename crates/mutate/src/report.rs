@@ -9,6 +9,7 @@
 
 use crate::operators::MutOp;
 use gadt::session::PhaseTimings;
+use gadt_obs::{Journal, Recorder};
 
 /// What became of one mutant after the full pipeline.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -70,8 +71,16 @@ pub struct LocalizationReport {
     pub description: String,
     /// The pipeline outcome.
     pub status: MutantStatus,
-    /// Wall-clock per pipeline phase (excluded from [`Self::render_line`]
-    /// so campaign fingerprints are thread-count independent).
+    /// The mutant's observability journal: transform/trace/debug spans,
+    /// per-question events of both debug sessions (under the
+    /// `with_slicing.` / `without_slicing.` prefixes), and counters.
+    /// Wall-clock lives only in the journal's time fields, which its
+    /// fingerprint excludes — so campaign fingerprints stay thread-count
+    /// independent.
+    pub journal: Journal,
+    /// Wall-clock per pipeline phase, derived from `journal` (excluded
+    /// from [`Self::render_line`] so campaign fingerprints are
+    /// thread-count independent).
     pub timings: PhaseTimings,
 }
 
@@ -200,6 +209,27 @@ impl CampaignSummary {
     /// Mean questions per localized mutant, slicing disabled.
     pub fn mean_questions_without_slicing(&self) -> Option<f64> {
         self.mean_questions(false)
+    }
+
+    /// The campaign-level journal: every mutant's journal merged in
+    /// campaign order, plus the roll-up counters `campaign.mutants`,
+    /// `campaign.stillborn`, `campaign.crashed`, `campaign.equivalent`,
+    /// `campaign.masked`, `campaign.localized` and `campaign.exact`.
+    /// Its [`Journal::fingerprint`] is byte-identical across thread
+    /// counts for the same seed.
+    pub fn journal(&self) -> Journal {
+        let mut rec = Recorder::untimed();
+        for r in &self.reports {
+            rec.adopt(r.journal.clone(), None);
+        }
+        rec.add("campaign.mutants", self.total() as u64);
+        rec.add("campaign.stillborn", self.stillborn() as u64);
+        rec.add("campaign.crashed", self.crashed() as u64);
+        rec.add("campaign.equivalent", self.equivalent() as u64);
+        rec.add("campaign.masked", self.masked() as u64);
+        rec.add("campaign.localized", self.localized() as u64);
+        rec.add("campaign.exact", self.exact() as u64);
+        rec.finish()
     }
 
     /// The deterministic campaign fingerprint: every report's

@@ -1,0 +1,160 @@
+//! The journal's event model: typed field values and span/point events.
+
+use std::fmt;
+use std::time::Duration;
+
+/// A typed value attached to an event field.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FieldValue {
+    /// A signed integer.
+    Int(i64),
+    /// An unsigned integer (counters, sizes, ids).
+    UInt(u64),
+    /// A boolean flag.
+    Bool(bool),
+    /// A string (unit names, oracle sources, answers).
+    Str(String),
+}
+
+impl fmt::Display for FieldValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FieldValue::Int(n) => write!(f, "{n}"),
+            FieldValue::UInt(n) => write!(f, "{n}"),
+            FieldValue::Bool(b) => write!(f, "{b}"),
+            FieldValue::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl From<i64> for FieldValue {
+    fn from(v: i64) -> Self {
+        FieldValue::Int(v)
+    }
+}
+impl From<i32> for FieldValue {
+    fn from(v: i32) -> Self {
+        FieldValue::Int(v as i64)
+    }
+}
+impl From<u64> for FieldValue {
+    fn from(v: u64) -> Self {
+        FieldValue::UInt(v)
+    }
+}
+impl From<u32> for FieldValue {
+    fn from(v: u32) -> Self {
+        FieldValue::UInt(v as u64)
+    }
+}
+impl From<usize> for FieldValue {
+    fn from(v: usize) -> Self {
+        FieldValue::UInt(v as u64)
+    }
+}
+impl From<bool> for FieldValue {
+    fn from(v: bool) -> Self {
+        FieldValue::Bool(v)
+    }
+}
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> Self {
+        FieldValue::Str(v.to_string())
+    }
+}
+impl From<String> for FieldValue {
+    fn from(v: String) -> Self {
+        FieldValue::Str(v)
+    }
+}
+
+/// What kind of journal entry an [`Event`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A hierarchical span opened (`enter`).
+    Enter,
+    /// The matching span closed (`exit`); carries the span's duration.
+    Exit,
+    /// A point-in-time event with no extent (e.g. one oracle question).
+    Point,
+}
+
+impl EventKind {
+    /// Short wire name used in the JSON-lines encoding.
+    pub fn wire_name(self) -> &'static str {
+        match self {
+            EventKind::Enter => "enter",
+            EventKind::Exit => "exit",
+            EventKind::Point => "point",
+        }
+    }
+}
+
+/// One journal entry.
+///
+/// The deterministic payload is `(kind, name, depth, fields)`; the two
+/// wall-clock members ([`Event::time`], [`Event::dur`]) are measurement
+/// noise and are **excluded** from fingerprints so journals compare
+/// byte-identical across thread counts and machines.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Entry kind.
+    pub kind: EventKind,
+    /// Event name (dotted-path convention, e.g. `debug.question`).
+    pub name: String,
+    /// Span-nesting depth at emission (0 = top level).
+    pub depth: usize,
+    /// Structured fields, in emission order.
+    pub fields: Vec<(String, FieldValue)>,
+    /// Wall-clock offset from the recorder's origin, when timing is on.
+    pub time: Option<Duration>,
+    /// For [`EventKind::Exit`]: the span's duration.
+    pub dur: Option<Duration>,
+}
+
+impl Event {
+    /// Looks up a field by name.
+    pub fn field(&self, name: &str) -> Option<&FieldValue> {
+        self.fields.iter().find(|(n, _)| n == name).map(|(_, v)| v)
+    }
+
+    /// Looks up a string field by name.
+    pub fn field_str(&self, name: &str) -> Option<&str> {
+        match self.field(name)? {
+            FieldValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_lookup() {
+        let e = Event {
+            kind: EventKind::Point,
+            name: "q".into(),
+            depth: 1,
+            fields: vec![
+                ("unit".into(), FieldValue::from("add")),
+                ("n".into(), FieldValue::from(3u64)),
+            ],
+            time: None,
+            dur: None,
+        };
+        assert_eq!(e.field_str("unit"), Some("add"));
+        assert_eq!(e.field("n"), Some(&FieldValue::UInt(3)));
+        assert_eq!(e.field("missing"), None);
+        assert_eq!(e.field_str("n"), None);
+    }
+
+    #[test]
+    fn field_values_display() {
+        assert_eq!(FieldValue::from(-3i64).to_string(), "-3");
+        assert_eq!(FieldValue::from(7usize).to_string(), "7");
+        assert_eq!(FieldValue::from(true).to_string(), "true");
+        assert_eq!(FieldValue::from("x").to_string(), "x");
+    }
+}

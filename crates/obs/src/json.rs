@@ -1,0 +1,251 @@
+//! A minimal JSON encoder/validator, just big enough for the journal's
+//! JSON-lines sink and the CI smoke tier that re-parses every emitted
+//! line. Std-only by design — the build environment has no registry
+//! access, so no serde.
+
+/// Escapes a string for use inside a JSON string literal (no quotes).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Validates that `input` is one complete JSON value (object, array,
+/// string, number, boolean, or null) with nothing but whitespace after
+/// it. Returns the byte offset of the first error.
+///
+/// # Errors
+/// Returns `(offset, message)` describing the first syntax error.
+pub fn validate(input: &str) -> Result<(), (usize, String)> {
+    let b = input.as_bytes();
+    let mut p = Parser { b, pos: 0 };
+    p.skip_ws();
+    p.value()?;
+    p.skip_ws();
+    if p.pos != b.len() {
+        return Err((p.pos, "trailing characters after JSON value".into()));
+    }
+    Ok(())
+}
+
+struct Parser<'a> {
+    b: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err<T>(&self, msg: &str) -> Result<T, (usize, String)> {
+        Err((self.pos, msg.to_string()))
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.b.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, c: u8) -> bool {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), (usize, String)> {
+        if self.eat(c) {
+            Ok(())
+        } else {
+            self.err(&format!("expected `{}`", c as char))
+        }
+    }
+
+    fn value(&mut self) -> Result<(), (usize, String)> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => self.string(),
+            Some(b't') => self.literal("true"),
+            Some(b'f') => self.literal("false"),
+            Some(b'n') => self.literal("null"),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => self.err("expected a JSON value"),
+        }
+    }
+
+    fn literal(&mut self, lit: &str) -> Result<(), (usize, String)> {
+        if self.b[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(())
+        } else {
+            self.err(&format!("expected `{lit}`"))
+        }
+    }
+
+    fn object(&mut self) -> Result<(), (usize, String)> {
+        self.expect(b'{')?;
+        self.skip_ws();
+        if self.eat(b'}') {
+            return Ok(());
+        }
+        loop {
+            self.skip_ws();
+            self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            self.value()?;
+            self.skip_ws();
+            if self.eat(b',') {
+                continue;
+            }
+            return self.expect(b'}');
+        }
+    }
+
+    fn array(&mut self) -> Result<(), (usize, String)> {
+        self.expect(b'[')?;
+        self.skip_ws();
+        if self.eat(b']') {
+            return Ok(());
+        }
+        loop {
+            self.skip_ws();
+            self.value()?;
+            self.skip_ws();
+            if self.eat(b',') {
+                continue;
+            }
+            return self.expect(b']');
+        }
+    }
+
+    fn string(&mut self) -> Result<(), (usize, String)> {
+        self.expect(b'"')?;
+        loop {
+            match self.peek() {
+                None => return self.err("unterminated string"),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => {
+                            self.pos += 1;
+                        }
+                        Some(b'u') => {
+                            self.pos += 1;
+                            for _ in 0..4 {
+                                if !matches!(
+                                    self.peek(),
+                                    Some(b'0'..=b'9' | b'a'..=b'f' | b'A'..=b'F')
+                                ) {
+                                    return self.err("invalid \\u escape");
+                                }
+                                self.pos += 1;
+                            }
+                        }
+                        _ => return self.err("invalid escape"),
+                    }
+                }
+                Some(c) if c < 0x20 => return self.err("control character in string"),
+                Some(_) => self.pos += 1,
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<(), (usize, String)> {
+        self.eat(b'-');
+        if !matches!(self.peek(), Some(b'0'..=b'9')) {
+            return self.err("expected digits");
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.eat(b'.') {
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return self.err("expected fraction digits");
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return self.err("expected exponent digits");
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_specials() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+        assert_eq!(escape("plain"), "plain");
+    }
+
+    #[test]
+    fn validates_good_lines() {
+        for ok in [
+            "{}",
+            "[1, 2.5, -3e4]",
+            r#"{"k":"enter","name":"a b","fields":{"x":true,"y":null}}"#,
+            r#""just a string""#,
+            "  42  ",
+        ] {
+            assert!(validate(ok).is_ok(), "{ok}");
+        }
+    }
+
+    #[test]
+    fn rejects_bad_lines() {
+        for bad in [
+            "",
+            "{",
+            "{\"a\":}",
+            "[1,]",
+            "\"unterminated",
+            "01x",
+            "{} trailing",
+            "{\"a\"\u{1}:1}",
+        ] {
+            assert!(validate(bad).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn escaped_strings_round_trip_through_the_validator() {
+        let line = format!(r#"{{"s":"{}"}}"#, escape("q(In a: 5)?\n\"quoted\"\\"));
+        assert!(validate(&line).is_ok(), "{line}");
+    }
+}

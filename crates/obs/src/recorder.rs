@@ -1,0 +1,335 @@
+//! The recorder: the mutable collection half of the observability layer.
+//!
+//! A [`Recorder`] is cheap to construct, owns its buffers (no global
+//! state, no channels), and is therefore trivially deterministic: give
+//! every parallel work item its own recorder and [`Recorder::adopt`] the
+//! finished journals back in **submission order**. Wall-clock readings
+//! live only in the `time`/`dur` fields that fingerprints exclude, so
+//! the merged journal is byte-identical at any thread count.
+
+use crate::event::{Event, EventKind, FieldValue};
+use crate::journal::Journal;
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+/// An open-span handle returned by [`Recorder::enter`]; pass it back to
+/// [`Recorder::exit`]. Spans must close in LIFO order (enforced with a
+/// debug assertion); [`Recorder::finish`] force-closes any span left
+/// open.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[must_use = "a span stays open until Recorder::exit receives this token"]
+pub struct SpanToken {
+    enter_index: usize,
+}
+
+/// Collects spans, point events, and counters into a [`Journal`].
+#[derive(Debug)]
+pub struct Recorder {
+    enabled: bool,
+    timed: bool,
+    origin: Instant,
+    events: Vec<Event>,
+    counters: BTreeMap<String, u64>,
+    stack: Vec<(usize, Instant)>,
+}
+
+impl Default for Recorder {
+    fn default() -> Self {
+        Recorder::new()
+    }
+}
+
+impl Recorder {
+    fn with_flags(enabled: bool, timed: bool) -> Self {
+        Recorder {
+            enabled,
+            timed,
+            origin: Instant::now(),
+            events: Vec::new(),
+            counters: BTreeMap::new(),
+            stack: Vec::new(),
+        }
+    }
+
+    /// A recorder with wall-clock timing on (the default).
+    pub fn new() -> Self {
+        Recorder::with_flags(true, true)
+    }
+
+    /// A recorder that records no wall-clock at all: `time`/`dur` stay
+    /// `None`, so [`Journal::to_json_lines`] equals
+    /// [`Journal::fingerprint`]. Use in tests that compare full JSON.
+    pub fn untimed() -> Self {
+        Recorder::with_flags(true, false)
+    }
+
+    /// A no-op recorder: every operation does nothing and
+    /// [`Recorder::finish`] returns an empty journal. This is what the
+    /// unobserved compatibility entry points pass down, keeping the
+    /// instrumented hot paths allocation-free when nobody is watching.
+    pub fn disabled() -> Self {
+        Recorder::with_flags(false, false)
+    }
+
+    /// Whether this recorder actually records.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// A recorder suitable for a child work item of this one: disabled
+    /// if the parent is disabled, and timed the same way.
+    pub fn child(&self) -> Recorder {
+        Recorder::with_flags(self.enabled, self.timed)
+    }
+
+    fn now(&self) -> Option<std::time::Duration> {
+        self.timed.then(|| self.origin.elapsed())
+    }
+
+    /// Opens a span.
+    pub fn enter(&mut self, name: &str) -> SpanToken {
+        self.enter_with(name, &[])
+    }
+
+    /// Opens a span with structured fields.
+    pub fn enter_with(&mut self, name: &str, fields: &[(&str, FieldValue)]) -> SpanToken {
+        if !self.enabled {
+            return SpanToken {
+                enter_index: usize::MAX,
+            };
+        }
+        let idx = self.events.len();
+        self.events.push(Event {
+            kind: EventKind::Enter,
+            name: name.to_string(),
+            depth: self.stack.len(),
+            fields: fields
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.clone()))
+                .collect(),
+            time: self.now(),
+            dur: None,
+        });
+        self.stack.push((idx, Instant::now()));
+        SpanToken { enter_index: idx }
+    }
+
+    /// Closes the span `token` refers to, emitting the matching exit
+    /// event (which carries the span's fields and duration).
+    pub fn exit(&mut self, token: SpanToken) {
+        if !self.enabled {
+            return;
+        }
+        let Some((idx, started)) = self.stack.pop() else {
+            debug_assert!(false, "exit with no open span");
+            return;
+        };
+        debug_assert_eq!(idx, token.enter_index, "spans must close in LIFO order");
+        let dur = self.timed.then(|| started.elapsed());
+        let enter = &self.events[idx];
+        let (name, fields) = (enter.name.clone(), enter.fields.clone());
+        self.events.push(Event {
+            kind: EventKind::Exit,
+            name,
+            depth: self.stack.len(),
+            fields,
+            time: self.now(),
+            dur,
+        });
+    }
+
+    /// Emits a point event.
+    pub fn event(&mut self, name: &str, fields: &[(&str, FieldValue)]) {
+        if !self.enabled {
+            return;
+        }
+        self.events.push(Event {
+            kind: EventKind::Point,
+            name: name.to_string(),
+            depth: self.stack.len(),
+            fields: fields
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.clone()))
+                .collect(),
+            time: self.now(),
+            dur: None,
+        });
+    }
+
+    /// Adds `n` to a monotonic counter.
+    pub fn add(&mut self, counter: &str, n: u64) {
+        if !self.enabled {
+            return;
+        }
+        *self.counters.entry(counter.to_string()).or_insert(0) += n;
+    }
+
+    /// Adds 1 to a monotonic counter.
+    pub fn incr(&mut self, counter: &str) {
+        self.add(counter, 1);
+    }
+
+    /// The current value of a counter (0 when never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Merges a finished child journal into this recorder: events are
+    /// appended (depths shifted under the currently open spans) and
+    /// counters are summed. With `prefix`, both event names and counter
+    /// keys gain a `{prefix}.` namespace — how a campaign keeps its
+    /// with-slicing and without-slicing debug sessions apart.
+    ///
+    /// Determinism rule: adopt children in **submission order**, never
+    /// completion order. `gadt_exec`-style batch engines return results
+    /// in input order, which is exactly that.
+    pub fn adopt(&mut self, child: Journal, prefix: Option<&str>) {
+        if !self.enabled {
+            return;
+        }
+        let shift = self.stack.len();
+        let rename = |name: &str| match prefix {
+            Some(p) => format!("{p}.{name}"),
+            None => name.to_string(),
+        };
+        for mut e in child.events {
+            e.depth += shift;
+            e.name = rename(&e.name);
+            self.events.push(e);
+        }
+        for (k, v) in child.counters {
+            *self.counters.entry(rename(&k)).or_insert(0) += v;
+        }
+    }
+
+    /// Closes any spans left open (defensively) and returns the journal.
+    pub fn finish(mut self) -> Journal {
+        while let Some(&(idx, _)) = self.stack.last() {
+            self.exit(SpanToken { enter_index: idx });
+        }
+        Journal {
+            events: self.events,
+            counters: self.counters,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_nest_and_balance() {
+        let mut rec = Recorder::untimed();
+        let outer = rec.enter("outer");
+        let inner = rec.enter("inner");
+        rec.event("p", &[]);
+        rec.exit(inner);
+        rec.exit(outer);
+        let j = rec.finish();
+        let depths: Vec<(EventKind, usize)> = j.events.iter().map(|e| (e.kind, e.depth)).collect();
+        assert_eq!(
+            depths,
+            vec![
+                (EventKind::Enter, 0),
+                (EventKind::Enter, 1),
+                (EventKind::Point, 2),
+                (EventKind::Exit, 1),
+                (EventKind::Exit, 0),
+            ]
+        );
+    }
+
+    #[test]
+    fn finish_force_closes_open_spans() {
+        let mut rec = Recorder::untimed();
+        let _t = rec.enter("a");
+        let _u = rec.enter("b");
+        let j = rec.finish();
+        assert_eq!(j.events.len(), 4);
+        assert_eq!(j.events.last().unwrap().kind, EventKind::Exit);
+        assert_eq!(j.events.last().unwrap().name, "a");
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let mut rec = Recorder::new();
+        rec.add("x", 2);
+        rec.incr("x");
+        rec.incr("y");
+        assert_eq!(rec.counter("x"), 3);
+        let j = rec.finish();
+        assert_eq!(j.counter("x"), 3);
+        assert_eq!(j.counter("y"), 1);
+        assert_eq!(j.counter("z"), 0);
+    }
+
+    #[test]
+    fn disabled_recorder_is_a_no_op() {
+        let mut rec = Recorder::disabled();
+        assert!(!rec.is_enabled());
+        let t = rec.enter_with("s", &[("a", 1u64.into())]);
+        rec.event("e", &[]);
+        rec.add("c", 5);
+        rec.exit(t);
+        rec.adopt(
+            Journal {
+                events: vec![],
+                counters: [("k".to_string(), 1)].into_iter().collect(),
+            },
+            None,
+        );
+        assert!(rec.finish().is_empty());
+    }
+
+    #[test]
+    fn adopt_shifts_depth_and_prefixes_names() {
+        let mut child = Recorder::untimed();
+        let s = child.enter("debug");
+        child.event("question", &[("unit", "p".into())]);
+        child.add("debug.questions", 1);
+        child.exit(s);
+        let cj = child.finish();
+
+        let mut parent = Recorder::untimed();
+        let m = parent.enter("mutant");
+        parent.adopt(cj.clone(), Some("with_slicing"));
+        parent.adopt(cj, None);
+        parent.exit(m);
+        let j = parent.finish();
+        assert_eq!(j.counter("with_slicing.debug.questions"), 1);
+        assert_eq!(j.counter("debug.questions"), 1);
+        let prefixed: Vec<&Event> = j.events_named("with_slicing.question").collect();
+        assert_eq!(prefixed.len(), 1);
+        assert_eq!(prefixed[0].depth, 2);
+        assert_eq!(j.events_named("question").count(), 1);
+    }
+
+    #[test]
+    fn adoption_order_fixes_the_fingerprint() {
+        // Two children adopted in submission order produce the same
+        // fingerprint however long either took to compute.
+        let make_child = |unit: &str| {
+            let mut r = Recorder::new();
+            r.event("question", &[("unit", unit.into())]);
+            r.finish()
+        };
+        let mut a = Recorder::new();
+        a.adopt(make_child("first"), None);
+        a.adopt(make_child("second"), None);
+        let mut b = Recorder::new();
+        b.adopt(make_child("first"), None);
+        b.adopt(make_child("second"), None);
+        assert_eq!(a.finish().fingerprint(), b.finish().fingerprint());
+    }
+
+    #[test]
+    fn child_inherits_flags() {
+        assert!(!Recorder::disabled().child().is_enabled());
+        assert!(Recorder::new().child().is_enabled());
+        let mut c = Recorder::untimed().child();
+        let t = c.enter("x");
+        c.exit(t);
+        assert!(c.finish().events.iter().all(|e| e.time.is_none()));
+    }
+}

@@ -1,0 +1,178 @@
+//! Pluggable journal sinks: in-memory (tests), JSON-lines (machines),
+//! and the human-readable summary renderer.
+
+use crate::event::Event;
+use crate::journal::Journal;
+use std::io::Write;
+
+/// A destination for journal entries. [`Journal::emit`] streams a
+/// finished journal into one; long-running tools can also drive a sink
+/// incrementally.
+pub trait Sink {
+    /// Receives one event.
+    fn record(&mut self, event: &Event);
+    /// Receives one final counter value.
+    fn counter(&mut self, name: &str, value: u64);
+    /// Called once after the last entry.
+    fn flush(&mut self) {}
+}
+
+/// Collects everything back into a [`Journal`] — the test sink.
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    /// The journal accumulated so far.
+    pub journal: Journal,
+}
+
+impl MemorySink {
+    /// An empty in-memory sink.
+    pub fn new() -> Self {
+        MemorySink::default()
+    }
+}
+
+impl Sink for MemorySink {
+    fn record(&mut self, event: &Event) {
+        self.journal.events.push(event.clone());
+    }
+
+    fn counter(&mut self, name: &str, value: u64) {
+        *self.journal.counters.entry(name.to_string()).or_insert(0) += value;
+    }
+}
+
+/// Writes one JSON object per line to any [`Write`] target.
+///
+/// With `with_time` off, the output is the deterministic
+/// [`Journal::fingerprint`] encoding; with it on, wall-clock fields are
+/// included.
+#[derive(Debug)]
+pub struct JsonLinesSink<W: Write> {
+    w: W,
+    with_time: bool,
+    error: Option<std::io::Error>,
+}
+
+impl<W: Write> JsonLinesSink<W> {
+    /// A sink including wall-clock fields.
+    pub fn new(w: W) -> Self {
+        JsonLinesSink {
+            w,
+            with_time: true,
+            error: None,
+        }
+    }
+
+    /// A sink omitting wall-clock fields (deterministic output).
+    pub fn deterministic(w: W) -> Self {
+        JsonLinesSink {
+            w,
+            with_time: false,
+            error: None,
+        }
+    }
+
+    /// Returns the writer, surfacing any I/O error swallowed during
+    /// streaming.
+    ///
+    /// # Errors
+    /// The first write error encountered, if any.
+    pub fn into_inner(self) -> std::io::Result<W> {
+        match self.error {
+            Some(e) => Err(e),
+            None => Ok(self.w),
+        }
+    }
+
+    fn write_line(&mut self, line: &str) {
+        if self.error.is_some() {
+            return;
+        }
+        if let Err(e) = self
+            .w
+            .write_all(line.as_bytes())
+            .and_then(|()| self.w.write_all(b"\n"))
+        {
+            self.error = Some(e);
+        }
+    }
+}
+
+impl<W: Write> Sink for JsonLinesSink<W> {
+    fn record(&mut self, event: &Event) {
+        let single = Journal {
+            events: vec![event.clone()],
+            counters: Default::default(),
+        };
+        let rendered = if self.with_time {
+            single.to_json_lines()
+        } else {
+            single.fingerprint()
+        };
+        self.write_line(rendered.trim_end());
+    }
+
+    fn counter(&mut self, name: &str, value: u64) {
+        let line = format!(
+            r#"{{"k":"counter","name":"{}","value":{value}}}"#,
+            crate::json::escape(name)
+        );
+        self.write_line(&line);
+    }
+
+    fn flush(&mut self) {
+        if self.error.is_none() {
+            if let Err(e) = self.w.flush() {
+                self.error = Some(e);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::Recorder;
+
+    fn sample() -> Journal {
+        let mut rec = Recorder::new();
+        let s = rec.enter_with("slice", &[("criterion", "3.0".into())]);
+        rec.event(
+            "question",
+            &[("unit", "add".into()), ("answer", "yes".into())],
+        );
+        rec.exit(s);
+        rec.add("debug.questions", 7);
+        rec.finish()
+    }
+
+    #[test]
+    fn memory_sink_round_trips() {
+        let j = sample();
+        let mut sink = MemorySink::new();
+        j.emit(&mut sink);
+        assert_eq!(sink.journal, j);
+    }
+
+    #[test]
+    fn json_lines_sink_matches_journal_serialization() {
+        let j = sample();
+        let mut sink = JsonLinesSink::new(Vec::new());
+        j.emit(&mut sink);
+        let bytes = sink.into_inner().unwrap();
+        assert_eq!(String::from_utf8(bytes).unwrap(), j.to_json_lines());
+
+        let mut det = JsonLinesSink::deterministic(Vec::new());
+        j.emit(&mut det);
+        let bytes = det.into_inner().unwrap();
+        assert_eq!(String::from_utf8(bytes).unwrap(), j.fingerprint());
+    }
+
+    #[test]
+    fn every_emitted_line_parses() {
+        let j = sample();
+        for line in j.to_json_lines().lines() {
+            crate::json::validate(line).unwrap_or_else(|e| panic!("{line}: {e:?}"));
+        }
+    }
+}

@@ -320,10 +320,10 @@ fn const_to_value(c: &crate::ast::ConstValue) -> Value {
         crate::ast::ConstValue::Int(n) => Value::Int(*n),
         crate::ast::ConstValue::Real(x) => Value::Real(*x),
         crate::ast::ConstValue::Bool(b) => Value::Bool(*b),
-        crate::ast::ConstValue::Str(s) if s.chars().count() == 1 => {
-            Value::Char(s.chars().next().expect("nonempty"))
-        }
-        crate::ast::ConstValue::Str(s) => Value::Str(s.clone()),
+        crate::ast::ConstValue::Str(s) => match crate::sema::single_char(s) {
+            Some(c) => Value::Char(c),
+            None => Value::Str(s.clone()),
+        },
     }
 }
 

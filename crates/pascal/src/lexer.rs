@@ -136,9 +136,8 @@ impl<'s> Lexer<'s> {
         ) {
             self.bump();
         }
-        let text =
-            std::str::from_utf8(&self.src[start..self.pos]).expect("identifier bytes are ASCII");
-        let kind = TokenKind::keyword(text).unwrap_or_else(|| TokenKind::Ident(text.to_string()));
+        let text = String::from_utf8_lossy(&self.src[start..self.pos]);
+        let kind = TokenKind::keyword(&text).unwrap_or_else(|| TokenKind::Ident(text.to_string()));
         self.push(kind, start);
     }
 
@@ -165,13 +164,13 @@ impl<'s> Lexer<'s> {
                     self.bump();
                 }
             }
-            let text = std::str::from_utf8(&self.src[start..self.pos]).unwrap();
+            let text = String::from_utf8_lossy(&self.src[start..self.pos]);
             let value: f64 = text
                 .parse()
                 .map_err(|_| self.err(format!("invalid real literal `{text}`"), start))?;
             self.push(TokenKind::RealLit(value), start);
         } else {
-            let text = std::str::from_utf8(&self.src[start..self.pos]).unwrap();
+            let text = String::from_utf8_lossy(&self.src[start..self.pos]);
             let value: i64 = text
                 .parse()
                 .map_err(|_| self.err(format!("integer literal `{text}` out of range"), start))?;

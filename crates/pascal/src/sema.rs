@@ -392,6 +392,16 @@ fn err(msg: impl Into<String>, span: Span) -> Diagnostic {
     Diagnostic::new(Stage::Sema, msg, span)
 }
 
+/// `Some(c)` iff `s` is exactly one character long — the string/char
+/// disambiguation rule for Pascal literals.
+pub(crate) fn single_char(s: &str) -> Option<char> {
+    let mut chars = s.chars();
+    match (chars.next(), chars.next()) {
+        (Some(c), None) => Some(c),
+        _ => None,
+    }
+}
+
 impl Checker {
     fn new() -> Self {
         Checker {
@@ -484,10 +494,10 @@ impl Checker {
                 ConstValue::Int(n) => Value::Int(*n),
                 ConstValue::Real(x) => Value::Real(*x),
                 ConstValue::Bool(b) => Value::Bool(*b),
-                ConstValue::Str(s) if s.chars().count() == 1 => {
-                    Value::Char(s.chars().next().expect("nonempty"))
-                }
-                ConstValue::Str(s) => Value::Str(s.clone()),
+                ConstValue::Str(s) => match single_char(s) {
+                    Some(c) => Value::Char(c),
+                    None => Value::Str(s.clone()),
+                },
             };
             self.define(&c.name, ScopeEntry::Const(value))?;
         }
@@ -724,9 +734,15 @@ impl Checker {
                         let v = match (label, &sty) {
                             (ConstValue::Int(n), Type::Integer) => Value::Int(*n),
                             (ConstValue::Bool(b), Type::Boolean) => Value::Bool(*b),
-                            (ConstValue::Str(c), Type::Char) if c.chars().count() == 1 => {
-                                Value::Char(c.chars().next().expect("nonempty"))
-                            }
+                            (ConstValue::Str(c), Type::Char) => match single_char(c) {
+                                Some(ch) => Value::Char(ch),
+                                None => {
+                                    return Err(err(
+                                        format!("case label does not match selector type `{sty}`"),
+                                        s.span,
+                                    ))
+                                }
+                            },
                             _ => {
                                 return Err(err(
                                     format!("case label does not match selector type `{sty}`"),

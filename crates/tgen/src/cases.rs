@@ -193,12 +193,52 @@ pub fn run_cases(
 /// # Errors
 /// Propagates the error of the lowest-indexed failing case — the same
 /// error the sequential runner would surface first.
+pub fn run_cases_batch(
+    threads: usize,
+    module: &Module,
+    unit: &str,
+    cases: &[TestCase],
+    oracle: &(dyn Fn(&[Value], &ProcRun) -> bool + Sync),
+) -> Result<TestDb> {
+    run_cases_batch_observed(
+        threads,
+        module,
+        unit,
+        cases,
+        oracle,
+        &mut gadt_obs::Recorder::disabled(),
+    )
+}
+
+/// Deprecated name for [`run_cases_batch`], kept so downstream callers
+/// migrate at their own pace (the repo-wide convention is `*_batch` for
+/// thread-fanned entry points).
+#[deprecated(since = "0.1.0", note = "renamed to `run_cases_batch`")]
 pub fn run_cases_parallel(
     threads: usize,
     module: &Module,
     unit: &str,
     cases: &[TestCase],
     oracle: &(dyn Fn(&[Value], &ProcRun) -> bool + Sync),
+) -> Result<TestDb> {
+    run_cases_batch(threads, module, unit, cases, oracle)
+}
+
+/// [`run_cases_batch`] with instrumentation: wraps the batch in a
+/// `tgen_cases` span tagged with the unit and case count, and records
+/// the counters `tgen.cases`, `tgen.passed` and `tgen.failed`. Each
+/// case's verdict lands in per-case recorders merged in case order, so
+/// the journal is thread-count invariant.
+///
+/// # Errors
+/// Same as [`run_cases_batch`].
+pub fn run_cases_batch_observed(
+    threads: usize,
+    module: &Module,
+    unit: &str,
+    cases: &[TestCase],
+    oracle: &(dyn Fn(&[Value], &ProcRun) -> bool + Sync),
+    rec: &mut gadt_obs::Recorder,
 ) -> Result<TestDb> {
     let proc = module.proc_by_name(unit).ok_or_else(|| {
         gadt_pascal::error::Diagnostic::new(
@@ -207,10 +247,13 @@ pub fn run_cases_parallel(
             gadt_pascal::span::Span::dummy(),
         )
     })?;
+    let span = gadt_obs::span!(rec, "tgen_cases", unit = unit, cases = cases.len());
     let pool = gadt_exec::BatchExecutor::new(threads);
-    let reports = pool.try_run(cases.to_vec(), |_, case| {
+    let reports = pool.try_run_observed(cases.to_vec(), rec, |_, case, crec| {
         let run = run_unit(module, proc, case.inputs.clone())?;
         let passed = oracle(&case.inputs, &run);
+        crec.incr("tgen.cases");
+        crec.incr(if passed { "tgen.passed" } else { "tgen.failed" });
         let mut outputs: Vec<Value> = run.outs.iter().map(|(_, v)| v.clone()).collect();
         if let Some(r) = &run.result {
             outputs.push(r.clone());
@@ -221,11 +264,19 @@ pub fn run_cases_parallel(
             outputs,
             passed,
         })
-    })?;
+    });
+    let reports = match reports {
+        Ok(r) => r,
+        Err(e) => {
+            rec.exit(span);
+            return Err(e);
+        }
+    };
     let mut db = TestDb::new(unit);
     for report in reports {
         db.add(report);
     }
+    rec.exit(span);
     Ok(db)
 }
 
@@ -472,7 +523,44 @@ mod tests {
     fn unknown_unit_is_an_error() {
         let m = compile(testprogs::SQRTEST).unwrap();
         assert!(run_cases(&m, "nosuch", &[], &|_, _| true).is_err());
-        assert!(run_cases_parallel(4, &m, "nosuch", &[], &|_, _| true).is_err());
+        assert!(run_cases_batch(4, &m, "nosuch", &[], &|_, _| true).is_err());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_parallel_alias_still_works() {
+        let m = compile(testprogs::SQRTEST).unwrap();
+        let g = figure1_frames();
+        let cases = instantiate_cases(&g, |f| arrsum_instantiator(f, 2));
+        let a = run_cases_batch(2, &m, "arrsum", &cases, &|i, r| arrsum_oracle(i, r)).unwrap();
+        let b = run_cases_parallel(2, &m, "arrsum", &cases, &|i, r| arrsum_oracle(i, r)).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn observed_cases_count_verdicts_deterministically() {
+        let m = compile(testprogs::SQRTEST).unwrap();
+        let g = figure1_frames();
+        let cases = instantiate_cases(&g, |f| arrsum_instantiator(f, 2));
+        let journal_at = |threads: usize| {
+            let mut rec = gadt_obs::Recorder::untimed();
+            run_cases_batch_observed(
+                threads,
+                &m,
+                "arrsum",
+                &cases,
+                &|i, r| arrsum_oracle(i, r),
+                &mut rec,
+            )
+            .unwrap();
+            rec.finish()
+        };
+        let one = journal_at(1);
+        assert_eq!(one.counter("tgen.cases"), cases.len() as u64);
+        assert_eq!(one.counter("tgen.passed"), cases.len() as u64);
+        assert_eq!(one.counter("tgen.failed"), 0);
+        assert_eq!(one.fingerprint(), journal_at(2).fingerprint());
+        assert_eq!(one.fingerprint(), journal_at(8).fingerprint());
     }
 
     #[test]
@@ -482,7 +570,7 @@ mod tests {
         let cases = instantiate_cases(&g, |f| arrsum_instantiator(f, 2));
         let seq = run_cases(&m, "arrsum", &cases, &|ins, run| arrsum_oracle(ins, run)).unwrap();
         for threads in [1, 2, 8] {
-            let par = run_cases_parallel(threads, &m, "arrsum", &cases, &|ins, run| {
+            let par = run_cases_batch(threads, &m, "arrsum", &cases, &|ins, run| {
                 arrsum_oracle(ins, run)
             })
             .unwrap();

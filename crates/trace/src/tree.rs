@@ -86,6 +86,13 @@ impl ExecTree {
         self.nodes.is_empty()
     }
 
+    /// Records this tree's size on `rec` as the counter `tree.nodes`
+    /// and a `tree.built` tick.
+    pub fn observe(&self, rec: &mut gadt_obs::Recorder) {
+        rec.incr("tree.built");
+        rec.add("tree.nodes", self.nodes.len() as u64);
+    }
+
     /// Nodes in pre-order (the paper's top-down traversal).
     pub fn preorder(&self) -> Vec<NodeId> {
         let mut out = Vec::with_capacity(self.nodes.len());

@@ -37,4 +37,6 @@ pub mod mapping;
 pub mod pipeline;
 
 pub use mapping::{AddedParam, ExitInfo, Mapping, ParamOrigin};
-pub use pipeline::{growth_factor, instrumented_source, transform, Transformed};
+pub use pipeline::{
+    growth_factor, instrumented_source, transform, transform_observed, Transformed,
+};

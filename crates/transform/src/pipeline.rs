@@ -49,9 +49,41 @@ pub struct Transformed {
 /// # }
 /// ```
 pub fn transform(module: &Module) -> Result<Transformed> {
+    transform_observed(module, &mut gadt_obs::Recorder::disabled())
+}
+
+/// [`transform`] with instrumentation: wraps the phase in a
+/// `transform` span and records the counters `transform.rounds`,
+/// `transform.synthetic_stmts` and `transform.added_params`.
+///
+/// # Errors
+/// Same as [`transform`].
+pub fn transform_observed(module: &Module, rec: &mut gadt_obs::Recorder) -> Result<Transformed> {
+    let span = gadt_obs::span!(rec, "transform");
+    let result = transform_inner(module, rec);
+    if let Ok(t) = &result {
+        rec.add(
+            "transform.synthetic_stmts",
+            t.mapping.synthetic_stmts.len() as u64,
+        );
+        rec.add(
+            "transform.added_params",
+            t.mapping
+                .added_params
+                .values()
+                .map(|v| v.len() as u64)
+                .sum(),
+        );
+    }
+    rec.exit(span);
+    result
+}
+
+fn transform_inner(module: &Module, rec: &mut gadt_obs::Recorder) -> Result<Transformed> {
     let (prog, mut mapping) = crate::globals::convert_globals(module)?;
     let mut m = reanalyze(prog)?;
     for _round in 0..16 {
+        rec.incr("transform.rounds");
         let (prog_b, map_b, changed_b) = break_loop_gotos(&m)?;
         if changed_b {
             mapping.merge(map_b);
@@ -333,6 +365,24 @@ mod tests {
         assert_eq!(t.module.program.block, m.program.block);
         assert!(t.mapping.synthetic_stmts.is_empty());
         assert!(t.mapping.added_params.is_empty());
+    }
+
+    #[test]
+    fn observed_transform_records_span_and_counters() {
+        let m = compile(testprogs::SECTION6_GOTO).unwrap();
+        let mut rec = gadt_obs::Recorder::untimed();
+        let t = transform_observed(&m, &mut rec).unwrap();
+        let j = rec.finish();
+        assert!(j.counter("transform.rounds") >= 1);
+        assert_eq!(
+            j.counter("transform.synthetic_stmts"),
+            t.mapping.synthetic_stmts.len() as u64
+        );
+        let exits: Vec<_> = j
+            .events_named("transform")
+            .filter(|e| e.kind == gadt_obs::EventKind::Exit)
+            .collect();
+        assert_eq!(exits.len(), 1);
     }
 
     #[test]

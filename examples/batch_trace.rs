@@ -5,7 +5,7 @@
 //! Usage: `cargo run --example batch_trace [threads]` — `0` (default)
 //! means "use all cores".
 
-use gadt::session::trace_inputs;
+use gadt::session::trace_batch;
 use gadt_pascal::sema::compile;
 use gadt_pascal::value::Value;
 
@@ -22,7 +22,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
          begin read(n); s := 0; for i := 1 to n do s := s + i; writeln(s) end.",
     )?;
     let inputs: Vec<Vec<Value>> = (1..=32).map(|n| vec![Value::Int(n)]).collect();
-    let batch = trace_inputs(&m, inputs, threads)?;
+    let batch = trace_batch(&m, inputs, threads)?;
 
     println!(
         "traced {} runs on {threads} thread(s) (0 = all cores)",

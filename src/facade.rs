@@ -1,0 +1,274 @@
+//! The one-import pipeline facade.
+//!
+//! [`Gadt`] chains the pipeline's phases as a typestate builder —
+//! compile → transform → trace → debug — wrapping the free functions of
+//! [`gadt::session`] and threading one observability
+//! [`gadt_obs::Recorder`] through every phase, so a finished
+//! chain hands back both the debugging outcome and the structured
+//! journal of everything that happened:
+//!
+//! ```
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! use gadt_repro::{Gadt, testprogs, DebugResult};
+//! use gadt_repro::debugging::oracle::{ChainOracle, ReferenceOracle};
+//!
+//! let fixed = gadt_repro::pascal::sema::compile(testprogs::SQRTEST_FIXED)?;
+//! let mut oracle = ChainOracle::new();
+//! oracle.push(ReferenceOracle::new(&fixed, [])?);
+//!
+//! let session = Gadt::compile(testprogs::SQRTEST)?
+//!     .transform()?
+//!     .trace(vec![vec![]])?
+//!     .debug(&mut oracle)?;
+//!
+//! assert!(matches!(session.outcome.result,
+//!     DebugResult::BugLocalized { ref unit, .. } if unit == "decrement"));
+//! assert_eq!(session.journal.counter("debug.questions"),
+//!            session.outcome.total_queries() as u64);
+//! # Ok(())
+//! # }
+//! ```
+
+use gadt::debugger::{DebugConfig, DebugOutcome};
+use gadt::error::{Error, Phase, Result};
+use gadt::oracle::ChainOracle;
+use gadt::session::{self, PreparedProgram, TracedRun};
+use gadt_obs::{Journal, Recorder};
+use gadt_pascal::sema::Module;
+use gadt_pascal::value::Value;
+
+/// Entry point of the facade: start a pipeline with [`Gadt::compile`].
+#[derive(Debug)]
+pub struct Gadt;
+
+impl Gadt {
+    /// Compiles Pascal source, yielding the first pipeline stage.
+    ///
+    /// # Errors
+    /// A [`Phase::Compile`] error on lex/parse/type failures.
+    pub fn compile(source: &str) -> Result<Compiled> {
+        let module = gadt_pascal::sema::compile(source).map_err(Error::from)?;
+        Ok(Compiled {
+            module,
+            threads: 0,
+            rec: Recorder::new(),
+        })
+    }
+
+    /// Starts the pipeline from an already-compiled module.
+    pub fn from_module(module: Module) -> Compiled {
+        Compiled {
+            module,
+            threads: 0,
+            rec: Recorder::new(),
+        }
+    }
+}
+
+/// A compiled program, ready for the §6 transformation.
+#[derive(Debug)]
+pub struct Compiled {
+    /// The compiled module.
+    pub module: Module,
+    threads: usize,
+    rec: Recorder,
+}
+
+impl Compiled {
+    /// Sets the worker-thread count used by later batch phases
+    /// (`0` = all cores, the default).
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Phase I: removes global side effects and non-local gotos,
+    /// journaling round and growth counters under a `transform` span.
+    ///
+    /// # Errors
+    /// A [`Phase::Transform`] error when a transformation fails or does
+    /// not converge.
+    pub fn transform(mut self) -> Result<Prepared> {
+        let prepared = session::prepare_observed(&self.module, &mut self.rec)
+            .map_err(|e| Error::from_diagnostic(Phase::Transform, e))?;
+        Ok(Prepared {
+            module: self.module,
+            prepared,
+            threads: self.threads,
+            rec: self.rec,
+        })
+    }
+}
+
+/// A transformed program, ready for traced execution.
+#[derive(Debug)]
+pub struct Prepared {
+    /// The original (untransformed) module.
+    pub module: Module,
+    /// Phase I output: transformed module, mapping, CFG.
+    pub prepared: PreparedProgram,
+    threads: usize,
+    rec: Recorder,
+}
+
+impl Prepared {
+    /// Phase II: traces every input of the batch in parallel (input
+    /// order preserved; the journal is thread-count invariant).
+    ///
+    /// # Errors
+    /// A [`Phase::Trace`] error from the lowest-indexed failing input.
+    pub fn trace(mut self, inputs: Vec<Vec<Value>>) -> Result<Traced> {
+        let runs =
+            session::run_traced_batch_observed(&self.prepared, inputs, self.threads, &mut self.rec)
+                .map_err(Error::from)?;
+        Ok(Traced {
+            prepared: self.prepared,
+            runs,
+            threads: self.threads,
+            rec: self.rec,
+        })
+    }
+}
+
+/// Traced executions, ready for debugging.
+#[derive(Debug)]
+pub struct Traced {
+    /// Phase I output (shared by every run).
+    pub prepared: PreparedProgram,
+    /// One traced run per input, in input order.
+    pub runs: Vec<TracedRun>,
+    threads: usize,
+    rec: Recorder,
+}
+
+impl Traced {
+    /// Phase III: debugs the first traced run with the default
+    /// configuration (top-down, slicing on).
+    ///
+    /// # Errors
+    /// A [`Phase::Debug`] error when the chain holds no traced runs.
+    pub fn debug(self, oracle: &mut ChainOracle<'_>) -> Result<Session> {
+        self.debug_run(0, oracle, DebugConfig::default())
+    }
+
+    /// Phase III on a chosen run and configuration.
+    ///
+    /// # Errors
+    /// A [`Phase::Debug`] error when `index` is out of range.
+    pub fn debug_run(
+        mut self,
+        index: usize,
+        oracle: &mut ChainOracle<'_>,
+        config: DebugConfig,
+    ) -> Result<Session> {
+        let run = self.runs.get(index).ok_or_else(|| {
+            Error::new(
+                Phase::Debug,
+                format!(
+                    "no traced run at index {index} ({} available)",
+                    self.runs.len()
+                ),
+            )
+        })?;
+        let outcome = session::debug_observed(&self.prepared, run, oracle, config, &mut self.rec);
+        let _ = self.threads;
+        Ok(Session {
+            prepared: self.prepared,
+            runs: self.runs,
+            outcome,
+            journal: self.rec.finish(),
+        })
+    }
+
+    /// Ends the chain without a debug phase, yielding the runs and the
+    /// journal of the phases so far.
+    pub fn finish(self) -> (Vec<TracedRun>, Journal) {
+        (self.runs, self.rec.finish())
+    }
+}
+
+/// A finished facade chain: outcome plus the full pipeline journal.
+#[derive(Debug)]
+pub struct Session {
+    /// Phase I output.
+    pub prepared: PreparedProgram,
+    /// The traced runs of Phase II.
+    pub runs: Vec<TracedRun>,
+    /// The debugging verdict and transcript.
+    pub outcome: DebugOutcome,
+    /// Spans, events and counters of every phase the chain ran.
+    pub journal: Journal,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gadt::debugger::DebugResult;
+    use gadt::oracle::ReferenceOracle;
+    use gadt_pascal::testprogs;
+
+    #[test]
+    fn facade_runs_the_paper_pipeline() {
+        let fixed = gadt_pascal::sema::compile(testprogs::SQRTEST_FIXED).unwrap();
+        let mut oracle = ChainOracle::new();
+        oracle.push(ReferenceOracle::new(&fixed, []).unwrap());
+        let session = Gadt::compile(testprogs::SQRTEST)
+            .unwrap()
+            .threads(2)
+            .transform()
+            .unwrap()
+            .trace(vec![vec![]])
+            .unwrap()
+            .debug(&mut oracle)
+            .unwrap();
+        let DebugResult::BugLocalized { unit, .. } = &session.outcome.result else {
+            panic!("{}", session.outcome.render_transcript());
+        };
+        assert_eq!(unit, "decrement");
+        assert_eq!(session.journal.counter("trace.runs"), 1);
+        assert_eq!(
+            session.journal.counter("debug.questions"),
+            session.outcome.total_queries() as u64
+        );
+        assert_eq!(
+            session.journal.counter("debug.slices"),
+            session.outcome.slices_taken as u64
+        );
+    }
+
+    #[test]
+    fn compile_errors_carry_the_phase() {
+        let err = Gadt::compile("program x; begin y := 1 end.").unwrap_err();
+        assert_eq!(err.phase(), Phase::Compile);
+        assert!(err.diagnostic().is_some());
+    }
+
+    #[test]
+    fn debugging_without_runs_is_a_debug_phase_error() {
+        let traced = Gadt::compile("program t; begin writeln(1) end.")
+            .unwrap()
+            .transform()
+            .unwrap()
+            .trace(vec![])
+            .unwrap();
+        let mut oracle = ChainOracle::new();
+        let err = traced.debug(&mut oracle).unwrap_err();
+        assert_eq!(err.phase(), Phase::Debug);
+    }
+
+    #[test]
+    fn finish_returns_runs_and_journal() {
+        let (runs, journal) = Gadt::compile("program t; begin writeln(7) end.")
+            .unwrap()
+            .transform()
+            .unwrap()
+            .trace(vec![vec![], vec![]])
+            .unwrap()
+            .finish();
+        assert_eq!(runs.len(), 2);
+        assert_eq!(runs[0].output, "7\n");
+        assert_eq!(journal.counter("trace.runs"), 2);
+        assert!(journal.phase_timings().trace > std::time::Duration::ZERO);
+    }
+}

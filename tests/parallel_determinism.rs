@@ -3,7 +3,7 @@
 //! counterpart at any thread count. Thread counts 1, 2 and 8 cover the
 //! inline fast path, minimal contention, and more workers than cores.
 
-use gadt::session::{prepare, run_traced, run_traced_batch, trace_inputs};
+use gadt::session::{prepare, run_traced, run_traced_batch, trace_batch};
 use gadt_analysis::dyntrace::record_trace;
 use gadt_analysis::slice_batch::dynamic_slice_batch;
 use gadt_analysis::slice_dynamic::dynamic_slice_output;
@@ -25,7 +25,7 @@ fn tgen_case_runs_are_thread_count_invariant() {
     let oracle = |ins: &[Value], r: &gadt_pascal::interp::ProcRun| cases::arrsum_oracle(ins, r);
     let seq = cases::run_cases(&m, "arrsum", &tc, &oracle).unwrap();
     for threads in THREADS {
-        let par = cases::run_cases_parallel(threads, &m, "arrsum", &tc, &oracle).unwrap();
+        let par = cases::run_cases_batch(threads, &m, "arrsum", &tc, &oracle).unwrap();
         assert_eq!(seq, par, "TestDb diverges at {threads} threads");
     }
 }
@@ -90,7 +90,7 @@ fn batch_tracing_matches_sequential_tracing() {
 }
 
 #[test]
-fn trace_inputs_reports_timings_and_matches_batch() {
+fn trace_batch_reports_timings_and_matches_sequential() {
     let m = compile(
         "program t; var n, r: integer;
          function sq(x: integer): integer; begin sq := x * x end;
@@ -98,7 +98,7 @@ fn trace_inputs_reports_timings_and_matches_batch() {
     )
     .unwrap();
     let inputs: Vec<Vec<Value>> = (1..=6).map(|n| vec![Value::Int(n)]).collect();
-    let batch = trace_inputs(&m, inputs.clone(), 2).unwrap();
+    let batch = trace_batch(&m, inputs.clone(), 2).unwrap();
     assert_eq!(batch.runs.len(), inputs.len());
     let prepared = prepare(&m).unwrap();
     for (i, input) in inputs.iter().enumerate() {
