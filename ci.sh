@@ -32,4 +32,21 @@ cargo test -q --test observability
 echo "==> mutation localization smoke (fixed seed, <=50 mutants)"
 cargo test -q --test mutation_conformance bounded_smoke_campaign_is_deterministic_and_accurate
 
+# Knowledge-store tier: the crash/corruption fault-injection suite and
+# the cross-session §8 replay, run inside a throwaway TMPDIR sandbox
+# (gadt-store's TempDir honours TMPDIR). The sandbox must come back
+# empty — a leaked store directory fails the tier.
+echo "==> knowledge-store tier (crash recovery + cross-session replay)"
+STORE_TMP="$(mktemp -d)"
+TMPDIR="$STORE_TMP" cargo test -q --test store_recovery
+TMPDIR="$STORE_TMP" cargo test -q --test paper_reproduction \
+    e13_cross_session_store_replay_asks_zero_user_questions
+leftover="$(find "$STORE_TMP" -mindepth 1 | head -5 || true)"
+if [ -n "$leftover" ]; then
+    echo "ci: store tests leaked files into their sandbox:"
+    echo "$leftover"
+    exit 1
+fi
+rmdir "$STORE_TMP"
+
 echo "ci: all green"

@@ -26,6 +26,8 @@ pub enum Phase {
     Testing,
     /// The mutation campaign harness.
     Campaign,
+    /// The persistent knowledge store (`gadt-store`).
+    Store,
 }
 
 impl fmt::Display for Phase {
@@ -37,6 +39,7 @@ impl fmt::Display for Phase {
             Phase::Debug => "debug",
             Phase::Testing => "testing",
             Phase::Campaign => "campaign",
+            Phase::Store => "store",
         };
         write!(f, "{s}")
     }
@@ -165,6 +168,7 @@ mod tests {
             (Phase::Debug, "debug"),
             (Phase::Testing, "testing"),
             (Phase::Campaign, "campaign"),
+            (Phase::Store, "store"),
         ] {
             assert_eq!(p.to_string(), s);
         }

@@ -61,6 +61,7 @@ pub mod interactive;
 pub mod oracle;
 pub mod retry;
 pub mod session;
+pub mod stored;
 pub mod testlookup;
 pub mod transparency;
 
@@ -74,6 +75,7 @@ pub use session::{
     debug, debug_observed, prepare, prepare_observed, quick_debug, run_traced, run_traced_limited,
     trace_batch, BatchTraced, PhaseTimings, PreparedProgram, TracedRun,
 };
+pub use stored::{StoredKnowledgeOracle, STORED_SOURCE};
 pub use testlookup::TestLookup;
 pub use transparency::render_query_original;
 

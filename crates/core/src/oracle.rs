@@ -452,21 +452,26 @@ impl<O: Oracle> Oracle for CountingOracle<O> {
 }
 
 /// Chains oracles: the first non-[`Answer::DontKnow`] answer wins.
-/// Records which source answered (for transcripts).
+/// Records which source answered (for transcripts), and — when a
+/// persist sink is attached via [`ChainOracle::persist_answers_to`] —
+/// writes every definite answer into the knowledge store so later
+/// sessions replay it from disk.
 #[derive(Default)]
 pub struct ChainOracle<'a> {
     oracles: Vec<Box<dyn Oracle + 'a>>,
     /// Source name of the last answering oracle.
     last_source: String,
+    /// Persist sink: definite answers land here keyed by
+    /// `(unit, In-values)`.
+    persist: Option<gadt_store::SharedStore>,
+    /// First store-append error, if any (judging cannot propagate it).
+    persist_error: Option<std::io::Error>,
 }
 
 impl<'a> ChainOracle<'a> {
     /// Creates an empty chain.
     pub fn new() -> Self {
-        ChainOracle {
-            oracles: Vec::new(),
-            last_source: String::new(),
-        }
+        ChainOracle::default()
     }
 
     /// Appends an oracle to the chain (consulted after earlier ones).
@@ -474,9 +479,30 @@ impl<'a> ChainOracle<'a> {
         self.oracles.push(Box::new(oracle));
     }
 
+    /// Prepends an oracle — consulted before everything already in the
+    /// chain. This is how the stored-knowledge oracle takes precedence
+    /// over live sources in a replayed session.
+    pub fn push_front(&mut self, oracle: impl Oracle + 'a) {
+        self.oracles.insert(0, Box::new(oracle));
+    }
+
+    /// Attaches a persist sink: from now on every definite answer (from
+    /// any source except the store itself) is recorded into `store`
+    /// under the queried node's `(unit, In-values)` fingerprint.
+    pub fn persist_answers_to(&mut self, store: gadt_store::SharedStore) {
+        self.persist = Some(store);
+    }
+
     /// The source that produced the last answer.
     pub fn last_source(&self) -> &str {
         &self.last_source
+    }
+
+    /// Takes the first store-append error encountered while persisting
+    /// answers, if any — judging swallows it to keep the session going;
+    /// callers that care (the facade) surface it afterwards.
+    pub fn take_persist_error(&mut self) -> Option<std::io::Error> {
+        self.persist_error.take()
     }
 }
 
@@ -487,6 +513,29 @@ impl Oracle for ChainOracle<'_> {
                 Answer::DontKnow => continue,
                 answer => {
                     self.last_source = o.source_name().to_string();
+                    // Persist new knowledge — but never answers that
+                    // came *from* the store: re-recording them under a
+                    // different source would dirty the WAL and break
+                    // replay byte-determinism.
+                    if self.last_source != crate::stored::STORED_SOURCE {
+                        if let (Some(store), Some(stored)) =
+                            (&self.persist, crate::stored::answer_to_stored(&answer))
+                        {
+                            let n = tree.node(node);
+                            let ins: Vec<Value> = n.ins.iter().map(|(_, v)| v.clone()).collect();
+                            let result = store.lock().expect("store mutex poisoned").record_answer(
+                                &n.name,
+                                &ins,
+                                stored,
+                                &self.last_source,
+                            );
+                            if let Err(e) = result {
+                                if self.persist_error.is_none() {
+                                    self.persist_error = Some(e);
+                                }
+                            }
+                        }
+                    }
                     return answer;
                 }
             }

@@ -1,0 +1,219 @@
+//! The stored-knowledge oracle: answers queries from a persistent
+//! [`gadt_store::KnowledgeStore`].
+//!
+//! The paper's economy is that every user answer is expensive (§3, and
+//! the whole premise of divide-and-query): once a `(unit, In-values)`
+//! judgement exists, re-asking is waste. This oracle closes the loop
+//! across *processes* — a [`ChainOracle`](crate::oracle::ChainOracle)
+//! with a persist sink records every definite answer into the store,
+//! and a later session puts a [`StoredKnowledgeOracle`] at the front of
+//! its chain so those judgements come back from disk before any other
+//! source (including the user) is consulted.
+
+use crate::oracle::{Answer, Oracle};
+use gadt_pascal::sema::Module;
+use gadt_pascal::value::Value;
+use gadt_store::{SharedStore, StoredAnswer};
+use gadt_trace::{ExecTree, NodeId, NodeKind};
+
+/// The transcript source name of answers served from the store.
+pub const STORED_SOURCE: &str = "stored answer";
+
+/// Converts a stored answer back to a live one.
+pub fn answer_from_stored(a: StoredAnswer) -> Answer {
+    match a {
+        StoredAnswer::Correct => Answer::Correct,
+        StoredAnswer::Incorrect { wrong_output } => Answer::Incorrect { wrong_output },
+    }
+}
+
+/// Converts a definite live answer to its stored form; `None` for
+/// [`Answer::DontKnow`], which is never knowledge.
+pub fn answer_to_stored(a: &Answer) -> Option<StoredAnswer> {
+    match a {
+        Answer::Correct => Some(StoredAnswer::Correct),
+        Answer::Incorrect { wrong_output } => Some(StoredAnswer::Incorrect {
+            wrong_output: *wrong_output,
+        }),
+        Answer::DontKnow => None,
+    }
+}
+
+/// An oracle that answers from a persistent knowledge store, keyed by
+/// the `(unit, In-values)` fingerprint of the queried node. Hits and
+/// misses are counted by the store itself (`store.hits` / `store.misses`
+/// in the facade's journal).
+pub struct StoredKnowledgeOracle {
+    store: SharedStore,
+}
+
+impl StoredKnowledgeOracle {
+    /// Wraps a shared store handle.
+    pub fn new(store: SharedStore) -> Self {
+        StoredKnowledgeOracle { store }
+    }
+}
+
+impl Oracle for StoredKnowledgeOracle {
+    fn judge(&mut self, _module: &Module, tree: &ExecTree, node: NodeId) -> Answer {
+        let n = tree.node(node);
+        if !matches!(n.kind, NodeKind::Call { .. } | NodeKind::Loop { .. }) {
+            return Answer::DontKnow;
+        }
+        let ins: Vec<Value> = n.ins.iter().map(|(_, v)| v.clone()).collect();
+        let mut store = self.store.lock().expect("store mutex poisoned");
+        match store.lookup_answer(&n.name, &ins) {
+            Some(a) => answer_from_stored(a),
+            None => Answer::DontKnow,
+        }
+    }
+
+    fn source_name(&self) -> &str {
+        STORED_SOURCE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::{ChainOracle, FnOracle, ReferenceOracle};
+    use gadt_pascal::sema::compile;
+    use gadt_pascal::testprogs;
+
+    fn tree_of(module: &Module) -> ExecTree {
+        let cfg = gadt_pascal::cfg::lower(module);
+        let trace = gadt_analysis::dyntrace::record_trace(module, &cfg, []).unwrap();
+        gadt_trace::build_tree(module, &trace)
+    }
+
+    #[test]
+    fn answers_convert_both_ways() {
+        for a in [
+            Answer::Correct,
+            Answer::Incorrect { wrong_output: None },
+            Answer::Incorrect {
+                wrong_output: Some(2),
+            },
+        ] {
+            let stored = answer_to_stored(&a).unwrap();
+            assert_eq!(answer_from_stored(stored), a);
+        }
+        assert_eq!(answer_to_stored(&Answer::DontKnow), None);
+    }
+
+    #[test]
+    fn stored_oracle_serves_recorded_judgements() {
+        let m = compile(testprogs::SQRTEST).unwrap();
+        let tree = tree_of(&m);
+        let dec = tree.find_call(&m, "decrement").unwrap();
+        let ins: Vec<Value> = tree.node(dec).ins.iter().map(|(_, v)| v.clone()).collect();
+
+        let dir = gadt_store::TempDir::new("stored-oracle");
+        let store = gadt_store::KnowledgeStore::open(dir.path())
+            .unwrap()
+            .into_shared();
+        store
+            .lock()
+            .unwrap()
+            .record_answer(
+                "decrement",
+                &ins,
+                StoredAnswer::Incorrect {
+                    wrong_output: Some(0),
+                },
+                "user",
+            )
+            .unwrap();
+
+        let mut oracle = StoredKnowledgeOracle::new(store);
+        assert_eq!(
+            oracle.judge(&m, &tree, dec),
+            Answer::Incorrect {
+                wrong_output: Some(0)
+            }
+        );
+        // A unit with no stored judgement is not judged.
+        let add = tree.find_call(&m, "add").unwrap();
+        assert_eq!(oracle.judge(&m, &tree, add), Answer::DontKnow);
+    }
+
+    #[test]
+    fn chain_persists_definite_answers_and_replays_them() {
+        let m = compile(testprogs::SQRTEST).unwrap();
+        let fixed = compile(testprogs::SQRTEST_FIXED).unwrap();
+        let tree = tree_of(&m);
+        let dir = gadt_store::TempDir::new("chain-persist");
+
+        // Session 1: the reference answers; the chain records to disk.
+        {
+            let store = gadt_store::KnowledgeStore::open(dir.path())
+                .unwrap()
+                .into_shared();
+            let mut chain = ChainOracle::new();
+            chain.push(ReferenceOracle::new(&fixed, []).unwrap());
+            chain.persist_answers_to(store.clone());
+            let dec = tree.find_call(&m, "decrement").unwrap();
+            let first = chain.judge(&m, &tree, dec);
+            assert_eq!(
+                first,
+                Answer::Incorrect {
+                    wrong_output: Some(0)
+                }
+            );
+            let mut guard = store.lock().unwrap();
+            assert_eq!(guard.answers_len(), 1);
+            guard.sync().unwrap();
+        }
+
+        // Session 2: the stored oracle answers; the user is never asked.
+        let store = gadt_store::KnowledgeStore::open(dir.path())
+            .unwrap()
+            .into_shared();
+        let mut chain = ChainOracle::new();
+        chain.push(FnOracle::new("user", |_m: &Module, _t: &ExecTree, _n| {
+            panic!("the user must not be consulted")
+        }));
+        chain.push_front(StoredKnowledgeOracle::new(store.clone()));
+        let dec = tree.find_call(&m, "decrement").unwrap();
+        assert_eq!(
+            chain.judge(&m, &tree, dec),
+            Answer::Incorrect {
+                wrong_output: Some(0)
+            }
+        );
+        assert_eq!(chain.last_source(), STORED_SOURCE);
+        assert_eq!(store.lock().unwrap().answer_hits(), 1);
+    }
+
+    #[test]
+    fn stored_answers_are_not_re_persisted() {
+        // A replayed session must leave the store's bytes unchanged:
+        // answers served *from* the store are not written back (their
+        // source would differ and dirty the WAL).
+        let m = compile(testprogs::SQRTEST).unwrap();
+        let tree = tree_of(&m);
+        let dec = tree.find_call(&m, "decrement").unwrap();
+        let ins: Vec<Value> = tree.node(dec).ins.iter().map(|(_, v)| v.clone()).collect();
+
+        let dir = gadt_store::TempDir::new("no-repersist");
+        let store = gadt_store::KnowledgeStore::open(dir.path())
+            .unwrap()
+            .into_shared();
+        store
+            .lock()
+            .unwrap()
+            .record_answer("decrement", &ins, StoredAnswer::Correct, "test database")
+            .unwrap();
+        store.lock().unwrap().sync().unwrap();
+        let before = store.lock().unwrap().disk_fingerprint().unwrap();
+
+        let mut chain = ChainOracle::new();
+        chain.push_front(StoredKnowledgeOracle::new(store.clone()));
+        chain.persist_answers_to(store.clone());
+        assert_eq!(chain.judge(&m, &tree, dec), Answer::Correct);
+
+        let mut guard = store.lock().unwrap();
+        guard.sync().unwrap();
+        assert_eq!(guard.disk_fingerprint().unwrap(), before);
+    }
+}

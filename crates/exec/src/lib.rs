@@ -131,6 +131,128 @@ impl BatchExecutor {
         })
     }
 
+    /// Like [`BatchExecutor::run`] but additionally streams each result
+    /// through `sink` **in input order**, as soon as its turn arrives —
+    /// the serialized-appender hook persistent consumers (one
+    /// `gadt-store` writer fed by many workers) hang off the batch.
+    ///
+    /// Out-of-order finishes wait in a reorder buffer; `sink(i, &r)` is
+    /// invoked on the calling thread for `i = 0, 1, 2, …` exactly once
+    /// each, so a sink that appends to a write-ahead log produces the
+    /// same bytes at any worker count. The full result vector is still
+    /// returned in input order.
+    ///
+    /// # Panics
+    /// A panic inside `f` propagates to the caller once the scope joins.
+    pub fn run_with_sink<T, R, F, S>(&self, items: Vec<T>, f: F, mut sink: S) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(usize, T) -> R + Sync,
+        S: FnMut(usize, &R),
+    {
+        let n = items.len();
+        let workers = self.threads.min(n);
+        if workers <= 1 {
+            return items
+                .into_iter()
+                .enumerate()
+                .map(|(i, t)| {
+                    let r = f(i, t);
+                    sink(i, &r);
+                    r
+                })
+                .collect();
+        }
+
+        let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+        let cursor = AtomicUsize::new(0);
+        let (tx, rx) = mpsc::channel::<(usize, R)>();
+
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                let tx = tx.clone();
+                let slots = &slots;
+                let cursor = &cursor;
+                let f = &f;
+                scope.spawn(move || loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let item = slots[i]
+                        .lock()
+                        .expect("job slot poisoned")
+                        .take()
+                        .expect("job taken twice");
+                    let _ = tx.send((i, f(i, item)));
+                });
+            }
+            drop(tx);
+
+            // Reorder buffer: emit to the sink the moment the next
+            // input index becomes available, not when the batch ends.
+            let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
+            let mut next_emit = 0usize;
+            for (i, r) in rx {
+                results[i] = Some(r);
+                while next_emit < n {
+                    match results[next_emit].as_ref() {
+                        Some(ready) => {
+                            sink(next_emit, ready);
+                            next_emit += 1;
+                        }
+                        None => break,
+                    }
+                }
+            }
+            results
+                .into_iter()
+                .map(|r| r.expect("worker dropped a job"))
+                .collect()
+        })
+    }
+
+    /// The fallible form of [`BatchExecutor::run_with_sink`]: `sink`
+    /// still sees **every** job's result (`Ok` and `Err` alike, in input
+    /// order), then the lowest-indexed error, if any, is returned — so a
+    /// persistent sink records the same prefix a sequential loop with
+    /// late `?` would have seen.
+    ///
+    /// # Errors
+    /// Returns the first (by input index) error produced by `f`.
+    pub fn try_run_with_sink<T, R, E, F, S>(
+        &self,
+        items: Vec<T>,
+        f: F,
+        sink: S,
+    ) -> Result<Vec<R>, E>
+    where
+        T: Send,
+        R: Send,
+        E: Send,
+        F: Fn(usize, T) -> Result<R, E> + Sync,
+        S: FnMut(usize, &Result<R, E>),
+    {
+        let results = self.run_with_sink(items, f, sink);
+        let mut out = Vec::with_capacity(results.len());
+        let mut first_err: Option<E> = None;
+        for r in results {
+            match r {
+                Ok(v) => out.push(v),
+                Err(e) => {
+                    if first_err.is_none() {
+                        first_err = Some(e);
+                    }
+                }
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(out),
+        }
+    }
+
     /// Like [`BatchExecutor::run`] but observed: every job records into
     /// its own [`gadt_obs::Recorder`] (a [`Recorder::child`] of `rec`),
     /// and the finished per-job journals are adopted back into `rec` in
@@ -350,6 +472,49 @@ mod tests {
         let pool = BatchExecutor::new(4);
         let out = pool.run(vec![0usize, 1, 2], |_, i| base[i] + 1);
         assert_eq!(out, vec![101, 201, 301]);
+    }
+
+    #[test]
+    fn sink_streams_in_input_order_at_any_thread_count() {
+        for threads in [1, 2, 8] {
+            let pool = BatchExecutor::new(threads);
+            let mut seen: Vec<(usize, i64)> = Vec::new();
+            let out = pool.run_with_sink(
+                (0..40i64).collect(),
+                |_, x| {
+                    // Stagger so completion order differs from input order.
+                    if x % 5 == 0 {
+                        std::thread::sleep(Duration::from_micros(200));
+                    }
+                    x * 3
+                },
+                |i, r| seen.push((i, *r)),
+            );
+            assert_eq!(out, (0..40).map(|x| x * 3).collect::<Vec<_>>());
+            let expect: Vec<(usize, i64)> = (0..40usize).map(|i| (i, i as i64 * 3)).collect();
+            assert_eq!(seen, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn try_run_with_sink_feeds_errors_to_the_sink() {
+        let pool = BatchExecutor::new(4);
+        let mut log = Vec::new();
+        let r: Result<Vec<usize>, String> = pool.try_run_with_sink(
+            (0..10usize).collect(),
+            |_, x| {
+                if x == 6 {
+                    Err("boom".to_string())
+                } else {
+                    Ok(x)
+                }
+            },
+            |i, res| log.push((i, res.is_ok())),
+        );
+        assert_eq!(r.unwrap_err(), "boom");
+        assert_eq!(log.len(), 10);
+        assert_eq!(log[6], (6, false));
+        assert!(log.iter().enumerate().all(|(k, (i, _))| k == *i));
     }
 
     #[test]

@@ -158,6 +158,155 @@ pub fn run_campaign(
     Ok(CampaignSummary { reports })
 }
 
+/// FNV-1a over a byte string — used to keep campaign verdict keys short.
+fn fnv(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    hash
+}
+
+/// The store key of one mutant's golden-reference verdict. A verdict is
+/// only reusable while everything that determined it is unchanged, so
+/// the key fingerprints the golden source, the input stream and the step
+/// budget alongside the mutation site itself.
+fn verdict_key(p: &CampaignProgram, max_steps: u64, site: &MutationSite) -> String {
+    let mut ident = p.source.as_bytes().to_vec();
+    for v in &p.input {
+        ident.extend_from_slice(v.to_string().as_bytes());
+        ident.push(0);
+    }
+    ident.extend_from_slice(&max_steps.to_le_bytes());
+    format!(
+        "campaign/{}/{:016x}/{}#{}@{}",
+        p.name,
+        fnv(&ident),
+        site.op,
+        site.ordinal,
+        site.unit
+    )
+}
+
+/// Like [`run_campaign`], but with persistent golden-reference verdict
+/// reuse: mutants whose verdict is already in `store` (same golden
+/// source, input, step budget and mutation site) are **not** re-run —
+/// their status comes back from disk with an empty journal — and every
+/// freshly-judged mutant's status is recorded, streamed to the store in
+/// campaign order as workers finish.
+///
+/// The summary's [`CampaignSummary::fingerprint`] is identical to a
+/// fresh run's; only the journals of reused mutants are empty (the
+/// store persists verdicts, not telemetry).
+///
+/// # Errors
+/// Same golden-program errors as [`run_campaign`], plus a
+/// [`Phase::Campaign`] error when the store cannot be read or written.
+pub fn run_campaign_with_store(
+    programs: &[CampaignProgram],
+    config: &CampaignConfig,
+    store: &gadt_store::SharedStore,
+) -> Result<CampaignSummary, Error> {
+    let contexts: Vec<GoldenCtx> = programs.iter().map(golden_ctx).collect::<Result<_, _>>()?;
+
+    let mut work: Vec<(usize, MutationSite)> = Vec::new();
+    for (i, ctx) in contexts.iter().enumerate() {
+        for site in &ctx.sites {
+            work.push((i, site.clone()));
+        }
+    }
+    if config.max_mutants > 0 && work.len() > config.max_mutants {
+        work = subsample(work, config.max_mutants, config.seed);
+    }
+
+    let keys: Vec<String> = work
+        .iter()
+        .map(|(i, site)| verdict_key(&programs[*i], config.max_steps, site))
+        .collect();
+
+    // Stored verdicts first (lookups in campaign order), then only the
+    // remainder goes through the pipeline.
+    let mut cached: Vec<Option<MutantStatus>> = Vec::with_capacity(work.len());
+    {
+        let mut guard = store.lock().expect("store mutex poisoned");
+        for key in &keys {
+            cached.push(
+                guard
+                    .lookup_verdict(key)
+                    .as_ref()
+                    .and_then(MutantStatus::from_json),
+            );
+        }
+    }
+    let fresh: Vec<(usize, usize, MutationSite)> = work
+        .iter()
+        .enumerate()
+        .filter(|(slot, _)| cached[*slot].is_none())
+        .map(|(slot, (prog_idx, site))| (slot, *prog_idx, site.clone()))
+        .collect();
+
+    let limits = Limits {
+        max_steps: config.max_steps,
+        ..Limits::default()
+    };
+    let pool = BatchExecutor::new(config.threads);
+    let mut sink_err: Option<std::io::Error> = None;
+    let fresh_reports = pool.run_with_sink(
+        fresh,
+        |_, (slot, prog_idx, site)| (slot, run_mutant(&contexts[prog_idx], &site, limits)),
+        |_, (slot, report)| {
+            if sink_err.is_some() {
+                return;
+            }
+            let mut guard = store.lock().expect("store mutex poisoned");
+            if let Err(e) = guard.record_verdict(&keys[*slot], report.status.to_json()) {
+                sink_err = Some(e);
+            }
+        },
+    );
+    if let Some(e) = sink_err {
+        return Err(Error::new(
+            Phase::Campaign,
+            format!("recording campaign verdicts failed: {e}"),
+        ));
+    }
+    store
+        .lock()
+        .expect("store mutex poisoned")
+        .sync()
+        .map_err(|e| Error::new(Phase::Campaign, format!("knowledge store sync failed: {e}")))?;
+
+    // Reassemble in campaign order: cached verdicts become reports with
+    // empty journals; fresh ones carry their full telemetry.
+    let mut fresh_iter = fresh_reports.into_iter();
+    let reports: Vec<LocalizationReport> = work
+        .into_iter()
+        .zip(cached)
+        .map(|((prog_idx, site), cached_status)| match cached_status {
+            Some(status) => {
+                let journal = Recorder::untimed().finish();
+                let timings = journal.phase_timings();
+                LocalizationReport {
+                    program: contexts[prog_idx].name.clone(),
+                    op: site.op,
+                    ordinal: site.ordinal,
+                    mutated_unit: site.unit.clone(),
+                    description: site.description.clone(),
+                    status,
+                    journal,
+                    timings,
+                }
+            }
+            None => {
+                let (_, report) = fresh_iter.next().expect("fresh report missing");
+                report
+            }
+        })
+        .collect();
+    Ok(CampaignSummary { reports })
+}
+
 /// The full pipeline on one mutant: mutate → print → compile →
 /// transform → trace (bounded) → kill check → debug twice (slicing
 /// on/off) against the golden oracle.
@@ -399,6 +548,94 @@ mod tests {
         assert_eq!(a, b);
         assert_ne!(a, c);
         assert_eq!(a.len(), 10);
+    }
+
+    #[test]
+    fn campaign_with_store_reuses_judged_verdicts() {
+        let programs = vec![CampaignProgram::new("pqr", testprogs::PQR_FIXED)];
+        let config = CampaignConfig {
+            threads: 2,
+            max_mutants: 8,
+            ..CampaignConfig::default()
+        };
+        let dir = gadt_store::TempDir::new("campaign-store");
+
+        // Run 1: everything fresh, every verdict persisted.
+        let store = gadt_store::KnowledgeStore::open(dir.path())
+            .unwrap()
+            .into_shared();
+        let first = run_campaign_with_store(&programs, &config, &store).unwrap();
+        assert_eq!(first.total(), 8);
+        {
+            let guard = store.lock().unwrap();
+            assert_eq!(guard.verdicts_len(), 8);
+            assert_eq!(guard.verdict_hits(), 0);
+        }
+        let fp_disk = store.lock().unwrap().disk_fingerprint().unwrap();
+
+        // Run 2 (new process simulated by a reopen): all 8 come from the
+        // store, nothing is re-judged, and the store's bytes are
+        // untouched.
+        drop(store);
+        let store = gadt_store::KnowledgeStore::open(dir.path())
+            .unwrap()
+            .into_shared();
+        let second = run_campaign_with_store(&programs, &config, &store).unwrap();
+        assert_eq!(second.fingerprint(), first.fingerprint());
+        {
+            let mut guard = store.lock().unwrap();
+            assert_eq!(guard.verdict_hits(), 8);
+            assert_eq!(guard.verdict_misses(), 0);
+            guard.sync().unwrap();
+            assert_eq!(guard.disk_fingerprint().unwrap(), fp_disk);
+        }
+        // Reused reports carry no telemetry — the store persists
+        // verdicts, not journals.
+        assert!(second.reports.iter().all(|r| r.journal.is_empty()));
+
+        // A changed step budget invalidates the keys: nothing is reused.
+        let altered = CampaignConfig {
+            max_steps: config.max_steps + 1,
+            ..config.clone()
+        };
+        let third = run_campaign_with_store(&programs, &altered, &store).unwrap();
+        assert_eq!(third.fingerprint(), first.fingerprint());
+        assert_eq!(store.lock().unwrap().verdicts_len(), 16);
+    }
+
+    #[test]
+    fn mutant_status_round_trips_through_json() {
+        use crate::report::MutantStatus;
+        let statuses = vec![
+            MutantStatus::Stillborn {
+                reason: "does not compile".into(),
+            },
+            MutantStatus::Crashed {
+                error: "step budget exhausted".into(),
+            },
+            MutantStatus::Equivalent,
+            MutantStatus::Masked,
+            MutantStatus::Localized {
+                unit: "q".into(),
+                exact: true,
+                questions_with_slicing: 3,
+                questions_without_slicing: 5,
+                slices_taken: 1,
+                slice_events: 10,
+                slice_stmts: 4,
+                slice_calls: 2,
+            },
+        ];
+        for s in statuses {
+            let j = s.to_json();
+            // Survives an actual store round-trip through bytes.
+            let reparsed = gadt_store::parse(&j.to_string()).unwrap();
+            assert_eq!(MutantStatus::from_json(&reparsed), Some(s));
+        }
+        assert_eq!(
+            MutantStatus::from_json(&gadt_store::Json::Str("garbage".into())),
+            None
+        );
     }
 
     #[test]

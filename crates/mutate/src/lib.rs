@@ -45,6 +45,6 @@ pub mod campaign;
 pub mod operators;
 pub mod report;
 
-pub use campaign::{run_campaign, CampaignConfig, CampaignProgram};
+pub use campaign::{run_campaign, run_campaign_with_store, CampaignConfig, CampaignProgram};
 pub use operators::{apply, enumerate_sites, MutOp, MutationSite};
 pub use report::{CampaignSummary, LocalizationReport, MutantStatus};

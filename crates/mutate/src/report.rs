@@ -55,6 +55,74 @@ pub enum MutantStatus {
     },
 }
 
+impl MutantStatus {
+    /// Encodes the status as the opaque verdict payload `gadt-store`
+    /// persists for campaign reuse. Deterministic; round-trips through
+    /// [`MutantStatus::from_json`].
+    pub fn to_json(&self) -> gadt_store::Json {
+        use gadt_store::{obj, Json};
+        match self {
+            MutantStatus::Stillborn { reason } => obj(vec![
+                ("s", Json::Str("stillborn".into())),
+                ("reason", Json::Str(reason.clone())),
+            ]),
+            MutantStatus::Crashed { error } => obj(vec![
+                ("s", Json::Str("crashed".into())),
+                ("error", Json::Str(error.clone())),
+            ]),
+            MutantStatus::Equivalent => obj(vec![("s", Json::Str("equivalent".into()))]),
+            MutantStatus::Masked => obj(vec![("s", Json::Str("masked".into()))]),
+            MutantStatus::Localized {
+                unit,
+                exact,
+                questions_with_slicing,
+                questions_without_slicing,
+                slices_taken,
+                slice_events,
+                slice_stmts,
+                slice_calls,
+            } => obj(vec![
+                ("s", Json::Str("localized".into())),
+                ("unit", Json::Str(unit.clone())),
+                ("exact", Json::Bool(*exact)),
+                ("qw", Json::Int(*questions_with_slicing as i64)),
+                ("qwo", Json::Int(*questions_without_slicing as i64)),
+                ("slices", Json::Int(*slices_taken as i64)),
+                ("ev", Json::Int(*slice_events as i64)),
+                ("st", Json::Int(*slice_stmts as i64)),
+                ("ca", Json::Int(*slice_calls as i64)),
+            ]),
+        }
+    }
+
+    /// Decodes a stored verdict payload. `None` on an unknown or
+    /// malformed shape — the campaign then simply re-judges the mutant.
+    pub fn from_json(j: &gadt_store::Json) -> Option<MutantStatus> {
+        let int = |field: &str| -> Option<usize> { usize::try_from(j.get(field)?.as_int()?).ok() };
+        match j.get("s")?.as_str()? {
+            "stillborn" => Some(MutantStatus::Stillborn {
+                reason: j.get("reason")?.as_str()?.to_string(),
+            }),
+            "crashed" => Some(MutantStatus::Crashed {
+                error: j.get("error")?.as_str()?.to_string(),
+            }),
+            "equivalent" => Some(MutantStatus::Equivalent),
+            "masked" => Some(MutantStatus::Masked),
+            "localized" => Some(MutantStatus::Localized {
+                unit: j.get("unit")?.as_str()?.to_string(),
+                exact: j.get("exact")?.as_bool()?,
+                questions_with_slicing: int("qw")?,
+                questions_without_slicing: int("qwo")?,
+                slices_taken: int("slices")?,
+                slice_events: int("ev")?,
+                slice_stmts: int("st")?,
+                slice_calls: int("ca")?,
+            }),
+            _ => None,
+        }
+    }
+}
+
 /// The conformance record of one mutant.
 #[derive(Debug, Clone, PartialEq)]
 pub struct LocalizationReport {

@@ -1,0 +1,78 @@
+//! A tiny RAII temporary directory for tests and doctests.
+//!
+//! The workspace is std-only (no `tempfile` crate), and the store's
+//! crash/corruption suite needs throwaway directories that are
+//! guaranteed to vanish — the CI `store` tier asserts nothing leaks
+//! outside its sandbox. Directories are created under
+//! [`std::env::temp_dir`] (which honours `TMPDIR`) and removed on drop.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static COUNTER: AtomicUsize = AtomicUsize::new(0);
+
+/// A directory under the system temp root, removed (recursively) when
+/// dropped.
+///
+/// # Examples
+/// ```
+/// use gadt_store::TempDir;
+/// let dir = TempDir::new("doc-example");
+/// std::fs::write(dir.path().join("x"), b"hi").unwrap();
+/// let kept = dir.path().to_path_buf();
+/// drop(dir);
+/// assert!(!kept.exists());
+/// ```
+#[derive(Debug)]
+pub struct TempDir {
+    path: PathBuf,
+}
+
+impl TempDir {
+    /// Creates a fresh uniquely-named directory, tagged for legibility.
+    ///
+    /// # Panics
+    /// When no unique directory can be created — this is a test
+    /// utility, so failure is loud rather than recoverable.
+    pub fn new(tag: &str) -> TempDir {
+        let root = std::env::temp_dir();
+        let pid = std::process::id();
+        loop {
+            let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+            let path = root.join(format!("gadt-{tag}-{pid}-{n}"));
+            match std::fs::create_dir(&path) {
+                Ok(()) => return TempDir { path },
+                Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => continue,
+                Err(e) => panic!("cannot create temp dir {}: {e}", path.display()),
+            }
+        }
+    }
+
+    /// The directory's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.path);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn creates_unique_dirs_and_cleans_up() {
+        let a = TempDir::new("t");
+        let b = TempDir::new("t");
+        assert_ne!(a.path(), b.path());
+        assert!(a.path().is_dir());
+        let kept = a.path().to_path_buf();
+        drop(a);
+        assert!(!kept.exists());
+        assert!(b.path().is_dir());
+    }
+}

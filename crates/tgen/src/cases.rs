@@ -84,12 +84,16 @@ impl TestDb {
         }
     }
 
-    /// Adds a report.
+    /// Adds a report, deduplicating on `(code, inputs)`: re-running the
+    /// same case (e.g. repeated [`run_cases_batch`] calls over one
+    /// database) replaces the old report instead of accumulating
+    /// duplicates, and the **latest** verdict wins.
     pub fn add(&mut self, report: TestReport) {
-        self.reports
-            .entry(report.code.clone())
-            .or_default()
-            .push(report);
+        let slot = self.reports.entry(report.code.clone()).or_default();
+        match slot.iter_mut().find(|r| r.inputs == report.inputs) {
+            Some(existing) => *existing = report,
+            None => slot.push(report),
+        }
     }
 
     /// All reports for a frame code.
@@ -121,6 +125,51 @@ impl TestDb {
     /// Iterates over `(code, reports)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (&str, &[TestReport])> {
         self.reports.iter().map(|(c, r)| (c.as_str(), r.as_slice()))
+    }
+
+    /// Persists every report into a [`gadt_store::KnowledgeStore`].
+    /// Appends are idempotent, so persisting the same database twice
+    /// leaves the store's bytes unchanged. Returns how many reports were
+    /// actually new knowledge.
+    ///
+    /// # Errors
+    /// Store I/O errors.
+    pub fn persist(&self, store: &mut gadt_store::KnowledgeStore) -> std::io::Result<usize> {
+        let mut appended = 0;
+        for (_, reports) in self.iter() {
+            for r in reports {
+                if store.append_report(stored_report(&self.unit, r))? {
+                    appended += 1;
+                }
+            }
+        }
+        Ok(appended)
+    }
+
+    /// Rebuilds a database for `unit` from everything a store holds —
+    /// the cross-session path: a later debugging session loads the
+    /// reports a previous session's test phase persisted.
+    pub fn load_from(store: &gadt_store::KnowledgeStore, unit: &str) -> TestDb {
+        let mut db = TestDb::new(unit.to_ascii_lowercase());
+        for r in store.unit_reports(unit) {
+            db.add(TestReport {
+                code: r.code.clone(),
+                inputs: r.inputs.clone(),
+                outputs: r.outputs.clone(),
+                passed: r.passed,
+            });
+        }
+        db
+    }
+}
+
+fn stored_report(unit: &str, r: &TestReport) -> gadt_store::StoredReport {
+    gadt_store::StoredReport {
+        unit: unit.to_ascii_lowercase(),
+        code: r.code.clone(),
+        inputs: r.inputs.clone(),
+        outputs: r.outputs.clone(),
+        passed: r.passed,
     }
 }
 
@@ -277,6 +326,87 @@ pub fn run_cases_batch_observed(
         db.add(report);
     }
     rec.exit(span);
+    Ok(db)
+}
+
+/// [`run_cases_batch`] with persistence: every finished report streams
+/// into `store` **in case order** through the executor's reorder-buffer
+/// sink, so concurrent workers funnel through the one serialized
+/// appender and the WAL bytes are identical at any thread count. The
+/// returned database matches what [`run_cases`] builds.
+///
+/// Reports are persisted as they complete — a crash mid-batch leaves
+/// the already-finished prefix safely in the WAL.
+///
+/// # Errors
+/// Propagates the lowest-indexed case error; store I/O errors surface
+/// as runtime diagnostics.
+pub fn run_cases_batch_persisted(
+    threads: usize,
+    module: &Module,
+    unit: &str,
+    cases: &[TestCase],
+    oracle: &(dyn Fn(&[Value], &ProcRun) -> bool + Sync),
+    store: &gadt_store::SharedStore,
+) -> Result<TestDb> {
+    let proc = module.proc_by_name(unit).ok_or_else(|| {
+        gadt_pascal::error::Diagnostic::new(
+            gadt_pascal::error::Stage::Runtime,
+            format!("unit `{unit}` not found"),
+            gadt_pascal::span::Span::dummy(),
+        )
+    })?;
+    let pool = gadt_exec::BatchExecutor::new(threads);
+    let mut sink_err: Option<std::io::Error> = None;
+    let reports = pool.try_run_with_sink(
+        cases.to_vec(),
+        |_, case| {
+            let run = run_unit(module, proc, case.inputs.clone())?;
+            let passed = oracle(&case.inputs, &run);
+            let mut outputs: Vec<Value> = run.outs.iter().map(|(_, v)| v.clone()).collect();
+            if let Some(r) = &run.result {
+                outputs.push(r.clone());
+            }
+            Ok(TestReport {
+                code: case.code,
+                inputs: case.inputs,
+                outputs,
+                passed,
+            })
+        },
+        |_, result: &Result<TestReport>| {
+            let Ok(report) = result else { return };
+            if sink_err.is_some() {
+                return;
+            }
+            let mut guard = store.lock().expect("store mutex poisoned");
+            if let Err(e) = guard.append_report(stored_report(unit, report)) {
+                sink_err = Some(e);
+            }
+        },
+    )?;
+    if let Some(e) = sink_err {
+        return Err(gadt_pascal::error::Diagnostic::new(
+            gadt_pascal::error::Stage::Runtime,
+            format!("knowledge store append failed: {e}"),
+            gadt_pascal::span::Span::dummy(),
+        ));
+    }
+    store
+        .lock()
+        .expect("store mutex poisoned")
+        .sync()
+        .map_err(|e| {
+            gadt_pascal::error::Diagnostic::new(
+                gadt_pascal::error::Stage::Runtime,
+                format!("knowledge store sync failed: {e}"),
+                gadt_pascal::span::Span::dummy(),
+            )
+        })?;
+    let mut db = TestDb::new(unit);
+    for report in reports {
+        db.add(report);
+    }
     Ok(db)
 }
 
@@ -497,13 +627,13 @@ mod tests {
         assert!(db.is_empty());
         db.add(TestReport {
             code: "a".into(),
-            inputs: vec![],
+            inputs: vec![Value::Int(1)],
             outputs: vec![],
             passed: true,
         });
         db.add(TestReport {
             code: "a".into(),
-            inputs: vec![],
+            inputs: vec![Value::Int(2)],
             outputs: vec![],
             passed: false,
         });
@@ -517,6 +647,93 @@ mod tests {
         assert_eq!(db.frame_verdict("b"), Some(true));
         assert_eq!(db.frame_verdict("c"), None);
         assert_eq!(db.len(), 3);
+    }
+
+    #[test]
+    fn add_dedupes_same_code_and_inputs_keeping_latest_verdict() {
+        // Regression: repeated `run_cases_batch` calls over one database
+        // used to pile up duplicate reports for identical case inputs.
+        let mut db = TestDb::new("u");
+        let report = |passed| TestReport {
+            code: "a".into(),
+            inputs: vec![Value::Int(7)],
+            outputs: vec![Value::Int(14)],
+            passed,
+        };
+        db.add(report(true));
+        db.add(report(true));
+        assert_eq!(db.len(), 1, "identical report must not duplicate");
+        db.add(report(false));
+        assert_eq!(db.len(), 1);
+        assert_eq!(db.frame_verdict("a"), Some(false), "latest verdict wins");
+        // Different inputs under the same code remain distinct reports.
+        db.add(TestReport {
+            inputs: vec![Value::Int(8)],
+            ..report(true)
+        });
+        assert_eq!(db.len(), 2);
+    }
+
+    #[test]
+    fn rerunning_cases_into_one_db_does_not_duplicate() {
+        let m = compile(testprogs::SQRTEST).unwrap();
+        let g = figure1_frames();
+        let cases = instantiate_cases(&g, |f| arrsum_instantiator(f, 2));
+        let once = run_cases_batch(2, &m, "arrsum", &cases, &|i, r| arrsum_oracle(i, r)).unwrap();
+        let mut twice = once.clone();
+        for (_, reports) in once.iter() {
+            for r in reports {
+                twice.add(r.clone());
+            }
+        }
+        assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn db_persists_and_loads_through_the_store() {
+        let m = compile(testprogs::SQRTEST).unwrap();
+        let g = figure1_frames();
+        let cases = instantiate_cases(&g, |f| arrsum_instantiator(f, 2));
+        let db = run_cases(&m, "arrsum", &cases, &|i, r| arrsum_oracle(i, r)).unwrap();
+
+        let dir = gadt_store::TempDir::new("tgen-persist");
+        let mut store = gadt_store::KnowledgeStore::open(dir.path()).unwrap();
+        assert_eq!(db.persist(&mut store).unwrap(), db.len());
+        // Idempotent: persisting again writes nothing.
+        assert_eq!(db.persist(&mut store).unwrap(), 0);
+
+        let loaded = TestDb::load_from(&store, "ArrSum");
+        assert_eq!(loaded, db);
+        assert_eq!(TestDb::load_from(&store, "nosuch").len(), 0);
+    }
+
+    #[test]
+    fn persisted_batch_store_bytes_are_thread_count_invariant() {
+        let m = compile(testprogs::SQRTEST).unwrap();
+        let g = figure1_frames();
+        let cases = instantiate_cases(&g, |f| arrsum_instantiator(f, 2));
+        let mut fingerprints = Vec::new();
+        for threads in [1, 2, 8] {
+            let dir = gadt_store::TempDir::new("tgen-fp");
+            let store = gadt_store::KnowledgeStore::open(dir.path())
+                .unwrap()
+                .into_shared();
+            let db = run_cases_batch_persisted(
+                threads,
+                &m,
+                "arrsum",
+                &cases,
+                &|i, r| arrsum_oracle(i, r),
+                &store,
+            )
+            .unwrap();
+            assert_eq!(db.len(), cases.len());
+            let guard = store.lock().unwrap();
+            assert_eq!(guard.reports_len(), cases.len());
+            fingerprints.push(guard.disk_fingerprint().unwrap());
+        }
+        assert_eq!(fingerprints[0], fingerprints[1]);
+        assert_eq!(fingerprints[0], fingerprints[2]);
     }
 
     #[test]

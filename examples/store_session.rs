@@ -1,0 +1,62 @@
+//! Cross-session knowledge reuse: run the paper's §8 session with a
+//! persistent knowledge store attached, then replay it in a "second
+//! session" that answers every query from disk — zero questions reach
+//! the simulated user the second time.
+//!
+//! ```sh
+//! cargo run --example store_session
+//! ```
+
+use gadt_repro::debugging::oracle::{ChainOracle, CountingOracle, ReferenceOracle};
+use gadt_repro::store::TempDir;
+use gadt_repro::{testprogs, DebugResult, Gadt};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let fixed = gadt_repro::pascal::sema::compile(testprogs::SQRTEST_FIXED)?;
+    let dir = TempDir::new("store-session-example");
+
+    // Session 1: the reference implementation simulates the user, and
+    // the store records every definite judgement.
+    println!("=== session 1: answered live, persisted to disk ===\n");
+    let mut oracle = ChainOracle::new();
+    oracle.push(CountingOracle::new(ReferenceOracle::new(&fixed, [])?));
+    let session = Gadt::compile(testprogs::SQRTEST)?
+        .with_store(dir.path())?
+        .transform()?
+        .trace(vec![vec![]])?
+        .debug(&mut oracle)?;
+    println!("{}", session.outcome.render_transcript());
+    report(&session);
+
+    // Session 2: a fresh pipeline over the same store. The stored
+    // answers front-run every other oracle, so the "user" behind them
+    // is never consulted.
+    println!("\n=== session 2: replayed from the store ===\n");
+    let mut oracle = ChainOracle::new();
+    oracle.push(CountingOracle::new(ReferenceOracle::new(&fixed, [])?));
+    let replay = Gadt::compile(testprogs::SQRTEST)?
+        .with_store(dir.path())?
+        .transform()?
+        .trace(vec![vec![]])?
+        .debug(&mut oracle)?;
+    println!("{}", replay.outcome.render_transcript());
+    report(&replay);
+
+    assert!(matches!(
+        &replay.outcome.result,
+        DebugResult::BugLocalized { unit, .. } if unit == "decrement"
+    ));
+    assert_eq!(replay.outcome.queries_from("reference"), 0);
+    assert_eq!(replay.journal.counter("store.misses"), 0);
+    println!("\nreplay asked the user 0 questions — all answers came from disk");
+    Ok(())
+}
+
+fn report(session: &gadt_repro::Session) {
+    println!(
+        "store: {} hits, {} misses ({} questions total)",
+        session.journal.counter("store.hits"),
+        session.journal.counter("store.misses"),
+        session.outcome.total_queries(),
+    );
+}

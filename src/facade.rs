@@ -33,9 +33,12 @@ use gadt::debugger::{DebugConfig, DebugOutcome};
 use gadt::error::{Error, Phase, Result};
 use gadt::oracle::ChainOracle;
 use gadt::session::{self, PreparedProgram, TracedRun};
+use gadt::stored::StoredKnowledgeOracle;
 use gadt_obs::{Journal, Recorder};
 use gadt_pascal::sema::Module;
 use gadt_pascal::value::Value;
+use gadt_store::{KnowledgeStore, SharedStore};
+use std::path::Path;
 
 /// Entry point of the facade: start a pipeline with [`Gadt::compile`].
 #[derive(Debug)]
@@ -52,6 +55,7 @@ impl Gadt {
             module,
             threads: 0,
             rec: Recorder::new(),
+            store: None,
         })
     }
 
@@ -61,6 +65,7 @@ impl Gadt {
             module,
             threads: 0,
             rec: Recorder::new(),
+            store: None,
         }
     }
 }
@@ -72,6 +77,7 @@ pub struct Compiled {
     pub module: Module,
     threads: usize,
     rec: Recorder,
+    store: Option<SharedStore>,
 }
 
 impl Compiled {
@@ -80,6 +86,36 @@ impl Compiled {
     #[must_use]
     pub fn threads(mut self, threads: usize) -> Self {
         self.threads = threads;
+        self
+    }
+
+    /// Attaches a persistent knowledge store at `path` (created if
+    /// absent, recovered if a previous session crashed). The debug phase
+    /// then answers queries from stored knowledge before consulting any
+    /// live oracle, persists every new definite answer, and journals
+    /// `store.hits` / `store.misses` / `store.recovered_lines`.
+    ///
+    /// # Errors
+    /// A [`Phase::Store`] error when the store cannot be opened.
+    pub fn with_store(mut self, path: impl AsRef<Path>) -> Result<Self> {
+        let store = KnowledgeStore::open(path.as_ref()).map_err(|e| {
+            Error::new(
+                Phase::Store,
+                format!(
+                    "cannot open knowledge store {}: {e}",
+                    path.as_ref().display()
+                ),
+            )
+        })?;
+        self.store = Some(store.into_shared());
+        Ok(self)
+    }
+
+    /// Attaches an already-open shared store handle — the caller keeps a
+    /// clone, e.g. to persist a `TestDb` into the same store.
+    #[must_use]
+    pub fn with_shared_store(mut self, store: SharedStore) -> Self {
+        self.store = Some(store);
         self
     }
 
@@ -97,6 +133,7 @@ impl Compiled {
             prepared,
             threads: self.threads,
             rec: self.rec,
+            store: self.store,
         })
     }
 }
@@ -110,6 +147,7 @@ pub struct Prepared {
     pub prepared: PreparedProgram,
     threads: usize,
     rec: Recorder,
+    store: Option<SharedStore>,
 }
 
 impl Prepared {
@@ -127,6 +165,7 @@ impl Prepared {
             runs,
             threads: self.threads,
             rec: self.rec,
+            store: self.store,
         })
     }
 }
@@ -140,6 +179,7 @@ pub struct Traced {
     pub runs: Vec<TracedRun>,
     threads: usize,
     rec: Recorder,
+    store: Option<SharedStore>,
 }
 
 impl Traced {
@@ -171,13 +211,38 @@ impl Traced {
                 ),
             )
         })?;
+        if let Some(store) = &self.store {
+            // Stored knowledge answers first; every new definite answer
+            // is persisted for the next session.
+            oracle.push_front(StoredKnowledgeOracle::new(store.clone()));
+            oracle.persist_answers_to(store.clone());
+        }
         let outcome = session::debug_observed(&self.prepared, run, oracle, config, &mut self.rec);
+        if let Some(store) = &self.store {
+            if let Some(e) = oracle.take_persist_error() {
+                return Err(Error::new(
+                    Phase::Store,
+                    format!("persisting oracle answers failed: {e}"),
+                ));
+            }
+            let mut guard = store.lock().expect("store mutex poisoned");
+            guard.sync().map_err(|e| {
+                Error::new(Phase::Store, format!("knowledge store sync failed: {e}"))
+            })?;
+            self.rec.add("store.hits", guard.answer_hits());
+            self.rec.add("store.misses", guard.answer_misses());
+            self.rec.add(
+                "store.recovered_lines",
+                guard.recovery().recovered_lines() as u64,
+            );
+        }
         let _ = self.threads;
         Ok(Session {
             prepared: self.prepared,
             runs: self.runs,
             outcome,
             journal: self.rec.finish(),
+            store: self.store,
         })
     }
 
@@ -199,6 +264,9 @@ pub struct Session {
     pub outcome: DebugOutcome,
     /// Spans, events and counters of every phase the chain ran.
     pub journal: Journal,
+    /// The knowledge store the session wrote through, when one was
+    /// attached with [`Compiled::with_store`].
+    pub store: Option<SharedStore>,
 }
 
 #[cfg(test)]
@@ -235,6 +303,74 @@ mod tests {
             session.journal.counter("debug.slices"),
             session.outcome.slices_taken as u64
         );
+    }
+
+    #[test]
+    fn with_store_persists_and_replays_the_session() {
+        let dir = gadt_store::TempDir::new("facade-store");
+        let fixed = gadt_pascal::sema::compile(testprogs::SQRTEST_FIXED).unwrap();
+
+        // Session 1: the reference answers; everything is persisted.
+        let mut oracle = ChainOracle::new();
+        oracle.push(ReferenceOracle::new(&fixed, []).unwrap());
+        let s1 = Gadt::compile(testprogs::SQRTEST)
+            .unwrap()
+            .with_store(dir.path())
+            .unwrap()
+            .transform()
+            .unwrap()
+            .trace(vec![vec![]])
+            .unwrap()
+            .debug(&mut oracle)
+            .unwrap();
+        assert!(matches!(&s1.outcome.result,
+            DebugResult::BugLocalized { unit, .. } if unit == "decrement"));
+        assert!(s1.journal.counter("store.misses") > 0);
+        assert_eq!(s1.journal.counter("store.hits"), 0);
+        let fp1 = s1
+            .store
+            .as_ref()
+            .unwrap()
+            .lock()
+            .unwrap()
+            .disk_fingerprint()
+            .unwrap();
+
+        // Session 2: the store answers everything; a consulted "user"
+        // would panic. The store's bytes must not change.
+        let mut replay = ChainOracle::new();
+        replay.push(gadt::oracle::FnOracle::new(
+            "user",
+            |_m: &Module, _t: &gadt_trace::ExecTree, _n| {
+                panic!("replayed session must not consult the user")
+            },
+        ));
+        let s2 = Gadt::compile(testprogs::SQRTEST)
+            .unwrap()
+            .with_store(dir.path())
+            .unwrap()
+            .transform()
+            .unwrap()
+            .trace(vec![vec![]])
+            .unwrap()
+            .debug(&mut replay)
+            .unwrap();
+        assert!(matches!(&s2.outcome.result,
+            DebugResult::BugLocalized { unit, .. } if unit == "decrement"));
+        assert_eq!(s2.journal.counter("store.misses"), 0);
+        assert!(s2.journal.counter("store.hits") > 0);
+        for entry in &s2.outcome.transcript {
+            assert_eq!(entry.source, gadt::STORED_SOURCE, "unit {}", entry.unit);
+        }
+        let fp2 = s2
+            .store
+            .as_ref()
+            .unwrap()
+            .lock()
+            .unwrap()
+            .disk_fingerprint()
+            .unwrap();
+        assert_eq!(fp1, fp2, "replay must leave the store byte-identical");
     }
 
     #[test]

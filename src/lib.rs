@@ -13,7 +13,10 @@
 //! * [`mutate`] — mutation-based localization conformance campaigns;
 //! * [`exec`] — the deterministic parallel batch executor;
 //! * [`obs`] — the structured observability layer (spans, counters,
-//!   journals, sinks).
+//!   journals, sinks);
+//! * [`store`] — the persistent crash-safe knowledge store (WAL +
+//!   snapshot) that carries test reports, oracle answers and campaign
+//!   verdicts across sessions (attach with [`Compiled::with_store`]).
 //!
 //! The [`Gadt`] facade chains the whole pipeline in one expression:
 //!
@@ -48,6 +51,7 @@ pub use gadt_exec as exec;
 pub use gadt_mutate as mutate;
 pub use gadt_obs as obs;
 pub use gadt_pascal as pascal;
+pub use gadt_store as store;
 pub use gadt_tgen as tgen;
 pub use gadt_trace as trace;
 pub use gadt_transform as transform;
@@ -68,4 +72,5 @@ pub mod prelude {
     pub use gadt::session::{BatchTraced, PhaseTimings, PreparedProgram, TracedRun};
     pub use gadt_obs::{Journal, JsonLinesSink, MemorySink, Recorder, Sink};
     pub use gadt_pascal::value::Value;
+    pub use gadt_store::{KnowledgeStore, SharedStore, StoredAnswer};
 }

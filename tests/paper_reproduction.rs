@@ -205,6 +205,96 @@ fn e7_full_gadt_session() {
     assert!(out_pure.queries_from("reference") > out.queries_from("reference"));
 }
 
+/// E13 — the §8 session across *processes*: session 1 answers from the
+/// test database and the simulated user, persisting every judgement
+/// (and the test database itself) into a knowledge store; session 2
+/// reopens the store cold and replays the identical session without a
+/// single user question — all seven queries answered from disk — and
+/// without writing a single new byte.
+#[test]
+fn e13_cross_session_store_replay_asks_zero_user_questions() {
+    use gadt::StoredKnowledgeOracle;
+    use gadt_store::{KnowledgeStore, TempDir};
+    use gadt_tgen::cases::TestDb;
+
+    let buggy = compile(testprogs::SQRTEST).unwrap();
+    let fixed = compile(testprogs::SQRTEST_FIXED).unwrap();
+    let prepared = prepare(&buggy).unwrap();
+    let run = run_traced(&prepared, []).unwrap();
+
+    let s = spec::parse_spec(spec::ARRSUM_SPEC).unwrap();
+    let g = frames::generate_frames(&s, Default::default());
+    let tc = cases::instantiate_cases(&g, |f| cases::arrsum_instantiator(f, 2));
+    let db = cases::run_cases(&buggy, "arrsum", &tc, &|i, r| cases::arrsum_oracle(i, r)).unwrap();
+
+    let dir = TempDir::new("e13-session");
+
+    // Session 1 — live sources answer; every judgement lands on disk.
+    let fp_after_first = {
+        let store = KnowledgeStore::open(dir.path()).unwrap().into_shared();
+        db.persist(&mut store.lock().unwrap()).unwrap();
+        let mut lookup = TestLookup::new();
+        lookup.register("arrsum", db.clone(), Box::new(cases::arrsum_frame_selector));
+        let mut chain = ChainOracle::new();
+        chain.push(lookup);
+        chain.push(CountingOracle::new(
+            ReferenceOracle::new(&fixed, []).unwrap(),
+        ));
+        chain.persist_answers_to(store.clone());
+        let out = debug(&prepared, &run, &mut chain, DebugConfig::default());
+        assert!(
+            matches!(&out.result, DebugResult::BugLocalized { unit, .. } if unit == "decrement")
+        );
+        assert_eq!(out.total_queries(), 7);
+        let mut guard = store.lock().unwrap();
+        assert!(chain.take_persist_error().is_none());
+        assert_eq!(guard.answers_len(), 7);
+        guard.sync().unwrap();
+        guard.disk_fingerprint().unwrap()
+    };
+
+    // Session 2 — a cold open; the stored answers (and the reloaded
+    // test database behind them) answer everything.
+    let store = KnowledgeStore::open(dir.path()).unwrap().into_shared();
+    let db2 = TestDb::load_from(&store.lock().unwrap(), "arrsum");
+    assert_eq!(db2, db, "the test database survives the round trip");
+    let mut lookup = TestLookup::new();
+    lookup.register("arrsum", db2, Box::new(cases::arrsum_frame_selector));
+    let mut chain = ChainOracle::new();
+    chain.push(lookup);
+    chain.push(CountingOracle::new(
+        ReferenceOracle::new(&fixed, []).unwrap(),
+    ));
+    chain.push_front(StoredKnowledgeOracle::new(store.clone()));
+    chain.persist_answers_to(store.clone());
+    let out = debug(&prepared, &run, &mut chain, DebugConfig::default());
+
+    assert!(matches!(&out.result, DebugResult::BugLocalized { unit, .. } if unit == "decrement"));
+    assert_eq!(out.slices_taken, 2);
+    assert_eq!(out.total_queries(), 7);
+    assert_eq!(
+        out.queries_from("reference"),
+        0,
+        "the user was consulted on replay:\n{}",
+        out.render_transcript()
+    );
+    for entry in &out.transcript {
+        assert!(
+            entry.source == gadt::STORED_SOURCE || entry.source == "test database",
+            "query answered live on replay: {} [{}]",
+            entry.query,
+            entry.source
+        );
+    }
+
+    // Replay is read-only: not one byte changed on disk.
+    let mut guard = store.lock().unwrap();
+    assert!(chain.take_persist_error().is_none());
+    guard.sync().unwrap();
+    assert_eq!(guard.disk_fingerprint().unwrap(), fp_after_first);
+    assert_eq!(guard.answer_misses(), 0, "every lookup should hit");
+}
+
 /// E11 — §6: each transformation example preserves semantics and removes
 /// the targeted construct.
 #[test]

@@ -30,6 +30,47 @@ fn tgen_case_runs_are_thread_count_invariant() {
     }
 }
 
+/// The knowledge store is byte-deterministic under parallel writers:
+/// T-GEN batch persistence and a store-backed mutation campaign funnel
+/// through the serialized appender, so the on-disk fingerprint is
+/// identical at every thread count.
+#[test]
+fn knowledge_store_bytes_are_thread_count_invariant() {
+    use gadt_mutate::{run_campaign_with_store, CampaignConfig, CampaignProgram};
+    use gadt_store::{KnowledgeStore, TempDir};
+
+    let m = compile(testprogs::SQRTEST).unwrap();
+    let s = spec::parse_spec(spec::ARRSUM_SPEC).unwrap();
+    let g = frames::generate_frames(&s, Default::default());
+    let tc = cases::instantiate_cases(&g, |f| cases::arrsum_instantiator(f, 2));
+    let oracle = |ins: &[Value], r: &gadt_pascal::interp::ProcRun| cases::arrsum_oracle(ins, r);
+    let programs = vec![CampaignProgram::new("pqr", testprogs::PQR_FIXED)];
+
+    let mut fingerprints = Vec::new();
+    for threads in THREADS {
+        let dir = TempDir::new("det-store");
+        let shared = KnowledgeStore::open(dir.path()).unwrap().into_shared();
+        cases::run_cases_batch_persisted(threads, &m, "arrsum", &tc, &oracle, &shared).unwrap();
+        let config = CampaignConfig {
+            max_mutants: 6,
+            threads,
+            ..Default::default()
+        };
+        run_campaign_with_store(&programs, &config, &shared).unwrap();
+        let mut guard = shared.lock().unwrap();
+        guard.sync().unwrap();
+        fingerprints.push((guard.disk_fingerprint().unwrap(), guard.wal_records()));
+    }
+    assert_eq!(
+        fingerprints[0], fingerprints[1],
+        "store bytes diverge at 2 threads"
+    );
+    assert_eq!(
+        fingerprints[0], fingerprints[2],
+        "store bytes diverge at 8 threads"
+    );
+}
+
 #[test]
 fn slice_batch_matches_per_criterion_slicing() {
     let gp = generate(&GenConfig {

@@ -182,6 +182,63 @@ mod deterministic {
         }
     }
 
+    /// Store round trip: persist → load → persist into a second store
+    /// produces byte-identical files, loading reconstructs the exact
+    /// `TestDb`, and re-persisting is a no-op. This is the determinism
+    /// contract that lets two sessions share knowledge by fingerprint.
+    #[test]
+    fn store_persist_load_persist_is_byte_identical() {
+        use gadt_pascal::testprogs;
+        use gadt_store::{KnowledgeStore, TempDir};
+        use gadt_tgen::cases::TestDb;
+        use gadt_tgen::{cases, frames, spec};
+
+        let m = compile(testprogs::SQRTEST).unwrap();
+        let s = spec::parse_spec(spec::ARRSUM_SPEC).unwrap();
+        let g = frames::generate_frames(&s, Default::default());
+        let tc = cases::instantiate_cases(&g, |f| cases::arrsum_instantiator(f, 2));
+        let db = cases::run_cases(&m, "arrsum", &tc, &|i, r| cases::arrsum_oracle(i, r)).unwrap();
+
+        let dir_a = TempDir::new("prop-store-a");
+        let mut a = KnowledgeStore::open(dir_a.path()).unwrap();
+        let appended = db.persist(&mut a).unwrap();
+        assert_eq!(appended, db.len());
+        a.sync().unwrap();
+
+        let db2 = TestDb::load_from(&a, "ArrSum");
+        assert_eq!(db2, db, "load is not the inverse of persist");
+
+        let dir_b = TempDir::new("prop-store-b");
+        let mut b = KnowledgeStore::open(dir_b.path()).unwrap();
+        db2.persist(&mut b).unwrap();
+        b.sync().unwrap();
+        assert_eq!(
+            a.disk_fingerprint().unwrap(),
+            b.disk_fingerprint().unwrap(),
+            "persist∘load∘persist changed the bytes"
+        );
+
+        // Re-persisting held knowledge writes nothing.
+        assert_eq!(db.persist(&mut b).unwrap(), 0);
+        b.sync().unwrap();
+        assert_eq!(
+            a.disk_fingerprint().unwrap(),
+            b.disk_fingerprint().unwrap(),
+            "idempotent persist dirtied the store"
+        );
+
+        // Compaction relocates the records without losing any.
+        b.compact().unwrap();
+        assert_eq!(b.wal_records(), 0);
+        drop(b);
+        let c = KnowledgeStore::open(dir_b.path()).unwrap();
+        assert_eq!(
+            TestDb::load_from(&c, "arrsum"),
+            db,
+            "compaction lost records"
+        );
+    }
+
     #[test]
     fn debugger_localizes_planted_mutations() {
         use gadt_bench::measure::{measure_session, MethodConfig};
