@@ -49,4 +49,14 @@ if [ -n "$leftover" ]; then
 fi
 rmdir "$STORE_TMP"
 
+# Differential fuzz smoke tier: a bounded sweep through the seeded
+# corpus generator — original vs transformed output agreement plus
+# slice-replay soundness for every program-level variable; the binary
+# exits non-zero and prints a minimized reproducer on any divergence.
+# NOTE: the workspace build above does NOT produce the corpus bins
+# (`cargo build` on the root package skips them) — build explicitly.
+echo "==> differential fuzz smoke (seeds 0..2000)"
+cargo build --release -q -p gadt-corpus --bins
+./target/release/fuzz 0 2000 --threads 0
+
 echo "ci: all green"

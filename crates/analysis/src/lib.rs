@@ -60,5 +60,5 @@ pub use callgraph::CallGraph;
 pub use dyntrace::{record_trace, DynTrace};
 pub use effects::Effects;
 pub use slice_batch::{dynamic_slice_batch, SliceCache};
-pub use slice_dynamic::{dynamic_slice_output, DynSlice};
+pub use slice_dynamic::{close_for_replay, dynamic_slice_final, dynamic_slice_output, DynSlice};
 pub use slice_static::{static_slice, SliceContext, SliceCriterion, StaticSlice};

@@ -12,7 +12,7 @@ use crate::dyntrace::{CallRecord, DynTrace};
 use gadt_pascal::ast::{ParamMode, StmtId};
 use gadt_pascal::interp::MemLoc;
 use gadt_pascal::sema::{Module, VarId};
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, HashMap};
 
 /// A dynamic slicing criterion: one output value of one dynamic call.
 #[derive(Debug, Clone)]
@@ -257,6 +257,197 @@ pub fn dynamic_slice_output(
             s
         }
     }
+}
+
+/// Slices from the *final* value of a program-level variable: the
+/// criterion is the last event (anywhere in the run) that wrote the
+/// variable's program-level storage location. This is the differential
+/// fuzzing harness's entry point — the final value of each global is a
+/// machine-checkable slicing criterion with a replay oracle (the slice,
+/// re-run on the same input, must reproduce the value; after Ricciotti
+/// et al.), with no user in the loop.
+///
+/// Returns `None` when the variable does not exist at program level or
+/// was never written during the run (its final value is its
+/// zero-initialization, so the empty slice trivially replays).
+pub fn dynamic_slice_final(module: &Module, trace: &DynTrace, name: &str) -> Option<DynSlice> {
+    let var = module.var_in_scope(gadt_pascal::sema::MAIN_PROC, name)?;
+    let rec = trace.main_call();
+    let main_frame = rec.frame;
+    let seed = trace
+        .events
+        .iter()
+        .rev()
+        .find(|e| {
+            e.defs
+                .iter()
+                .any(|d| d.frame == main_frame && d.var == var && d.elem.is_none())
+        })
+        .map(|e| e.idx)?;
+    Some(slice_from_seed(trace, seed, rec))
+}
+
+/// Termination-sensitive replay closure (after Ricciotti et al.'s
+/// soundness criterion: a slice must *replay* to the criterion value).
+///
+/// A backward dynamic slice keeps exactly the events the criterion
+/// value depends on — which is correct for fault localization but not
+/// for replay: printing the slice keeps whole *static* statements, and
+/// re-running executes every kept statement each time control reaches
+/// it. Two gaps open up:
+///
+/// * **termination**: a kept loop re-runs with its original exit
+///   condition, but the statements that only drove the exit decision
+///   (e.g. a fuel decrement) were sliced away — the replay diverges or
+///   never terminates;
+/// * **instance mismatch**: a kept statement re-executes in iterations
+///   whose input-defining events were sliced away, so the replayed
+///   instance reads values produced by different writes than in the
+///   original run.
+///
+/// The closure fixes both by closing over *static* statements: while
+/// any event of a kept statement has a data/control dependence on an
+/// event of an unkept statement, that statement joins the slice. Two
+/// structural closures ride along, because the printed slice re-emits
+/// syntax that dynamic dependences alone do not reach:
+///
+/// * every loop/branch statement *enclosing* a kept statement — the
+///   printed slice re-executes its condition even when the kept
+///   statement's only kept instance ran unconditionally (e.g. the
+///   first iteration of a `repeat` body has no control dependence on
+///   the `until` condition, yet the replay still evaluates it);
+/// * every call-site statement on the call chain of a kept event —
+///   without the call, the replay never reaches the kept statement;
+/// * every `goto` and labeled statement — a fired goto steers control
+///   (e.g. exits a `for` early, fixing the control variable's final
+///   value) yet defines nothing, so no dependence ever reaches it. Its
+///   guards join the closure through the structural rule, and guards
+///   replay with their original values, so gotos that never fired in
+///   the recorded run stay dormant in the replay too.
+///
+/// The result — a superset of the input slice — executes, under replay,
+/// exactly the same instance sequence with the same values for every
+/// kept statement, so the criterion value is reproduced.
+pub fn close_for_replay(module: &Module, trace: &DynTrace, slice: &mut DynSlice) {
+    let (parents, jumps) = control_info(&module.program);
+    slice.stmts.extend(jumps);
+    let mut processed = vec![false; trace.events.len()];
+    loop {
+        let mut changed = false;
+        for s in slice.stmts.clone() {
+            let mut cur = s;
+            while let Some(&p) = parents.get(&cur) {
+                if !slice.stmts.insert(p) {
+                    break;
+                }
+                changed = true;
+                cur = p;
+            }
+        }
+        for e in &trace.events {
+            if processed[e.idx] || !slice.stmts.contains(&e.stmt) {
+                continue;
+            }
+            processed[e.idx] = true;
+            changed = true;
+            slice.events.insert(e.idx);
+            for &d in &e.data_deps {
+                slice.stmts.insert(trace.events[d].stmt);
+            }
+            if let Some(c) = e.control_dep {
+                slice.stmts.insert(trace.events[c].stmt);
+            }
+            if !e.unresolved_uses.is_empty() {
+                slice.complete = false;
+            }
+            let mut call = e.call;
+            loop {
+                let rec = trace.call(call);
+                if let Some(site) = rec.site_stmt {
+                    slice.stmts.insert(site);
+                }
+                match rec.parent {
+                    Some(p) => call = p,
+                    None => break,
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    for e in slice.events.clone() {
+        keep_ancestors(trace, trace.events[e].call, slice);
+    }
+}
+
+/// Walks the program once, producing (a) a map from each statement to its
+/// nearest enclosing control statement (loop, `if`, or `case`) within the
+/// same body — compound and labeled wrappers are transparent, they do not
+/// gate execution — and (b) every `goto` statement and `label:` wrapper.
+fn control_info(program: &gadt_pascal::ast::Program) -> (HashMap<StmtId, StmtId>, Vec<StmtId>) {
+    use gadt_pascal::ast::{Block, Stmt, StmtKind};
+    fn visit(
+        s: &Stmt,
+        enclosing: Option<StmtId>,
+        map: &mut HashMap<StmtId, StmtId>,
+        jumps: &mut Vec<StmtId>,
+    ) {
+        if let Some(p) = enclosing {
+            map.insert(s.id, p);
+        }
+        match &s.kind {
+            StmtKind::Compound(ss) => {
+                for c in ss {
+                    visit(c, enclosing, map, jumps);
+                }
+            }
+            StmtKind::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
+                visit(then_branch, Some(s.id), map, jumps);
+                if let Some(e) = else_branch {
+                    visit(e, Some(s.id), map, jumps);
+                }
+            }
+            StmtKind::Case { arms, else_arm, .. } => {
+                for a in arms {
+                    visit(&a.stmt, Some(s.id), map, jumps);
+                }
+                if let Some(e) = else_arm {
+                    visit(e, Some(s.id), map, jumps);
+                }
+            }
+            StmtKind::While { body, .. } | StmtKind::For { body, .. } => {
+                visit(body, Some(s.id), map, jumps);
+            }
+            StmtKind::Repeat { body, .. } => {
+                for c in body {
+                    visit(c, Some(s.id), map, jumps);
+                }
+            }
+            StmtKind::Labeled { stmt, .. } => {
+                jumps.push(s.id);
+                visit(stmt, enclosing, map, jumps);
+            }
+            StmtKind::Goto(_) => jumps.push(s.id),
+            _ => {}
+        }
+    }
+    fn visit_block(b: &Block, map: &mut HashMap<StmtId, StmtId>, jumps: &mut Vec<StmtId>) {
+        for p in &b.procs {
+            visit_block(&p.block, map, jumps);
+        }
+        for s in &b.body {
+            visit(s, None, map, jumps);
+        }
+    }
+    let mut map = HashMap::new();
+    let mut jumps = Vec::new();
+    visit_block(&program.block, &mut map, &mut jumps);
+    (map, jumps)
 }
 
 fn slice_from_seed(trace: &DynTrace, seed: usize, rec: &CallRecord) -> DynSlice {

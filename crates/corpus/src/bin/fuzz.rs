@@ -1,0 +1,67 @@
+//! Differential fuzzing driver: `fuzz [start_seed] [count]`.
+//!
+//! Generates `count` programs starting at `start_seed`, runs the full
+//! differential check (original vs transformed, slice-soundness
+//! replay) on each, shrinks any divergence, and prints the report.
+//! Exit status 1 when any divergence was found — `ci.sh` runs this as
+//! its bounded fuzz smoke tier.
+//!
+//! Flags: `--threads N` (0 = all cores), `--no-slices` (skip the
+//! slice replay), `--max-steps N`.
+
+use gadt_corpus::{run_sweep, DiffConfig, GenConfig};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut start_seed: u64 = 0;
+    let mut count: usize = 200;
+    let mut threads: usize = 0;
+    let mut diff = DiffConfig::default();
+    let mut positional = 0usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--threads" => {
+                threads = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--threads needs a number");
+            }
+            "--max-steps" => {
+                diff.max_steps = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--max-steps needs a number");
+            }
+            "--no-slices" => diff.check_slices = false,
+            _ => {
+                let v: u64 = a.parse().unwrap_or_else(|_| {
+                    eprintln!("unexpected argument `{a}`");
+                    std::process::exit(2);
+                });
+                match positional {
+                    0 => start_seed = v,
+                    1 => count = v as usize,
+                    _ => {
+                        eprintln!("too many positional arguments");
+                        std::process::exit(2);
+                    }
+                }
+                positional += 1;
+            }
+        }
+    }
+
+    let report = run_sweep(start_seed, count, &GenConfig::default(), &diff, threads);
+    println!("{}", report.render());
+    for v in &report.divergent {
+        if let Some(min) = &v.minimized {
+            println!("\n--- minimized reproducer (seed {}) ---\n{min}", v.seed);
+        }
+    }
+    if report.divergent.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

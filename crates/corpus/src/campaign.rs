@@ -1,0 +1,130 @@
+//! Corpus-backed mutation campaigns: scales the `gadt-mutate`
+//! localization-conformance harness from three hand-written programs to
+//! thousands of mutants over generated ones.
+//!
+//! The corpus is generated, differentially vetted (only programs whose
+//! original and transformed runs agree become campaign subjects — the
+//! campaign treats golden failures as harness errors), and handed to
+//! [`gadt_mutate::run_campaign`]. The resulting localization-accuracy
+//! distribution is persisted via `gadt-store` so repeated campaigns
+//! reuse verdicts and dashboards can read the distribution back.
+
+use crate::diff::{check_program, DiffConfig};
+use crate::gen::{corpus_fingerprint, generate_batch, GenConfig};
+use gadt::error::{Error, Phase};
+use gadt_mutate::CampaignSummary;
+use gadt_mutate::{run_campaign, run_campaign_with_store, CampaignConfig, CampaignProgram};
+use gadt_obs::Recorder;
+
+/// Parameters of a corpus-backed campaign.
+#[derive(Debug, Clone)]
+pub struct CorpusCampaignConfig {
+    /// First generator seed.
+    pub start_seed: u64,
+    /// Programs to generate (the vetted subset becomes the subjects).
+    pub programs: usize,
+    /// Generator shape knobs.
+    pub gen: GenConfig,
+    /// Campaign knobs (subsampling, threads, step budget).
+    pub campaign: CampaignConfig,
+}
+
+impl Default for CorpusCampaignConfig {
+    fn default() -> Self {
+        CorpusCampaignConfig {
+            start_seed: 0,
+            programs: 24,
+            gen: GenConfig::default(),
+            campaign: CampaignConfig::default(),
+        }
+    }
+}
+
+/// Generates the corpus and vets it into campaign subjects: every
+/// generated program is differentially checked (output agreement,
+/// bounded steps; slice checking is the sweep's job) and only clean
+/// programs are kept. With a healthy pipeline that is *all* of them,
+/// but the filter keeps a corpus regression from turning every future
+/// campaign run into a golden-program error.
+pub fn corpus_subjects(config: &CorpusCampaignConfig) -> Vec<CampaignProgram> {
+    let vet = DiffConfig {
+        check_slices: false,
+        shrink: false,
+        ..DiffConfig::default()
+    };
+    generate_batch(
+        config.start_seed,
+        config.programs,
+        &config.gen,
+        config.campaign.threads,
+    )
+    .into_iter()
+    .filter(|p| check_program(p, &vet).is_clean())
+    .map(|p| CampaignProgram {
+        name: p.name.clone(),
+        source: p.source.clone(),
+        input: p.input.clone(),
+    })
+    .collect()
+}
+
+/// Runs a mutation campaign over the generated corpus.
+///
+/// # Errors
+/// Propagates [`gadt_mutate::run_campaign`] harness errors.
+pub fn corpus_campaign(config: &CorpusCampaignConfig) -> Result<CampaignSummary, Error> {
+    let subjects = corpus_subjects(config);
+    run_campaign(&subjects, &config.campaign)
+}
+
+/// The store key under which a corpus campaign's accuracy distribution
+/// is persisted: addressed by the generation parameters and the corpus
+/// content fingerprint, so distinct corpora never collide and re-runs
+/// of the same corpus overwrite (idempotently) rather than accumulate.
+pub fn distribution_key(config: &CorpusCampaignConfig) -> String {
+    let corpus = generate_batch(config.start_seed, config.programs, &config.gen, 1);
+    format!(
+        "corpus/distribution/{}+{}/{}",
+        config.start_seed,
+        config.programs,
+        corpus_fingerprint(&corpus)
+    )
+}
+
+/// Like [`corpus_campaign`], but with persistent verdict reuse *and*
+/// the campaign's localization-accuracy distribution recorded under
+/// [`distribution_key`]. Counters for the subject count and the
+/// distribution's headline numbers land in `rec`'s journal under a
+/// `corpus_campaign` span.
+///
+/// # Errors
+/// Propagates campaign harness errors; store I/O failures surface as
+/// [`Phase::Campaign`] errors.
+pub fn corpus_campaign_with_store(
+    config: &CorpusCampaignConfig,
+    store: &gadt_store::SharedStore,
+    rec: &mut Recorder,
+) -> Result<CampaignSummary, Error> {
+    let token = rec.enter("corpus_campaign");
+    let subjects = corpus_subjects(config);
+    rec.add("corpus.subjects", subjects.len() as u64);
+    let summary = run_campaign_with_store(&subjects, &config.campaign, store)?;
+    rec.add("corpus.mutants", summary.total() as u64);
+    rec.add("corpus.localized", summary.localized() as u64);
+    rec.add("corpus.exact", summary.exact() as u64);
+    let key = distribution_key(config);
+    {
+        let mut guard = store.lock().expect("store mutex poisoned");
+        guard
+            .record_verdict(&key, summary.distribution_json())
+            .and_then(|_| guard.sync())
+            .map_err(|e| {
+                Error::new(
+                    Phase::Campaign,
+                    format!("persisting accuracy distribution failed: {e}"),
+                )
+            })?;
+    }
+    rec.exit(token);
+    Ok(summary)
+}

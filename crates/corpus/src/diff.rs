@@ -1,0 +1,426 @@
+//! Differential checking of generated programs.
+//!
+//! Every corpus program goes through the full pipeline twice — original
+//! and §6-transformed — and the harness asserts the properties the
+//! paper's transformation claims:
+//!
+//! 1. **No front-end crash**: lexing, parsing, sema, transformation and
+//!    both interpreter runs must return `Ok`/`Err`, never panic.
+//! 2. **Semantic preservation**: the transformed program, on the same
+//!    input, produces byte-identical output (each generated program ends
+//!    by dumping every global, so state divergence is observable).
+//! 3. **Slice soundness** (after Ricciotti et al., "slices that explain
+//!    their work"): for every global, the backward dynamic slice from
+//!    its final value, printed and re-run on the same input, must
+//!    reproduce that value.
+//!
+//! A violation of any of these is a [`Divergence`], addressed by the
+//! generating `(seed, config)` pair; [`run_sweep`] additionally shrinks
+//! each divergent program to a minimal reproducer.
+
+use crate::gen::{generate, GenConfig, GeneratedProgram};
+use crate::shrink::shrink_source;
+use gadt::session;
+use gadt_exec::BatchExecutor;
+use gadt_obs::Recorder;
+use gadt_pascal::ast::{Program, Stmt, StmtId, StmtKind};
+use gadt_pascal::interp::{Interpreter, Limits, Outcome};
+use gadt_pascal::pretty::print_slice;
+use gadt_pascal::sema::{compile, Module};
+use std::collections::BTreeSet;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Differential harness knobs.
+#[derive(Debug, Clone)]
+pub struct DiffConfig {
+    /// Interpreter step budget per run (corpus programs terminate well
+    /// under this; exceeding it is a divergence, not a hang).
+    pub max_steps: u64,
+    /// Whether to run the slice-soundness replay check.
+    pub check_slices: bool,
+    /// Whether [`run_sweep`] shrinks divergent programs.
+    pub shrink: bool,
+}
+
+impl Default for DiffConfig {
+    fn default() -> Self {
+        DiffConfig {
+            max_steps: 2_000_000,
+            check_slices: true,
+            shrink: true,
+        }
+    }
+}
+
+/// Where in the pipeline a divergence was detected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum DivergenceKind {
+    /// A panic escaped some pipeline stage.
+    Panic,
+    /// The generated program failed to compile (lexer/parser/sema
+    /// rejected it) — a generator or front-end bug either way.
+    CompileError,
+    /// The *original* program hit a runtime error; the generator
+    /// guarantees clean termination, so this is a finding.
+    OriginalRunError,
+    /// The transformation returned an error on a program it should
+    /// handle.
+    TransformError,
+    /// The transformed program hit a runtime error the original did not.
+    TransformedRunError,
+    /// Original and transformed outputs differ.
+    OutputMismatch,
+    /// A dynamic slice failed the soundness replay check.
+    SliceUnsound,
+}
+
+impl fmt::Display for DivergenceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DivergenceKind::Panic => "panic",
+            DivergenceKind::CompileError => "compile-error",
+            DivergenceKind::OriginalRunError => "original-run-error",
+            DivergenceKind::TransformError => "transform-error",
+            DivergenceKind::TransformedRunError => "transformed-run-error",
+            DivergenceKind::OutputMismatch => "output-mismatch",
+            DivergenceKind::SliceUnsound => "slice-unsound",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One detected divergence.
+#[derive(Debug, Clone)]
+pub struct Divergence {
+    /// What went wrong.
+    pub kind: DivergenceKind,
+    /// Pipeline stage (`compile`, `transform`, `run`, `slice:<var>`, …).
+    pub stage: String,
+    /// Human-readable detail (error/panic message or output diff).
+    pub detail: String,
+}
+
+impl fmt::Display for Divergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at {}: {}", self.kind, self.stage, self.detail)
+    }
+}
+
+/// The verdict for one program.
+#[derive(Debug, Clone)]
+pub struct ProgramVerdict {
+    /// The generating seed.
+    pub seed: u64,
+    /// `None` when the program passed every check.
+    pub divergence: Option<Divergence>,
+    /// Minimized source (filled by [`run_sweep`] when shrinking is on).
+    pub minimized: Option<String>,
+}
+
+impl ProgramVerdict {
+    /// Whether every check passed.
+    pub fn is_clean(&self) -> bool {
+        self.divergence.is_none()
+    }
+}
+
+/// Aggregate result of a sweep.
+#[derive(Debug, Clone)]
+pub struct SweepReport {
+    /// First seed checked.
+    pub start_seed: u64,
+    /// Programs checked.
+    pub checked: usize,
+    /// Programs with no divergence.
+    pub clean: usize,
+    /// Verdicts of divergent programs, in seed order.
+    pub divergent: Vec<ProgramVerdict>,
+}
+
+impl SweepReport {
+    /// One-line human summary.
+    pub fn render(&self) -> String {
+        let mut s = format!(
+            "sweep: seeds {}..{}: {} checked, {} clean, {} divergent",
+            self.start_seed,
+            self.start_seed + self.checked as u64,
+            self.checked,
+            self.clean,
+            self.divergent.len()
+        );
+        for v in &self.divergent {
+            if let Some(d) = &v.divergence {
+                s.push_str(&format!("\n  seed {}: {d}", v.seed));
+            }
+        }
+        s
+    }
+}
+
+/// Runs `f`, converting an escaped panic into a [`Divergence`].
+fn guard<T>(stage: &str, f: impl FnOnce() -> Result<T, Divergence>) -> Result<T, Divergence> {
+    match catch_unwind(AssertUnwindSafe(f)) {
+        Ok(r) => r,
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            Err(Divergence {
+                kind: DivergenceKind::Panic,
+                stage: stage.to_string(),
+                detail: msg,
+            })
+        }
+    }
+}
+
+fn run_module(module: &Module, p: &GeneratedProgram, max_steps: u64) -> Result<Outcome, String> {
+    let mut interp = Interpreter::new(module);
+    interp.set_limits(Limits {
+        max_steps,
+        ..Limits::default()
+    });
+    interp.set_input(p.input.iter().cloned());
+    interp.run().map_err(|e| e.to_string())
+}
+
+/// Statement ids of every `read` in the program — kept in printed
+/// slices so the replay consumes the input stream at the same offsets.
+fn read_stmts(program: &Program) -> BTreeSet<StmtId> {
+    fn visit(stmt: &Stmt, acc: &mut BTreeSet<StmtId>) {
+        if matches!(stmt.kind, StmtKind::Read { .. }) {
+            acc.insert(stmt.id);
+        }
+        match &stmt.kind {
+            StmtKind::Compound(body) | StmtKind::Repeat { body, .. } => {
+                for s in body {
+                    visit(s, acc);
+                }
+            }
+            StmtKind::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
+                visit(then_branch, acc);
+                if let Some(e) = else_branch {
+                    visit(e, acc);
+                }
+            }
+            StmtKind::Case { arms, else_arm, .. } => {
+                for a in arms {
+                    visit(&a.stmt, acc);
+                }
+                if let Some(e) = else_arm {
+                    visit(e, acc);
+                }
+            }
+            StmtKind::While { body, .. } | StmtKind::For { body, .. } => visit(body, acc),
+            StmtKind::Labeled { stmt, .. } => visit(stmt, acc),
+            _ => {}
+        }
+    }
+    let mut acc = BTreeSet::new();
+    for s in &program.block.body {
+        visit(s, &mut acc);
+    }
+    acc
+}
+
+/// Runs every check on one program. Never panics: pipeline panics are
+/// reported as [`DivergenceKind::Panic`].
+pub fn check_program(p: &GeneratedProgram, config: &DiffConfig) -> ProgramVerdict {
+    let divergence = check_inner(p, config).err();
+    ProgramVerdict {
+        seed: p.seed,
+        divergence,
+        minimized: None,
+    }
+}
+
+fn check_inner(p: &GeneratedProgram, config: &DiffConfig) -> Result<(), Divergence> {
+    // 1. Front end.
+    let module = guard("compile", || {
+        compile(&p.source).map_err(|e| Divergence {
+            kind: DivergenceKind::CompileError,
+            stage: "compile".into(),
+            detail: e.to_string(),
+        })
+    })?;
+
+    // 2. Original run.
+    let original = guard("run-original", || {
+        run_module(&module, p, config.max_steps).map_err(|detail| Divergence {
+            kind: DivergenceKind::OriginalRunError,
+            stage: "run-original".into(),
+            detail,
+        })
+    })?;
+
+    // 3. Transformation.
+    let prepared = guard("transform", || {
+        session::prepare(&module).map_err(|e| Divergence {
+            kind: DivergenceKind::TransformError,
+            stage: "transform".into(),
+            detail: e.to_string(),
+        })
+    })?;
+
+    // 4. Transformed run.
+    let transformed = guard("run-transformed", || {
+        run_module(&prepared.transformed.module, p, config.max_steps).map_err(|detail| Divergence {
+            kind: DivergenceKind::TransformedRunError,
+            stage: "run-transformed".into(),
+            detail,
+        })
+    })?;
+
+    // 5. Output agreement.
+    if original.output_text() != transformed.output_text() {
+        return Err(Divergence {
+            kind: DivergenceKind::OutputMismatch,
+            stage: "compare-output".into(),
+            detail: format!(
+                "original:\n{}\ntransformed:\n{}",
+                original.output_text(),
+                transformed.output_text()
+            ),
+        });
+    }
+
+    // 6. Slice soundness over every global's final value.
+    if config.check_slices {
+        check_slices(p, &prepared, &transformed, config)?;
+    }
+    Ok(())
+}
+
+fn check_slices(
+    p: &GeneratedProgram,
+    prepared: &session::PreparedProgram,
+    transformed_outcome: &Outcome,
+    config: &DiffConfig,
+) -> Result<(), Divergence> {
+    let limits = Limits {
+        max_steps: config.max_steps,
+        ..Limits::default()
+    };
+    let traced = guard("trace", || {
+        session::run_traced_limited(prepared, p.input.iter().cloned(), limits).map_err(|e| {
+            Divergence {
+                kind: DivergenceKind::TransformedRunError,
+                stage: "trace".into(),
+                detail: e.to_string(),
+            }
+        })
+    })?;
+    let tmodule = &prepared.transformed.module;
+    let reads = read_stmts(&tmodule.program);
+    let globals: Vec<String> = tmodule
+        .vars_of(gadt_pascal::sema::MAIN_PROC)
+        .filter(|v| v.kind == gadt_pascal::sema::VarKind::Global)
+        .map(|v| v.name.clone())
+        .collect();
+    for name in globals {
+        let stage = format!("slice:{name}");
+        guard(&stage, || {
+            let Some(mut slice) = gadt_analysis::dynamic_slice_final(tmodule, &traced.trace, &name)
+            else {
+                return Ok(()); // never written: final value is the zero init
+            };
+            // The localization slice is termination-insensitive by
+            // design; replay additionally needs the closure that keeps
+            // loop-exit drivers and all instances of kept statements.
+            gadt_analysis::close_for_replay(tmodule, &traced.trace, &mut slice);
+            let mut keep = slice.stmts.clone();
+            keep.extend(reads.iter().copied());
+            let sliced_src = print_slice(&tmodule.program, &keep);
+            let unsound = |detail: String| Divergence {
+                kind: DivergenceKind::SliceUnsound,
+                stage: stage.clone(),
+                detail,
+            };
+            let smodule = compile(&sliced_src)
+                .map_err(|e| unsound(format!("slice does not recompile: {e}\n{sliced_src}")))?;
+            let replay = run_module(&smodule, p, config.max_steps)
+                .map_err(|e| unsound(format!("slice replay failed: {e}\n{sliced_src}")))?;
+            let want = transformed_outcome.global(&name).cloned();
+            let got = replay.global(&name).cloned();
+            if want != got {
+                return Err(unsound(format!(
+                    "final value of {name}: full run {want:?}, slice replay {got:?}\n{sliced_src}"
+                )));
+            }
+            Ok(())
+        })?;
+    }
+    Ok(())
+}
+
+/// Generates and checks `count` programs starting at `start_seed`,
+/// fanning the checks over the deterministic batch executor and
+/// shrinking every divergent program (when `config.shrink`). The report
+/// is identical at any thread count.
+pub fn run_sweep(
+    start_seed: u64,
+    count: usize,
+    gen_config: &GenConfig,
+    config: &DiffConfig,
+    threads: usize,
+) -> SweepReport {
+    run_sweep_observed(
+        start_seed,
+        count,
+        gen_config,
+        config,
+        threads,
+        &mut Recorder::disabled(),
+    )
+}
+
+/// [`run_sweep`] with instrumentation: counters for programs checked,
+/// clean programs, and per-kind divergence tallies land in `rec`'s
+/// journal under a `diff_sweep` span.
+pub fn run_sweep_observed(
+    start_seed: u64,
+    count: usize,
+    gen_config: &GenConfig,
+    config: &DiffConfig,
+    threads: usize,
+    rec: &mut Recorder,
+) -> SweepReport {
+    let token = rec.enter("diff_sweep");
+    let seeds: Vec<u64> = (0..count as u64).map(|i| start_seed + i).collect();
+    let pool = BatchExecutor::new(threads);
+    let verdicts = pool.run(seeds, |_, seed| {
+        let p = generate(seed, gen_config);
+        let mut v = check_program(&p, config);
+        if config.shrink {
+            if let Some(d) = &v.divergence {
+                v.minimized = Some(shrink_source(&p, d.kind, config));
+            }
+        }
+        v
+    });
+    let checked = verdicts.len();
+    let divergent: Vec<ProgramVerdict> = verdicts.into_iter().filter(|v| !v.is_clean()).collect();
+    let clean = checked - divergent.len();
+    rec.add("programs_checked", checked as u64);
+    rec.add("programs_clean", clean as u64);
+    rec.add("programs_divergent", divergent.len() as u64);
+    for v in &divergent {
+        if let Some(d) = &v.divergence {
+            rec.incr(&format!("divergence_{}", d.kind));
+        }
+    }
+    rec.exit(token);
+    SweepReport {
+        start_seed,
+        checked,
+        clean,
+        divergent,
+    }
+}

@@ -1,0 +1,36 @@
+//! # gadt-corpus — seeded Pascal corpus generator + differential fuzzing
+//!
+//! This crate closes the gap between the three hand-written demo
+//! programs and the scale the paper's claims need: a deterministic,
+//! grammar-directed generator ([`gen`]) emits well-typed, terminating
+//! Pascal programs that deliberately exercise the constructs the §4/§6
+//! transformations must preserve (globals, gotos, nested loops,
+//! procedure nesting, recursion), and a differential harness ([`diff`])
+//! runs every program through the full pipeline both ways — original
+//! and transformed — checking output agreement and dynamic-slice
+//! soundness (the slice must replay to the same value, after Ricciotti
+//! et al.). Any divergence is shrunk ([`shrink`]) to a minimal
+//! reproducer addressed by `(seed, config)` alone.
+//!
+//! [`campaign`] scales the `gadt-mutate` localization-conformance
+//! harness from hand-picked programs to thousands of mutants over the
+//! generated corpus, persisting accuracy distributions via
+//! `gadt-store`.
+
+pub mod campaign;
+pub mod diff;
+pub mod gen;
+pub mod lcg;
+pub mod shrink;
+
+pub use campaign::{
+    corpus_campaign, corpus_campaign_with_store, corpus_subjects, distribution_key,
+    CorpusCampaignConfig,
+};
+pub use diff::{
+    check_program, run_sweep, run_sweep_observed, DiffConfig, Divergence, DivergenceKind,
+    ProgramVerdict, SweepReport,
+};
+pub use gen::{corpus_fingerprint, generate, generate_batch, GenConfig, GeneratedProgram};
+pub use lcg::Lcg;
+pub use shrink::shrink_source;

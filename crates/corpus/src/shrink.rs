@@ -1,0 +1,184 @@
+//! Greedy statement-deletion shrinking of divergent programs.
+//!
+//! A reported divergence is addressed by `(seed, config)`, but the
+//! generated program can be large; the shrinker reduces it to a minimal
+//! reproducer by repeatedly replacing statements with the empty
+//! statement and keeping each deletion iff the *same kind* of
+//! divergence persists. Because the candidate order is the parser's
+//! deterministic pre-order (compounds and loops before their children,
+//! so whole subtrees go first), the minimized program is itself a pure
+//! function of `(seed, config)`.
+
+use crate::diff::{check_program, DiffConfig, DivergenceKind};
+use crate::gen::GeneratedProgram;
+use gadt_pascal::ast::{Program, Stmt, StmtKind};
+use gadt_pascal::ast_mut::{walk_procs_mut, walk_stmt_mut};
+use gadt_pascal::parser::parse_program;
+use gadt_pascal::pretty::print_program;
+
+/// Replaces the `target`-th statement (pre-order over every body:
+/// procedures depth-first in declaration order, then the main body)
+/// with `Empty`, keeping labels in place so gotos stay resolvable.
+/// Returns whether a replacement happened (i.e. `target` was in range
+/// and the statement was not already empty).
+fn delete_nth(program: &mut Program, target: usize) -> bool {
+    let mut idx = 0usize;
+    let mut hit = false;
+    let mut visit = |s: &mut Stmt| {
+        let me = idx;
+        idx += 1;
+        if me != target {
+            return;
+        }
+        match &mut s.kind {
+            StmtKind::Empty => {}
+            StmtKind::Labeled { stmt, .. } => {
+                if !matches!(stmt.kind, StmtKind::Empty) {
+                    stmt.kind = StmtKind::Empty;
+                    hit = true;
+                }
+            }
+            _ => {
+                s.kind = StmtKind::Empty;
+                hit = true;
+            }
+        }
+    };
+    walk_procs_mut(program, &mut |p| {
+        for s in &mut p.block.body {
+            walk_stmt_mut(s, &mut visit);
+        }
+    });
+    for s in &mut program.block.body {
+        walk_stmt_mut(s, &mut visit);
+    }
+    let _ = idx;
+    hit
+}
+
+fn stmt_count(program: &mut Program) -> usize {
+    let mut idx = 0usize;
+    let mut visit = |_: &mut Stmt| idx += 1;
+    walk_procs_mut(program, &mut |p| {
+        for s in &mut p.block.body {
+            walk_stmt_mut(s, &mut visit);
+        }
+    });
+    for s in &mut program.block.body {
+        walk_stmt_mut(s, &mut visit);
+    }
+    idx
+}
+
+/// Shrinks a divergent program: greedy fixpoint of single-statement
+/// deletions, each kept iff re-checking still reports a divergence of
+/// `kind`. Returns the minimized source (the original source when
+/// nothing could be deleted).
+///
+/// Deletions that break compilation are rejected automatically (the
+/// re-check reports [`DivergenceKind::CompileError`], which only
+/// matches when that *was* the divergence being minimized). Slice
+/// checking is left on during shrinking only when minimizing a
+/// slice-soundness divergence.
+pub fn shrink_source(p: &GeneratedProgram, kind: DivergenceKind, config: &DiffConfig) -> String {
+    // Never recurse into shrinking from the re-checks; slice checking
+    // stays on only when a slice divergence is being minimized.
+    let check_config = DiffConfig {
+        shrink: false,
+        check_slices: config.check_slices && kind == DivergenceKind::SliceUnsound,
+        ..config.clone()
+    };
+
+    let Ok(mut program) = parse_program(&p.source) else {
+        return p.source.clone();
+    };
+    let reproduces = |candidate: &Program| -> bool {
+        let src = print_program(candidate);
+        let probe = GeneratedProgram {
+            seed: p.seed,
+            name: p.name.clone(),
+            source: src,
+            input: p.input.clone(),
+        };
+        check_program(&probe, &check_config)
+            .divergence
+            .is_some_and(|d| d.kind == kind)
+    };
+
+    // The divergence must reproduce through a print → parse round-trip
+    // at all for shrinking to be meaningful.
+    if !reproduces(&program) {
+        return p.source.clone();
+    }
+
+    loop {
+        let mut deleted_any = false;
+        let total = stmt_count(&mut program);
+        for target in 0..total {
+            let mut candidate = program.clone();
+            if !delete_nth(&mut candidate, target) {
+                continue;
+            }
+            if reproduces(&candidate) {
+                program = candidate;
+                deleted_any = true;
+            }
+        }
+        if !deleted_any {
+            break;
+        }
+    }
+    print_program(&program)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diff::DiffConfig;
+    use gadt_pascal::value::Value;
+
+    /// A hand-made "divergence": a program whose original run hits a
+    /// division by zero, padded with irrelevant statements the shrinker
+    /// must strip.
+    #[test]
+    fn shrinks_to_the_failing_statement() {
+        let source = "\
+program t;
+var a, b, c: integer;
+begin
+  a := 1;
+  b := a + 2;
+  writeln(b);
+  c := a div (a - 1);
+  writeln(c)
+end.
+";
+        let p = GeneratedProgram {
+            seed: 0,
+            name: "t".into(),
+            source: source.into(),
+            input: Vec::<Value>::new(),
+        };
+        let config = DiffConfig {
+            check_slices: false,
+            ..DiffConfig::default()
+        };
+        let verdict = check_program(&p, &config);
+        let kind = verdict.divergence.expect("expected a divergence").kind;
+        assert_eq!(kind, DivergenceKind::OriginalRunError);
+        let minimized = shrink_source(&p, kind, &config);
+        // Everything except the faulting division should be gone.
+        assert!(
+            minimized.contains("div"),
+            "kept the faulting stmt:\n{minimized}"
+        );
+        assert!(
+            !minimized.contains("writeln"),
+            "dropped output stmts:\n{minimized}"
+        );
+        assert!(
+            !minimized.contains("b := "),
+            "dropped irrelevant stmts:\n{minimized}"
+        );
+    }
+}

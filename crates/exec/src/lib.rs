@@ -25,6 +25,13 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Mutex};
 use std::time::{Duration, Instant};
 
+/// Worker stack size. The interpreter executes Pascal calls by native
+/// recursion, so a worker's stack must absorb the deepest dynamic call
+/// chain its job may reach (mutation campaigns deliberately run mutants
+/// whose recursion guard was broken); the platform default of 2 MiB is
+/// not enough headroom.
+const WORKER_STACK_BYTES: usize = 16 * 1024 * 1024;
+
 /// A fixed-width work scheduler for independent jobs.
 ///
 /// Construction is cheap (no threads are kept alive between batches);
@@ -103,20 +110,23 @@ impl BatchExecutor {
                 let slots = &slots;
                 let cursor = &cursor;
                 let f = &f;
-                scope.spawn(move || loop {
-                    let i = cursor.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        break;
-                    }
-                    let item = slots[i]
-                        .lock()
-                        .expect("job slot poisoned")
-                        .take()
-                        .expect("job taken twice");
-                    // A send only fails if the receiver is gone, which
-                    // cannot happen while the scope holds it alive.
-                    let _ = tx.send((i, f(i, item)));
-                });
+                std::thread::Builder::new()
+                    .stack_size(WORKER_STACK_BYTES)
+                    .spawn_scoped(scope, move || loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        let item = slots[i]
+                            .lock()
+                            .expect("job slot poisoned")
+                            .take()
+                            .expect("job taken twice");
+                        // A send only fails if the receiver is gone, which
+                        // cannot happen while the scope holds it alive.
+                        let _ = tx.send((i, f(i, item)));
+                    })
+                    .expect("spawn batch worker");
             }
             drop(tx);
 
@@ -175,18 +185,21 @@ impl BatchExecutor {
                 let slots = &slots;
                 let cursor = &cursor;
                 let f = &f;
-                scope.spawn(move || loop {
-                    let i = cursor.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        break;
-                    }
-                    let item = slots[i]
-                        .lock()
-                        .expect("job slot poisoned")
-                        .take()
-                        .expect("job taken twice");
-                    let _ = tx.send((i, f(i, item)));
-                });
+                std::thread::Builder::new()
+                    .stack_size(WORKER_STACK_BYTES)
+                    .spawn_scoped(scope, move || loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        let item = slots[i]
+                            .lock()
+                            .expect("job slot poisoned")
+                            .take()
+                            .expect("job taken twice");
+                        let _ = tx.send((i, f(i, item)));
+                    })
+                    .expect("spawn batch worker");
             }
             drop(tx);
 

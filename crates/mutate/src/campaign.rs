@@ -149,7 +149,13 @@ pub fn run_campaign(
 
     let limits = Limits {
         max_steps: config.max_steps,
-        ..Limits::default()
+        // Injected faults routinely break recursion guards; the interpreter
+        // executes Pascal calls by native recursion, so a tight depth limit
+        // turns a runaway mutant into a crashed classification instead of a
+        // native stack overflow. 64 is ~5x any legitimate subject's call
+        // depth yet fits a 2 MiB stack even with debug-sized frames (the
+        // single-thread batch path runs on the calling thread).
+        max_depth: 64,
     };
     let pool = BatchExecutor::new(config.threads);
     let reports = pool.run(work, |_, (prog_idx, site)| {
@@ -248,7 +254,13 @@ pub fn run_campaign_with_store(
 
     let limits = Limits {
         max_steps: config.max_steps,
-        ..Limits::default()
+        // Injected faults routinely break recursion guards; the interpreter
+        // executes Pascal calls by native recursion, so a tight depth limit
+        // turns a runaway mutant into a crashed classification instead of a
+        // native stack overflow. 64 is ~5x any legitimate subject's call
+        // depth yet fits a 2 MiB stack even with debug-sized frames (the
+        // single-thread batch path runs on the calling thread).
+        max_depth: 64,
     };
     let pool = BatchExecutor::new(config.threads);
     let mut sink_err: Option<std::io::Error> = None;

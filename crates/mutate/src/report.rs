@@ -312,6 +312,48 @@ impl CampaignSummary {
         out
     }
 
+    /// The localization-accuracy distribution as a deterministic JSON
+    /// payload fit for `gadt-store` persistence: campaign-level status
+    /// counts, exact-unit accuracy, and the histogram of
+    /// slicing-enabled oracle-question counts over localized mutants
+    /// (sorted `[questions, mutants]` pairs). Identical across thread
+    /// counts for the same campaign seed.
+    pub fn distribution_json(&self) -> gadt_store::Json {
+        use gadt_store::{obj, Json};
+        let mut hist: std::collections::BTreeMap<usize, i64> = std::collections::BTreeMap::new();
+        for r in &self.reports {
+            if let MutantStatus::Localized {
+                questions_with_slicing,
+                ..
+            } = &r.status
+            {
+                *hist.entry(*questions_with_slicing).or_insert(0) += 1;
+            }
+        }
+        let hist_json = Json::Array(
+            hist.into_iter()
+                .map(|(q, n)| Json::Array(vec![Json::Int(q as i64), Json::Int(n)]))
+                .collect(),
+        );
+        obj(vec![
+            ("mutants", Json::Int(self.total() as i64)),
+            ("stillborn", Json::Int(self.stillborn() as i64)),
+            ("crashed", Json::Int(self.crashed() as i64)),
+            ("equivalent", Json::Int(self.equivalent() as i64)),
+            ("masked", Json::Int(self.masked() as i64)),
+            ("localized", Json::Int(self.localized() as i64)),
+            ("exact", Json::Int(self.exact() as i64)),
+            (
+                "accuracy",
+                match self.accuracy() {
+                    Some(a) => Json::Real(a),
+                    None => Json::Null,
+                },
+            ),
+            ("questions_hist", hist_json),
+        ])
+    }
+
     /// Human-readable campaign summary.
     pub fn render(&self) -> String {
         let mut out = String::new();

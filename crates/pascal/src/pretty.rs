@@ -450,14 +450,26 @@ fn expr_prec(e: &Expr, parent: u8) -> String {
         }
         ExprKind::Unary { op, operand } => {
             let inner = expr_prec(operand, 3);
-            let s = match op {
-                UnOp::Neg => format!("-{inner}"),
-                UnOp::Not => format!("not {inner}"),
-            };
-            if parent > 2 {
-                format!("({s})")
-            } else {
-                s
+            // A sign is only legal at the head of a simple expression
+            // (where it binds the whole leading term), so `-x` must be
+            // parenthesized in *any* operand position: `a + -x` does not
+            // parse, and `-x * y` re-parses as `-(x * y)`. `not` is a
+            // factor operator and only needs parens under another unary.
+            match op {
+                UnOp::Neg => {
+                    if parent > 0 {
+                        format!("(-{inner})")
+                    } else {
+                        format!("-{inner}")
+                    }
+                }
+                UnOp::Not => {
+                    if parent > 2 {
+                        format!("(not {inner})")
+                    } else {
+                        format!("not {inner}")
+                    }
+                }
             }
         }
         ExprKind::Binary { op, lhs, rhs } => {

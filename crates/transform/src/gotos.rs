@@ -106,7 +106,39 @@ pub fn break_loop_gotos(module: &Module) -> Result<(Program, Mapping, bool)> {
     };
     let mut mapping = Mapping::default();
     let mut changed = false;
+
+    // B/C rounds alternate to a fixpoint, and phase C's call-site
+    // dispatch gotos can turn previously-clean loops into candidates for
+    // a later B round. The synthetic-name counter must resume past the
+    // names minted by earlier rounds, or a second round would declare
+    // `whilelab_1` (and `leave_1`) twice in the same procedure.
+    fn seed_counter(block: &Block, counter: &mut usize) {
+        for l in &block.labels {
+            if let Some(n) = l
+                .key()
+                .strip_prefix("whilelab_")
+                .and_then(|s| s.parse::<usize>().ok())
+            {
+                *counter = (*counter).max(n);
+            }
+        }
+        for v in &block.vars {
+            for name in &v.names {
+                if let Some(n) = name
+                    .key()
+                    .strip_prefix("leave_")
+                    .and_then(|s| s.parse::<usize>().ok())
+                {
+                    *counter = (*counter).max(n);
+                }
+            }
+        }
+        for p in &block.procs {
+            seed_counter(&p.block, counter);
+        }
+    }
     let mut counter = 0usize;
+    seed_counter(&program.block, &mut counter);
 
     // Per-procedure rewriting, collecting new declarations.
     fn do_block(

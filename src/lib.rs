@@ -47,6 +47,7 @@ pub mod facade;
 
 pub use gadt as debugging;
 pub use gadt_analysis as analysis;
+pub use gadt_corpus as corpus;
 pub use gadt_exec as exec;
 pub use gadt_mutate as mutate;
 pub use gadt_obs as obs;
@@ -70,6 +71,7 @@ pub mod prelude {
     pub use gadt::error::{Error, Phase, Result};
     pub use gadt::oracle::{Answer, AssertionOracle, ChainOracle, GoldenOracle, ReferenceOracle};
     pub use gadt::session::{BatchTraced, PhaseTimings, PreparedProgram, TracedRun};
+    pub use gadt_corpus::{DiffConfig, GenConfig, GeneratedProgram};
     pub use gadt_obs::{Journal, JsonLinesSink, MemorySink, Recorder, Sink};
     pub use gadt_pascal::value::Value;
     pub use gadt_store::{KnowledgeStore, SharedStore, StoredAnswer};

@@ -1,0 +1,154 @@
+//! Minimized regressions surfaced by the differential fuzzing harness.
+//!
+//! Each `.pas` file under `tests/corpus_regressions/` is a shrunk
+//! reproducer of a bug the corpus fuzzer found (a header comment in each
+//! file records the failure mode and the fix). The full differential
+//! check — original vs transformed execution plus slice-replay
+//! soundness — must now report every one of them clean, and the
+//! pretty-printed round trip must preserve behavior exactly.
+
+use gadt_repro::corpus::{check_program, DiffConfig, GeneratedProgram};
+use gadt_repro::pascal::interp::{Interpreter, Limits};
+use gadt_repro::pascal::pretty::print_program;
+use gadt_repro::pascal::sema::compile;
+use std::path::PathBuf;
+
+fn regression_files() -> Vec<PathBuf> {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/corpus_regressions");
+    let mut files: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .expect("regression dir")
+        .map(|e| e.expect("dir entry").path())
+        .filter(|p| p.extension().is_some_and(|x| x == "pas"))
+        .collect();
+    files.sort();
+    files
+}
+
+fn load(path: &PathBuf) -> GeneratedProgram {
+    GeneratedProgram {
+        seed: 0,
+        name: path.file_stem().unwrap().to_string_lossy().into_owned(),
+        source: std::fs::read_to_string(path).expect("read regression source"),
+        input: Vec::new(),
+    }
+}
+
+/// Every minimized reproducer passes the full differential check,
+/// including slice-replay soundness.
+#[test]
+fn regressions_are_clean() {
+    let files = regression_files();
+    assert!(
+        files.len() >= 5,
+        "expected at least 5 regression programs, found {}",
+        files.len()
+    );
+    for path in files {
+        let p = load(&path);
+        let v = check_program(&p, &DiffConfig::default());
+        assert!(
+            v.is_clean(),
+            "{}: {:?}",
+            p.name,
+            v.divergence
+                .map(|d| format!("{} at {}: {}", d.kind, d.stage, d.detail))
+        );
+    }
+}
+
+/// The repeat-fuel reproducer exercises the replay closure for real: the
+/// plain localization slice of `f0` omits the `g0 := 70` exit driver
+/// (nothing the criterion depends on), and `close_for_replay` restores it
+/// through the structural-enclosure rule.
+#[test]
+fn replay_closure_recovers_loop_exit_driver() {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/corpus_regressions");
+    let p = load(&dir.join("fuel_repeat_slice.pas"));
+    let module = compile(&p.source).expect("compiles");
+    let prepared = gadt_repro::debugging::session::prepare(&module).expect("transforms");
+    let traced = gadt_repro::debugging::session::run_traced_limited(
+        &prepared,
+        std::iter::empty(),
+        Limits {
+            max_steps: 2_000_000,
+            ..Limits::default()
+        },
+    )
+    .expect("traced run");
+    let tm = &prepared.transformed.module;
+    let mut slice =
+        gadt_repro::analysis::dynamic_slice_final(tm, &traced.trace, "f0").expect("f0 is written");
+    let before = gadt_repro::pascal::pretty::print_slice(&tm.program, &slice.stmts);
+    assert!(
+        !before.contains("g0 := 70"),
+        "localization slice should omit the exit driver:\n{before}"
+    );
+    gadt_repro::analysis::close_for_replay(tm, &traced.trace, &mut slice);
+    let after = gadt_repro::pascal::pretty::print_slice(&tm.program, &slice.stmts);
+    assert!(
+        after.contains("g0 := 70"),
+        "replay closure must restore the exit driver:\n{after}"
+    );
+}
+
+/// The goto reproducer exercises the jump-seeding rule: the plain slice
+/// of the for-loop control variable drops the `goto` that exits the loop
+/// early, and `close_for_replay` restores it (with its guard).
+#[test]
+fn replay_closure_keeps_fired_gotos() {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/corpus_regressions");
+    let p = load(&dir.join("goto_exits_for.pas"));
+    let module = compile(&p.source).expect("compiles");
+    let prepared = gadt_repro::debugging::session::prepare(&module).expect("transforms");
+    let traced = gadt_repro::debugging::session::run_traced_limited(
+        &prepared,
+        std::iter::empty(),
+        Limits {
+            max_steps: 2_000_000,
+            ..Limits::default()
+        },
+    )
+    .expect("traced run");
+    let tm = &prepared.transformed.module;
+    let mut slice =
+        gadt_repro::analysis::dynamic_slice_final(tm, &traced.trace, "i0").expect("i0 is written");
+    let before = gadt_repro::pascal::pretty::print_slice(&tm.program, &slice.stmts);
+    assert!(
+        !before.contains("goto 1"),
+        "localization slice should omit the goto:\n{before}"
+    );
+    gadt_repro::analysis::close_for_replay(tm, &traced.trace, &mut slice);
+    let after = gadt_repro::pascal::pretty::print_slice(&tm.program, &slice.stmts);
+    assert!(
+        after.contains("goto 1"),
+        "replay closure must keep the fired goto:\n{after}"
+    );
+}
+
+/// Pretty-printing and recompiling each reproducer executes identically —
+/// guards the unary-minus parenthesization fix (a printed `2 + -g0` did
+/// not parse; `-a * b` re-parsed as `-(a * b)`).
+#[test]
+fn printed_round_trip_preserves_behavior() {
+    for path in regression_files() {
+        let p = load(&path);
+        let run = |src: &str| {
+            let m = compile(src).unwrap_or_else(|e| panic!("{}: compile: {e}", p.name));
+            let mut i = Interpreter::new(&m);
+            i.set_limits(Limits {
+                max_steps: 2_000_000,
+                ..Limits::default()
+            });
+            let out = i.run().unwrap_or_else(|e| panic!("{}: run: {e}", p.name));
+            out.output_text().to_string()
+        };
+        let module = compile(&p.source).expect("regression source compiles");
+        let printed = print_program(&module.program);
+        assert_eq!(
+            run(&p.source),
+            run(&printed),
+            "{}: printed round trip diverged",
+            p.name
+        );
+    }
+}

@@ -1,0 +1,41 @@
+{ Regression: break_loop_gotos minted leave/whilelab names from a counter
+  that restarted at zero on every call. The goto phases alternate to a
+  fixpoint, and phase C's exit dispatch ("if exitcond_p1 = 1 then goto 2"
+  after a call site inside a loop) hands phase B a fresh loop-exit goto on
+  the next round — which then re-minted whilelab_1 in a procedure that
+  already declared it, and re-analysis failed with a duplicate label.
+  Found by differential fuzzing (6 seeds). The counter now seeds itself
+  past every existing leave/whilelab name in the block. }
+program dupwhilelab;
+label 1;
+var
+  g0, g1: integer;
+procedure p0(d: integer);
+label 2;
+var
+  f0: integer;
+  procedure p1(d: integer);
+  begin
+    if d > 0 then
+      goto 2
+  end;
+begin
+  f0 := 3;
+  while f0 > 0 do
+    begin
+      f0 := f0 - 1;
+      g0 := g0 + 2;
+      if g0 > 5 then
+        goto 2;
+      p1(d)
+    end;
+  2:
+  g1 := g1 + 1
+end;
+begin
+  p0(1);
+  writeln(g0);
+  writeln(g1);
+  1:
+  begin end
+end.

@@ -1,0 +1,19 @@
+{ Regression: a repeat body's first iteration executes unconditionally,
+  so the final write to f0 has no control dependence and the repeat
+  statement itself never joins the dynamic slice - yet the printed slice
+  still re-emits the until condition, which then read a sliced-away
+  g0 (zero instead of 70), looped to exhaustion, and replayed f0 = 0
+  instead of 2. Fixed by the replay closure's structural rule: every
+  loop/branch enclosing a kept statement joins the slice, pulling the
+  condition's data dependences (g0 := 70) along. }
+program fuelrepeat;
+var
+  g0, f0: integer;
+begin
+  g0 := 70;
+  f0 := 3;
+  repeat
+    f0 := f0 - 1
+  until (f0 <= 0) or (g0 > 65);
+  writeln(f0)
+end.

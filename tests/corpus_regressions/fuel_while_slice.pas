@@ -1,0 +1,24 @@
+{ Regression: termination-insensitivity of the classic dynamic slice.
+  The final write to g0 happens in iteration 1; iterations 2-3 only burn
+  fuel, so no later event is a dependence ancestor of the criterion and
+  the slice correctly drops "f0 := f0 - 1" — for localization. But the
+  printed slice keeps the while loop with its original exit condition,
+  and replaying it without the decrement never terminates. Found by
+  differential fuzzing (16 seeds); fixed by the replay closure
+  (close_for_replay), which closes over all instances of kept statements. }
+program fuelwhile;
+var
+  g0, g1, f0: integer;
+begin
+  f0 := 3;
+  while (f0 > 0) and (g1 < 9) do
+    begin
+      f0 := f0 - 1;
+      if g1 = 0 then
+        begin
+          g0 := 55;
+          g1 := 1
+        end
+    end;
+  writeln(g0)
+end.

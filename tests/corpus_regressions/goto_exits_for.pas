@@ -1,0 +1,21 @@
+{ Regression: a fired goto steers control but defines nothing, so no
+  dependence ever reaches it and the slice dropped the "goto 1" that
+  exits the for loop during its first iteration. The replayed slice ran
+  the loop to completion, leaving the control variable at -1 instead of
+  the full run's 1. Found by differential fuzzing (seeds 89/160); fixed
+  by seeding the replay closure with every goto and label statement -
+  their guards join through the structural rule and replay with original
+  values, so gotos that never fired stay dormant. }
+program gotofor;
+label 1;
+var
+  g0, g1, i0: integer;
+begin
+  for i0 := g0 + 1 downto g0 do
+    begin
+      if g1 < 1 then
+        goto 1
+    end;
+  1:
+  writeln(i0)
+end.

@@ -1,0 +1,15 @@
+{ Regression: the pretty-printer emitted unary minus without parentheses
+  in argument position ("2 + -g0"), which is not ISO Pascal — a sign may
+  bind only the whole leading term of a simple expression — so printed
+  slices failed to recompile; and "-a * b" re-parsed as "-(a * b)",
+  silently changing the value. Found by differential fuzzing (16 seeds). }
+program negparens;
+var
+  g0, g1, g2: integer;
+begin
+  g0 := 3;
+  g1 := (2 + (-g0)) * ((-g0) + 7);
+  g2 := (-(g0 + 1)) * 5 - (-2);
+  writeln(g1);
+  writeln(g2)
+end.

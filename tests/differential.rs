@@ -1,0 +1,87 @@
+//! Differential-fuzzing golden gate.
+//!
+//! Runs the corpus generator's first 500 programs through the full
+//! differential harness — original vs transformed execution, output
+//! comparison, and slice-replay soundness for every program-level
+//! variable — and pins the clean count at exactly 500. Any regression in
+//! the parser, printer, transforms, interpreter, or slicer that this
+//! corpus can observe turns into a counted divergence here.
+
+use gadt_repro::corpus::{run_sweep, run_sweep_observed, DiffConfig, GenConfig};
+use gadt_repro::obs::Recorder;
+
+/// Golden count: every one of the first 500 generated programs passes
+/// the differential check with zero divergences. History: the harness
+/// surfaced and drove out four bug classes before this pin was possible
+/// (unary-minus printing, duplicate whilelab labels, and two
+/// slice-replay closure gaps); see tests/corpus_regressions/.
+const PROGRAMS: usize = 500;
+const GOLDEN_CLEAN: usize = 500;
+
+#[test]
+fn first_500_programs_have_zero_divergences() {
+    let config = DiffConfig {
+        shrink: true,
+        ..DiffConfig::default()
+    };
+    let report = run_sweep(0, PROGRAMS, &GenConfig::default(), &config, 4);
+    assert_eq!(report.checked, PROGRAMS);
+    let details: Vec<String> = report
+        .divergent
+        .iter()
+        .map(|v| {
+            let d = v.divergence.as_ref().expect("divergent verdict");
+            format!(
+                "seed {}: {} at {}: {}\n{}",
+                v.seed,
+                d.kind,
+                d.stage,
+                d.detail,
+                v.minimized.as_deref().unwrap_or("<unminimized>")
+            )
+        })
+        .collect();
+    assert_eq!(
+        report.clean,
+        GOLDEN_CLEAN,
+        "differential sweep regressed:\n{}",
+        details.join("\n---\n")
+    );
+}
+
+/// The observed variant journals the sweep: the per-kind divergence
+/// counters must reconcile exactly with the report.
+#[test]
+fn observed_sweep_counters_reconcile() {
+    let mut rec = Recorder::new();
+    let report = run_sweep_observed(
+        0,
+        120,
+        &GenConfig::default(),
+        &DiffConfig {
+            shrink: false,
+            ..DiffConfig::default()
+        },
+        2,
+        &mut rec,
+    );
+    let journal = rec.finish();
+    let get = |suffix: &str| -> u64 {
+        journal
+            .counters
+            .iter()
+            .filter(|(k, _)| k.ends_with(suffix))
+            .map(|(_, v)| *v)
+            .sum()
+    };
+    assert_eq!(get("programs_checked"), report.checked as u64);
+    assert_eq!(get("programs_clean"), report.clean as u64);
+    assert_eq!(get("programs_divergent"), report.divergent.len() as u64);
+    let per_kind: u64 = journal
+        .counters
+        .iter()
+        .filter(|(k, _)| k.contains("divergence_"))
+        .map(|(_, v)| *v)
+        .sum();
+    assert_eq!(per_kind, report.divergent.len() as u64);
+}

@@ -3,10 +3,15 @@
 //! localized accurately, deterministically at any thread count, and
 //! with slicing saving questions on most mutants.
 
+use gadt_corpus::{
+    corpus_campaign, corpus_campaign_with_store, distribution_key, CorpusCampaignConfig,
+};
 use gadt_mutate::campaign::{run_campaign, CampaignConfig, CampaignProgram};
 use gadt_mutate::operators::MutOp;
 use gadt_mutate::report::{CampaignSummary, MutantStatus};
+use gadt_obs::Recorder;
 use gadt_pascal::testprogs;
+use gadt_store::{KnowledgeStore, TempDir};
 use std::collections::BTreeSet;
 
 fn campaign_programs() -> Vec<CampaignProgram> {
@@ -116,6 +121,114 @@ fn bounded_smoke_campaign_is_deterministic_and_accurate() {
         "smoke accuracy {:.1}%:\n{}",
         accuracy * 100.0,
         misses(&a)
+    );
+}
+
+/// Corpus tier: the same conformance harness, scaled from three
+/// hand-written subjects to a generated corpus worth thousands of
+/// mutants. A fixed-seed subsample keeps the runtime bounded while
+/// staying far above the 2000-mutant floor.
+fn corpus_config(threads: usize) -> CorpusCampaignConfig {
+    CorpusCampaignConfig {
+        start_seed: 0,
+        programs: 24,
+        campaign: CampaignConfig {
+            seed: 2026,
+            max_mutants: 2500,
+            threads,
+            // Half the default budget: generated mutants that loop forever
+            // dominate the runtime, and exhaustion classifies identically.
+            max_steps: 100_000,
+        },
+        ..CorpusCampaignConfig::default()
+    }
+}
+
+/// ≥ 2000 mutants over generated programs, byte-identical at 1, 2, and
+/// 8 worker threads, with localization quality in the expected band.
+#[test]
+fn corpus_tier_scales_and_is_thread_invariant() {
+    let one = corpus_campaign(&corpus_config(1)).expect("corpus subjects are golden");
+    let two = corpus_campaign(&corpus_config(2)).expect("corpus subjects are golden");
+    let eight = corpus_campaign(&corpus_config(8)).expect("corpus subjects are golden");
+    assert_eq!(one.fingerprint(), two.fingerprint(), "1 vs 2 threads");
+    assert_eq!(one.fingerprint(), eight.fingerprint(), "1 vs 8 threads");
+
+    assert!(one.total() >= 2000, "only {} mutants", one.total());
+    let programs: BTreeSet<&str> = one.reports.iter().map(|r| r.program.as_str()).collect();
+    assert!(programs.len() >= 20, "campaign spans only {programs:?}");
+    assert!(one.localized() >= 100, "only {} localized", one.localized());
+    // Generated programs localize less cleanly than the curated
+    // testprogs (multi-statement data flow through globals); the band
+    // below is the measured baseline with slack, not the 90% bar.
+    let accuracy = one.accuracy().expect("corpus campaign localized mutants");
+    assert!(
+        accuracy >= 0.60,
+        "corpus exact-unit localization collapsed to {:.1}%",
+        accuracy * 100.0
+    );
+    assert!(
+        one.strictly_fewer() > 0,
+        "slicing saved questions on no corpus mutant"
+    );
+}
+
+/// The store-backed corpus campaign persists its accuracy distribution
+/// under the fingerprint-addressed key and journals its headline
+/// counters; a second run over the same corpus reuses stored verdicts.
+#[test]
+fn corpus_campaign_persists_distribution_and_reuses_verdicts() {
+    let config = CorpusCampaignConfig {
+        start_seed: 0,
+        programs: 6,
+        campaign: CampaignConfig {
+            seed: 2026,
+            max_mutants: 400,
+            threads: 4,
+            max_steps: 100_000,
+        },
+        ..CorpusCampaignConfig::default()
+    };
+    let dir = TempDir::new("corpus-campaign-store");
+    let store = KnowledgeStore::open(dir.path()).unwrap().into_shared();
+
+    let mut rec = Recorder::new();
+    let summary =
+        corpus_campaign_with_store(&config, &store, &mut rec).expect("corpus subjects are golden");
+    let journal = rec.finish();
+    assert_eq!(journal.counter("corpus.mutants"), summary.total() as u64);
+    assert_eq!(
+        journal.counter("corpus.localized"),
+        summary.localized() as u64
+    );
+
+    // The persisted distribution is addressable and reconciles with the
+    // in-memory summary.
+    let key = distribution_key(&config);
+    let stored = store
+        .lock()
+        .unwrap()
+        .lookup_verdict(&key)
+        .expect("distribution persisted");
+    let int = |field: &str| stored.get(field).and_then(|j| j.as_int()).unwrap();
+    assert_eq!(int("mutants"), summary.total() as i64);
+    assert_eq!(int("localized"), summary.localized() as i64);
+    assert_eq!(int("exact"), summary.exact() as i64);
+
+    // Re-running the identical campaign against the same store answers
+    // from persisted verdicts and reproduces the summary bit-for-bit.
+    let before_hits = store.lock().unwrap().verdict_hits();
+    let mut rec2 = Recorder::disabled();
+    let again =
+        corpus_campaign_with_store(&config, &store, &mut rec2).expect("corpus subjects are golden");
+    assert_eq!(
+        again.fingerprint(),
+        summary.fingerprint(),
+        "cached re-run diverged"
+    );
+    assert!(
+        store.lock().unwrap().verdict_hits() > before_hits,
+        "second run did not reuse stored verdicts"
     );
 }
 
