@@ -59,4 +59,17 @@ echo "==> differential fuzz smoke (seeds 0..2000)"
 cargo build --release -q -p gadt-corpus --bins
 ./target/release/fuzz 0 2000 --threads 0
 
+# Bench-baseline tier: tree-walker vs bytecode VM on the batch-trace,
+# T-GEN batch and campaign workloads, single worker. The binary exits
+# non-zero when the VM is slower than the tree-walker on the
+# batch-trace workload — the compiled engine must never regress below
+# the interpreter it replaces. BENCH_vm.json at the repo root is the
+# committed baseline; this tier validates a fresh measurement in a
+# scratch file without touching it.
+echo "==> bench baseline (tree-walker vs bytecode VM)"
+cargo build --release -q -p gadt-bench --bin vm_baseline
+BENCH_TMP="$(mktemp)"
+./target/release/vm_baseline "$BENCH_TMP"
+rm -f "$BENCH_TMP"
+
 echo "ci: all green"

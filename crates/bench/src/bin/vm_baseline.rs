@@ -1,0 +1,165 @@
+//! Tree-walker vs bytecode-VM baselines: `vm_baseline [out.json]`.
+//!
+//! Runs the three workloads the VM was built for — batch tracing,
+//! T-GEN case batches, and a mutation campaign — on both execution
+//! engines, prints the per-workload speedups, and writes the figures
+//! to `BENCH_vm.json` (or the path given as the first argument).
+//!
+//! Exit status 1 when the VM is slower than the tree-walker on the
+//! batch-trace workload — that regression gate is `ci.sh`'s
+//! bench-baseline tier.
+
+use gadt::session::{prepare, run_traced_batch, Engine};
+use gadt_bench::genprog::{generate, GenConfig};
+use gadt_bench::timing::Harness;
+use gadt_mutate::campaign::{run_campaign, CampaignConfig, CampaignProgram};
+use gadt_pascal::sema::compile;
+use gadt_pascal::testprogs;
+use gadt_pascal::value::Value;
+use gadt_tgen::{cases, frames, spec};
+use std::process::ExitCode;
+
+struct Workload {
+    name: &'static str,
+    units: usize,
+    tree_ns: f64,
+    vm_ns: f64,
+}
+
+impl Workload {
+    fn speedup(&self) -> f64 {
+        self.tree_ns / self.vm_ns
+    }
+}
+
+/// Batch tracing: the same prepared program, a fan of inputs, both
+/// engines through `run_traced_batch`. Single-threaded so the figure is
+/// an engine comparison, not a scheduler benchmark.
+fn trace_workload(h: &Harness) -> Workload {
+    let gp = generate(&GenConfig {
+        procs: 10,
+        max_calls: 3,
+        seed: 11,
+    });
+    let m = compile(&gp.source).unwrap();
+    let inputs: Vec<Vec<Value>> = (0..24).map(|_| Vec::new()).collect();
+    let units = inputs.len();
+
+    let tree = prepare(&m).unwrap();
+    let t = h.bench("trace_batch/tree", || {
+        run_traced_batch(&tree, inputs.clone(), 1).unwrap()
+    });
+    let vm = prepare(&m).unwrap().with_engine(Engine::Vm);
+    let v = h.bench("trace_batch/vm", || {
+        run_traced_batch(&vm, inputs.clone(), 1).unwrap()
+    });
+    Workload {
+        name: "trace_batch",
+        units,
+        tree_ns: t.per_iter.as_nanos() as f64 / units as f64,
+        vm_ns: v.per_iter.as_nanos() as f64 / units as f64,
+    }
+}
+
+/// T-GEN case batches: the arrsum catalogue repeated into a batch big
+/// enough to amortize, on one worker thread.
+fn tgen_workload(h: &Harness) -> Workload {
+    let m = compile(testprogs::SQRTEST).unwrap();
+    let s = spec::parse_spec(spec::ARRSUM_SPEC).unwrap();
+    let g = frames::generate_frames(&s, Default::default());
+    let base = cases::instantiate_cases(&g, |f| cases::arrsum_instantiator(f, 2));
+    let mut tc = Vec::new();
+    for _ in 0..16 {
+        tc.extend(base.iter().cloned());
+    }
+    let oracle = |ins: &[Value], r: &gadt_pascal::interp::ProcRun| cases::arrsum_oracle(ins, r);
+
+    let t = h.bench("tgen_batch/tree", || {
+        cases::run_cases_batch_on(Engine::TreeWalker, 1, &m, "arrsum", &tc, &oracle).unwrap()
+    });
+    let v = h.bench("tgen_batch/vm", || {
+        cases::run_cases_batch_on(Engine::Vm, 1, &m, "arrsum", &tc, &oracle).unwrap()
+    });
+    Workload {
+        name: "tgen_batch",
+        units: tc.len(),
+        tree_ns: t.per_iter.as_nanos() as f64 / tc.len() as f64,
+        vm_ns: v.per_iter.as_nanos() as f64 / tc.len() as f64,
+    }
+}
+
+/// A bounded mutation campaign (golden runs + every mutant's transform
+/// → trace → double debug pipeline) on each engine.
+fn campaign_workload(h: &Harness) -> Workload {
+    let programs = vec![CampaignProgram::new("pqr", testprogs::PQR_FIXED)];
+    let units = 12usize;
+    let config = |engine| CampaignConfig {
+        max_mutants: units,
+        threads: 1,
+        engine,
+        ..CampaignConfig::default()
+    };
+    let tree_config = config(Engine::TreeWalker);
+    let t = h.bench("campaign/tree", || {
+        run_campaign(&programs, &tree_config).unwrap()
+    });
+    let vm_config = config(Engine::Vm);
+    let v = h.bench("campaign/vm", || {
+        run_campaign(&programs, &vm_config).unwrap()
+    });
+    Workload {
+        name: "campaign",
+        units,
+        tree_ns: t.per_iter.as_nanos() as f64 / units as f64,
+        vm_ns: v.per_iter.as_nanos() as f64 / units as f64,
+    }
+}
+
+fn main() -> ExitCode {
+    let out = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_vm.json".to_string());
+    let h = Harness::new();
+    println!("vm_baseline: tree-walker vs bytecode VM (single worker)\n");
+
+    let workloads = [trace_workload(&h), tgen_workload(&h), campaign_workload(&h)];
+
+    println!();
+    let mut body = String::from("{\n  \"benchmark\": \"vm_baseline\",\n  \"workloads\": [\n");
+    for (i, w) in workloads.iter().enumerate() {
+        println!(
+            "  => {}: tree {:.0} ns/unit, vm {:.0} ns/unit, speedup {:.2}x",
+            w.name,
+            w.tree_ns,
+            w.vm_ns,
+            w.speedup()
+        );
+        body.push_str(&format!(
+            "    {{\"name\": \"{}\", \"units\": {}, \"tree_ns_per_unit\": {:.0}, \
+             \"vm_ns_per_unit\": {:.0}, \"speedup\": {:.2}}}{}\n",
+            w.name,
+            w.units,
+            w.tree_ns,
+            w.vm_ns,
+            w.speedup(),
+            if i + 1 < workloads.len() { "," } else { "" }
+        ));
+    }
+    body.push_str("  ]\n}\n");
+    if let Err(e) = std::fs::write(&out, &body) {
+        eprintln!("vm_baseline: cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("\nwrote {out}");
+
+    let trace = &workloads[0];
+    if trace.speedup() < 1.0 {
+        eprintln!(
+            "vm_baseline: REGRESSION — vm is slower than the tree-walker \
+             on the batch-trace workload ({:.2}x)",
+            trace.speedup()
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

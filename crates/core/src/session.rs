@@ -13,16 +13,23 @@ use gadt_exec::BatchExecutor;
 use gadt_obs::{Journal, Recorder};
 use gadt_pascal::cfg::{lower, ProgramCfg};
 use gadt_pascal::error::Result;
-use gadt_pascal::interp::Interpreter;
+use gadt_pascal::interp::{Interpreter, Limits, Monitor, Outcome};
 use gadt_pascal::sema::Module;
 use gadt_pascal::value::Value;
 use gadt_trace::{build_tree, ExecTree};
 use gadt_transform::{transform_observed, Transformed};
+use gadt_vm::{Vm, VmProgram};
+use std::sync::Arc;
 
 /// The per-phase wall-clock roll-up, re-exported from `gadt-obs` where
 /// it now lives (derive one from a journal via
 /// [`gadt_obs::Journal::phase_timings`]).
 pub use gadt_obs::PhaseTimings;
+
+/// The execution-engine selector, re-exported from `gadt-vm` (select one
+/// via [`PreparedProgram::with_engine`] or the facade's
+/// `Compiled::with_engine`).
+pub use gadt_vm::Engine;
 
 /// Phase I output: the transformed program, ready for tracing.
 #[derive(Debug, Clone)]
@@ -31,6 +38,64 @@ pub struct PreparedProgram {
     pub transformed: Transformed,
     /// The transformed module's CFG.
     pub cfg: ProgramCfg,
+    /// Which engine executes traced runs.
+    engine: Engine,
+    /// The compiled bytecode program, present iff `engine` is
+    /// [`Engine::Vm`]. Compiled once, shared by every run (including all
+    /// batch workers).
+    vm: Option<Arc<VmProgram>>,
+}
+
+impl PreparedProgram {
+    /// Selects the execution engine for every later traced run. For
+    /// [`Engine::Vm`] this compiles the transformed CFG to bytecode once;
+    /// the program is shared by all subsequent (and parallel) runs.
+    /// Traces, slices, and journals are byte-identical across engines.
+    #[must_use]
+    pub fn with_engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
+        self.vm = match engine {
+            Engine::TreeWalker => None,
+            Engine::Vm => Some(Arc::new(VmProgram::compile(
+                &self.transformed.module,
+                &self.cfg,
+            ))),
+        };
+        self
+    }
+
+    /// The selected execution engine.
+    pub fn engine(&self) -> Engine {
+        self.engine
+    }
+
+    /// Runs the transformed program on the selected engine.
+    ///
+    /// # Errors
+    /// Propagates runtime errors of the subject program (identical
+    /// across engines, message and span).
+    pub fn execute(
+        &self,
+        input: Vec<Value>,
+        limits: Limits,
+        monitor: &mut dyn Monitor,
+    ) -> Result<Outcome> {
+        let module = &self.transformed.module;
+        match &self.vm {
+            None => {
+                let mut interp = Interpreter::with_cfg(module, self.cfg.clone());
+                interp.set_limits(limits);
+                interp.set_input(input);
+                interp.run_with(monitor)
+            }
+            Some(program) => {
+                let mut vm = Vm::new(module, program);
+                vm.set_limits(limits);
+                vm.set_input(input);
+                vm.run_with(monitor)
+            }
+        }
+    }
 }
 
 /// Runs the transformation phase on a module.
@@ -64,7 +129,12 @@ pub fn prepare(module: &Module) -> Result<PreparedProgram> {
 pub fn prepare_observed(module: &Module, rec: &mut Recorder) -> Result<PreparedProgram> {
     let transformed = transform_observed(module, rec)?;
     let cfg = lower(&transformed.module);
-    Ok(PreparedProgram { transformed, cfg })
+    Ok(PreparedProgram {
+        transformed,
+        cfg,
+        engine: Engine::TreeWalker,
+        vm: None,
+    })
 }
 
 /// Phase II output: the traced execution.
@@ -90,9 +160,7 @@ pub fn run_traced(
     let module = &prepared.transformed.module;
     let cd = gadt_analysis::controldep::ProgramControlDeps::compute(module, &prepared.cfg);
     let mut rec = DependenceRecorder::new(&cd);
-    let mut interp = Interpreter::with_cfg(module, prepared.cfg.clone());
-    interp.set_input(input);
-    let outcome = interp.run_with(&mut rec)?;
+    let outcome = prepared.execute(input.into_iter().collect(), Limits::default(), &mut rec)?;
     let trace = rec.finish();
     let tree = build_tree(module, &trace);
     Ok(TracedRun {
@@ -120,10 +188,7 @@ pub fn run_traced_limited(
     let module = &prepared.transformed.module;
     let cd = gadt_analysis::controldep::ProgramControlDeps::compute(module, &prepared.cfg);
     let mut rec = DependenceRecorder::new(&cd);
-    let mut interp = Interpreter::with_cfg(module, prepared.cfg.clone());
-    interp.set_limits(limits);
-    interp.set_input(input);
-    let outcome = interp.run_with(&mut rec)?;
+    let outcome = prepared.execute(input.into_iter().collect(), limits, &mut rec)?;
     let trace = rec.finish();
     let tree = build_tree(module, &trace);
     Ok(TracedRun {
@@ -170,9 +235,7 @@ pub fn run_traced_batch_observed(
     let span = gadt_obs::span!(rec, "trace", inputs = inputs.len());
     let result = pool.try_run_observed(inputs, rec, |_, input, irec| {
         let mut drec = DependenceRecorder::new(&cd);
-        let mut interp = Interpreter::with_cfg(module, prepared.cfg.clone());
-        interp.set_input(input);
-        let outcome = interp.run_with(&mut drec)?;
+        let outcome = prepared.execute(input, Limits::default(), &mut drec)?;
         let trace = drec.finish();
         let tree = build_tree(module, &trace);
         trace.observe(irec);
@@ -249,6 +312,22 @@ pub fn trace_batch(
 
 /// Deprecated name for [`trace_batch`] (the repo-wide convention is
 /// `*_batch` for thread-fanned entry points).
+///
+/// # Errors
+/// Same as [`trace_batch`].
+///
+/// # Examples
+/// The shim stays call-compatible while it lives:
+/// ```
+/// # #![allow(deprecated)]
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// use gadt_pascal::{sema::compile, value::Value};
+/// let m = compile("program t; var n: integer; begin read(n); writeln(n * 2) end.")?;
+/// let batch = gadt::session::trace_inputs(&m, vec![vec![Value::Int(21)]], 1)?;
+/// assert_eq!(batch.runs[0].output, "42\n");
+/// # Ok(())
+/// # }
+/// ```
 #[deprecated(since = "0.1.0", note = "renamed to `trace_batch`")]
 pub fn trace_inputs(
     module: &Module,

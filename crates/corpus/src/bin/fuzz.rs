@@ -1,13 +1,13 @@
 //! Differential fuzzing driver: `fuzz [start_seed] [count]`.
 //!
 //! Generates `count` programs starting at `start_seed`, runs the full
-//! differential check (original vs transformed, slice-soundness
-//! replay) on each, shrinks any divergence, and prints the report.
-//! Exit status 1 when any divergence was found — `ci.sh` runs this as
-//! its bounded fuzz smoke tier.
+//! differential check (original vs transformed vs bytecode VM,
+//! slice-soundness replay) on each, shrinks any divergence, and prints
+//! the report. Exit status 1 when any divergence was found — `ci.sh`
+//! runs this as its bounded fuzz smoke tier.
 //!
 //! Flags: `--threads N` (0 = all cores), `--no-slices` (skip the
-//! slice replay), `--max-steps N`.
+//! slice replay), `--no-vm` (skip the VM leg), `--max-steps N`.
 
 use gadt_corpus::{run_sweep, DiffConfig, GenConfig};
 use std::process::ExitCode;
@@ -34,6 +34,7 @@ fn main() -> ExitCode {
                     .expect("--max-steps needs a number");
             }
             "--no-slices" => diff.check_slices = false,
+            "--no-vm" => diff.check_vm = false,
             _ => {
                 let v: u64 = a.parse().unwrap_or_else(|_| {
                     eprintln!("unexpected argument `{a}`");

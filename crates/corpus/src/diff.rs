@@ -17,6 +17,11 @@
 //! A violation of any of these is a [`Divergence`], addressed by the
 //! generating `(seed, config)` pair; [`run_sweep`] additionally shrinks
 //! each divergent program to a minimal reproducer.
+//!
+//! 4. **Engine agreement** (the third differential leg): the transformed
+//!    program re-runs on the bytecode VM (`gadt-vm`), and its output,
+//!    step count, final globals and full monitor-event digest must match
+//!    the tree-walking interpreter's bit for bit.
 
 use crate::gen::{generate, GenConfig, GeneratedProgram};
 use crate::shrink::shrink_source;
@@ -24,9 +29,12 @@ use gadt::session;
 use gadt_exec::BatchExecutor;
 use gadt_obs::Recorder;
 use gadt_pascal::ast::{Program, Stmt, StmtId, StmtKind};
-use gadt_pascal::interp::{Interpreter, Limits, Outcome};
+use gadt_pascal::cfg::lower;
+use gadt_pascal::interp::{Interpreter, Limits, Monitor, NoopMonitor, Outcome};
 use gadt_pascal::pretty::print_slice;
 use gadt_pascal::sema::{compile, Module};
+use gadt_vm::conformance::EventHasher;
+use gadt_vm::{CallSemantics, Engine, PreparedEngine};
 use std::collections::BTreeSet;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -39,6 +47,9 @@ pub struct DiffConfig {
     pub max_steps: u64,
     /// Whether to run the slice-soundness replay check.
     pub check_slices: bool,
+    /// Whether to re-run the transformed program on the bytecode VM and
+    /// compare output, steps, globals and the event-stream digest.
+    pub check_vm: bool,
     /// Whether [`run_sweep`] shrinks divergent programs.
     pub shrink: bool,
 }
@@ -48,6 +59,7 @@ impl Default for DiffConfig {
         DiffConfig {
             max_steps: 2_000_000,
             check_slices: true,
+            check_vm: true,
             shrink: true,
         }
     }
@@ -71,6 +83,10 @@ pub enum DivergenceKind {
     TransformedRunError,
     /// Original and transformed outputs differ.
     OutputMismatch,
+    /// The bytecode VM disagreed with the tree-walking interpreter on
+    /// the same transformed program (output, steps, globals or event
+    /// stream).
+    VmDivergence,
     /// A dynamic slice failed the soundness replay check.
     SliceUnsound,
 }
@@ -84,6 +100,7 @@ impl fmt::Display for DivergenceKind {
             DivergenceKind::TransformError => "transform-error",
             DivergenceKind::TransformedRunError => "transformed-run-error",
             DivergenceKind::OutputMismatch => "output-mismatch",
+            DivergenceKind::VmDivergence => "vm-divergence",
             DivergenceKind::SliceUnsound => "slice-unsound",
         };
         f.write_str(s)
@@ -178,13 +195,22 @@ fn guard<T>(stage: &str, f: impl FnOnce() -> Result<T, Divergence>) -> Result<T,
 }
 
 fn run_module(module: &Module, p: &GeneratedProgram, max_steps: u64) -> Result<Outcome, String> {
+    run_module_observed(module, p, max_steps, &mut NoopMonitor)
+}
+
+fn run_module_observed(
+    module: &Module,
+    p: &GeneratedProgram,
+    max_steps: u64,
+    monitor: &mut dyn Monitor,
+) -> Result<Outcome, String> {
     let mut interp = Interpreter::new(module);
     interp.set_limits(Limits {
         max_steps,
         ..Limits::default()
     });
     interp.set_input(p.input.iter().cloned());
-    interp.run().map_err(|e| e.to_string())
+    interp.run_with(monitor).map_err(|e| e.to_string())
 }
 
 /// Statement ids of every `read` in the program — kept in printed
@@ -269,9 +295,17 @@ fn check_inner(p: &GeneratedProgram, config: &DiffConfig) -> Result<(), Divergen
         })
     })?;
 
-    // 4. Transformed run.
+    // 4. Transformed run (event-hashed so the VM leg can compare the
+    //    full monitor stream without a second reference run).
+    let mut tree_hash = EventHasher::new();
     let transformed = guard("run-transformed", || {
-        run_module(&prepared.transformed.module, p, config.max_steps).map_err(|detail| Divergence {
+        run_module_observed(
+            &prepared.transformed.module,
+            p,
+            config.max_steps,
+            &mut tree_hash,
+        )
+        .map_err(|detail| Divergence {
             kind: DivergenceKind::TransformedRunError,
             stage: "run-transformed".into(),
             detail,
@@ -291,11 +325,82 @@ fn check_inner(p: &GeneratedProgram, config: &DiffConfig) -> Result<(), Divergen
         });
     }
 
+    // 5b. Third differential leg: the same transformed module on the
+    //     bytecode VM must match the tree-walker bit for bit.
+    if config.check_vm {
+        check_vm(
+            p,
+            &prepared.transformed.module,
+            &transformed,
+            &tree_hash,
+            config,
+        )?;
+    }
+
     // 6. Slice soundness over every global's final value.
     if config.check_slices {
         check_slices(p, &prepared, &transformed, config)?;
     }
     Ok(())
+}
+
+/// Runs the transformed module on the bytecode VM and compares every
+/// observable — output, step count, final globals, and the FNV digest of
+/// the full `Debug`-rendered event stream — against the tree-walker run.
+fn check_vm(
+    p: &GeneratedProgram,
+    tmodule: &Module,
+    tree_out: &Outcome,
+    tree_hash: &EventHasher,
+    config: &DiffConfig,
+) -> Result<(), Divergence> {
+    guard("run-vm", || {
+        let diverged = |detail: String| Divergence {
+            kind: DivergenceKind::VmDivergence,
+            stage: "run-vm".into(),
+            detail,
+        };
+        let cfg = lower(tmodule);
+        let engine = PreparedEngine::new(tmodule, &cfg, Engine::Vm);
+        let limits = Limits {
+            max_steps: config.max_steps,
+            ..Limits::default()
+        };
+        let mut vm_hash = EventHasher::new();
+        let vm_out = engine
+            .run_with(p.input.clone(), limits, &mut vm_hash)
+            .map_err(|e| diverged(format!("vm failed where the tree-walker succeeded: {e}")))?;
+        if vm_out.output_text() != tree_out.output_text() {
+            return Err(diverged(format!(
+                "output differs:\ntree:\n{}\nvm:\n{}",
+                tree_out.output_text(),
+                vm_out.output_text()
+            )));
+        }
+        if vm_out.steps != tree_out.steps {
+            return Err(diverged(format!(
+                "step count differs: tree {} vs vm {}",
+                tree_out.steps, vm_out.steps
+            )));
+        }
+        if vm_out.globals != tree_out.globals {
+            return Err(diverged(format!(
+                "final globals differ:\ntree: {:?}\nvm:   {:?}",
+                tree_out.globals, vm_out.globals
+            )));
+        }
+        if vm_hash.digest() != tree_hash.digest() {
+            return Err(diverged(format!(
+                "event streams differ: tree digest {:016x} over {} events, \
+                 vm digest {:016x} over {} events",
+                tree_hash.digest(),
+                tree_hash.count(),
+                vm_hash.digest(),
+                vm_hash.count()
+            )));
+        }
+        Ok(())
+    })
 }
 
 fn check_slices(

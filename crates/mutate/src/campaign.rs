@@ -14,7 +14,7 @@ use crate::report::{CampaignSummary, LocalizationReport, MutantStatus};
 use gadt::debugger::{DebugConfig, DebugOutcome, DebugResult, Strategy};
 use gadt::error::{Error, Phase};
 use gadt::oracle::{ChainOracle, CountingOracle, GoldenOracle};
-use gadt::session::{self, PreparedProgram, TracedRun};
+use gadt::session::{self, Engine, PreparedProgram, TracedRun};
 use gadt_exec::BatchExecutor;
 use gadt_obs::Recorder;
 use gadt_pascal::ast::Program;
@@ -37,6 +37,11 @@ pub struct CampaignConfig {
     /// Interpreter step budget per mutant run — injected faults
     /// routinely loop forever; exhaustion classifies as crashed.
     pub max_steps: u64,
+    /// Execution engine for golden and mutant runs alike. Verdicts,
+    /// fingerprints and journals are engine-invariant
+    /// (`tests/mutation_conformance.rs` pins this down), so the stored
+    /// verdict keys deliberately do *not* include the engine.
+    pub engine: Engine,
 }
 
 impl Default for CampaignConfig {
@@ -46,6 +51,7 @@ impl Default for CampaignConfig {
             max_mutants: 0,
             threads: 0,
             max_steps: 200_000,
+            engine: Engine::TreeWalker,
         }
     }
 }
@@ -102,12 +108,13 @@ fn interface_render(tree: &gadt_trace::ExecTree) -> String {
     out
 }
 
-fn golden_ctx(p: &CampaignProgram) -> Result<GoldenCtx, Error> {
+fn golden_ctx(p: &CampaignProgram, engine: Engine) -> Result<GoldenCtx, Error> {
     let ctx = |e: Error| e.context(format!("golden program `{}`", p.name));
     let ast = parse_program(&p.source).map_err(|e| ctx(e.into()))?;
     let module = compile(&p.source).map_err(|e| ctx(e.into()))?;
-    let prepared =
-        session::prepare(&module).map_err(|e| ctx(Error::from_diagnostic(Phase::Transform, e)))?;
+    let prepared = session::prepare(&module)
+        .map_err(|e| ctx(Error::from_diagnostic(Phase::Transform, e)))?
+        .with_engine(engine);
     let golden_run =
         session::run_traced(&prepared, p.input.iter().cloned()).map_err(|e| ctx(e.into()))?;
     let golden_render = golden_run.tree.render(golden_run.tree.root);
@@ -135,7 +142,10 @@ pub fn run_campaign(
     programs: &[CampaignProgram],
     config: &CampaignConfig,
 ) -> Result<CampaignSummary, Error> {
-    let contexts: Vec<GoldenCtx> = programs.iter().map(golden_ctx).collect::<Result<_, _>>()?;
+    let contexts: Vec<GoldenCtx> = programs
+        .iter()
+        .map(|p| golden_ctx(p, config.engine))
+        .collect::<Result<_, _>>()?;
 
     let mut work: Vec<(usize, MutationSite)> = Vec::new();
     for (i, ctx) in contexts.iter().enumerate() {
@@ -214,7 +224,10 @@ pub fn run_campaign_with_store(
     config: &CampaignConfig,
     store: &gadt_store::SharedStore,
 ) -> Result<CampaignSummary, Error> {
-    let contexts: Vec<GoldenCtx> = programs.iter().map(golden_ctx).collect::<Result<_, _>>()?;
+    let contexts: Vec<GoldenCtx> = programs
+        .iter()
+        .map(|p| golden_ctx(p, config.engine))
+        .collect::<Result<_, _>>()?;
 
     let mut work: Vec<(usize, MutationSite)> = Vec::new();
     for (i, ctx) in contexts.iter().enumerate() {
@@ -372,7 +385,7 @@ fn run_mutant_status(
         Err(e) => return MutantStatus::Stillborn { reason: e.message },
     };
     let prepared = match session::prepare_observed(&module, rec) {
-        Ok(p) => p,
+        Ok(p) => p.with_engine(ctx.prepared.engine()),
         Err(e) => return MutantStatus::Stillborn { reason: e.message },
     };
 

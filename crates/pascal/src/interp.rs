@@ -178,6 +178,17 @@ pub struct Outcome {
 }
 
 impl Outcome {
+    /// Assembles an outcome from engine-produced parts. Used by other
+    /// execution engines (the bytecode VM in `gadt-vm`) that construct
+    /// outcomes identical to this interpreter's.
+    pub fn from_parts(output: String, steps: u64, globals: HashMap<String, Value>) -> Outcome {
+        Outcome {
+            output,
+            steps,
+            globals,
+        }
+    }
+
     /// The captured textual output.
     pub fn output_text(&self) -> &str {
         &self.output
@@ -1200,19 +1211,7 @@ impl<'m> Interpreter<'m> {
             (Some(_), _) => return Err(rt_err("indexing a non-array variable", span)),
             (None, t) => t,
         };
-        match (&value, ty) {
-            (Value::Int(n), Type::Real) => Ok(Value::Real(*n as f64)),
-            _ => {
-                if ty.assignable_from(&value.type_of()) {
-                    Ok(value)
-                } else {
-                    Err(rt_err(
-                        format!("cannot store `{}` into `{ty}`", value.type_of()),
-                        span,
-                    ))
-                }
-            }
-        }
+        coerce_store(value, ty, span)
     }
 
     // ------------------------------------------------------------------
@@ -1365,151 +1364,185 @@ impl<'m> Interpreter<'m> {
             }
             RExpr::Intrinsic { which, arg } => {
                 let v = self.eval(arg, span, monitor, uses)?;
-                self.eval_intrinsic(*which, v, span)
+                eval_intrinsic_op(*which, v, span)
             }
             RExpr::Unary { op, operand } => {
                 let v = self.eval(operand, span, monitor, uses)?;
-                match (op, v) {
-                    (UnOp::Neg, Value::Int(n)) => n
-                        .checked_neg()
-                        .map(Value::Int)
-                        .ok_or_else(|| rt_err("integer overflow in negation", span)),
-                    (UnOp::Neg, Value::Real(x)) => Ok(Value::Real(-x)),
-                    (UnOp::Not, Value::Bool(b)) => Ok(Value::Bool(!b)),
-                    (op, v) => Err(rt_err(
-                        format!("invalid operand `{v}` for unary `{op}`"),
-                        span,
-                    )),
-                }
+                eval_unary_op(*op, v, span)
             }
             RExpr::Binary { op, lhs, rhs } => {
                 let a = self.eval(lhs, span, monitor, uses)?;
                 let b = self.eval(rhs, span, monitor, uses)?;
-                self.eval_binary(*op, a, b, span)
+                eval_binary_op(*op, a, b, span)
             }
         }
     }
+}
 
-    fn eval_intrinsic(&self, which: Intrinsic, v: Value, span: Span) -> Result<Value> {
-        use Intrinsic::*;
-        match (which, v) {
-            (Abs, Value::Int(n)) => n
-                .checked_abs()
-                .map(Value::Int)
-                .ok_or_else(|| rt_err("integer overflow in abs", span)),
-            (Abs, Value::Real(x)) => Ok(Value::Real(x.abs())),
-            (Sqr, Value::Int(n)) => n
-                .checked_mul(n)
-                .map(Value::Int)
-                .ok_or_else(|| rt_err("integer overflow in sqr", span)),
-            (Sqr, Value::Real(x)) => Ok(Value::Real(x * x)),
-            (Odd, Value::Int(n)) => Ok(Value::Bool(n % 2 != 0)),
-            (Ord, Value::Char(c)) => Ok(Value::Int(c as i64)),
-            (Chr, Value::Int(n)) => u32::try_from(n)
-                .ok()
-                .and_then(char::from_u32)
-                .map(Value::Char)
-                .ok_or_else(|| rt_err(format!("chr({n}) out of range"), span)),
-            (Trunc, Value::Real(x)) => Ok(Value::Int(x.trunc() as i64)),
-            (Round, Value::Real(x)) => Ok(Value::Int(x.round() as i64)),
-            (which, v) => Err(rt_err(
-                format!("invalid argument `{v}` for {}", which.name()),
-                span,
-            )),
+// ----------------------------------------------------------------------
+// Shared scalar semantics
+//
+// These free functions are the single implementation of Pascal's scalar
+// operators, intrinsics, and store coercion. Both execution engines (this
+// tree-walker and the bytecode VM in `gadt-vm`) call them, so runtime
+// error messages and numeric behavior cannot drift between engines.
+// ----------------------------------------------------------------------
+
+/// Coerces `value` for a store into a destination of static type `ty`,
+/// widening `integer` to `real` and rejecting unassignable types.
+pub fn coerce_store(value: Value, ty: &Type, span: Span) -> Result<Value> {
+    match (&value, ty) {
+        (Value::Int(n), Type::Real) => Ok(Value::Real(*n as f64)),
+        _ => {
+            if ty.assignable_from(&value.type_of()) {
+                Ok(value)
+            } else {
+                Err(rt_err(
+                    format!("cannot store `{}` into `{ty}`", value.type_of()),
+                    span,
+                ))
+            }
         }
     }
+}
 
-    fn eval_binary(&self, op: BinOp, a: Value, b: Value, span: Span) -> Result<Value> {
-        use BinOp::*;
-        match op {
-            Add | Sub | Mul => match (&a, &b) {
-                (Value::Int(x), Value::Int(y)) => {
-                    let r = match op {
-                        Add => x.checked_add(*y),
-                        Sub => x.checked_sub(*y),
-                        Mul => x.checked_mul(*y),
-                        _ => unreachable!(),
-                    };
-                    r.map(Value::Int)
-                        .ok_or_else(|| rt_err(format!("integer overflow in `{op}`"), span))
-                }
-                _ => {
-                    let (x, y) = self.two_reals(&a, &b, op, span)?;
-                    Ok(Value::Real(match op {
-                        Add => x + y,
-                        Sub => x - y,
-                        Mul => x * y,
-                        _ => unreachable!(),
-                    }))
-                }
-            },
-            FDiv => {
-                let (x, y) = self.two_reals(&a, &b, op, span)?;
-                if y == 0.0 {
-                    return Err(rt_err("division by zero", span));
-                }
-                Ok(Value::Real(x / y))
-            }
-            Div | Mod => match (&a, &b) {
-                (Value::Int(x), Value::Int(y)) => {
-                    if *y == 0 {
-                        return Err(rt_err("division by zero", span));
-                    }
-                    let r = match op {
-                        Div => x.checked_div(*y),
-                        Mod => x.checked_rem(*y),
-                        _ => unreachable!(),
-                    };
-                    r.map(Value::Int)
-                        .ok_or_else(|| rt_err(format!("integer overflow in `{op}`"), span))
-                }
-                _ => Err(rt_err(format!("`{op}` requires integers"), span)),
-            },
-            And | Or => match (&a, &b) {
-                (Value::Bool(x), Value::Bool(y)) => Ok(Value::Bool(match op {
-                    And => *x && *y,
-                    Or => *x || *y,
+/// Applies a unary operator to an evaluated operand.
+pub fn eval_unary_op(op: UnOp, v: Value, span: Span) -> Result<Value> {
+    match (op, v) {
+        (UnOp::Neg, Value::Int(n)) => n
+            .checked_neg()
+            .map(Value::Int)
+            .ok_or_else(|| rt_err("integer overflow in negation", span)),
+        (UnOp::Neg, Value::Real(x)) => Ok(Value::Real(-x)),
+        (UnOp::Not, Value::Bool(b)) => Ok(Value::Bool(!b)),
+        (op, v) => Err(rt_err(
+            format!("invalid operand `{v}` for unary `{op}`"),
+            span,
+        )),
+    }
+}
+
+/// Applies an intrinsic function to an evaluated argument.
+pub fn eval_intrinsic_op(which: Intrinsic, v: Value, span: Span) -> Result<Value> {
+    use Intrinsic::*;
+    match (which, v) {
+        (Abs, Value::Int(n)) => n
+            .checked_abs()
+            .map(Value::Int)
+            .ok_or_else(|| rt_err("integer overflow in abs", span)),
+        (Abs, Value::Real(x)) => Ok(Value::Real(x.abs())),
+        (Sqr, Value::Int(n)) => n
+            .checked_mul(n)
+            .map(Value::Int)
+            .ok_or_else(|| rt_err("integer overflow in sqr", span)),
+        (Sqr, Value::Real(x)) => Ok(Value::Real(x * x)),
+        (Odd, Value::Int(n)) => Ok(Value::Bool(n % 2 != 0)),
+        (Ord, Value::Char(c)) => Ok(Value::Int(c as i64)),
+        (Chr, Value::Int(n)) => u32::try_from(n)
+            .ok()
+            .and_then(char::from_u32)
+            .map(Value::Char)
+            .ok_or_else(|| rt_err(format!("chr({n}) out of range"), span)),
+        (Trunc, Value::Real(x)) => Ok(Value::Int(x.trunc() as i64)),
+        (Round, Value::Real(x)) => Ok(Value::Int(x.round() as i64)),
+        (which, v) => Err(rt_err(
+            format!("invalid argument `{v}` for {}", which.name()),
+            span,
+        )),
+    }
+}
+
+/// Applies a binary operator to two evaluated operands.
+pub fn eval_binary_op(op: BinOp, a: Value, b: Value, span: Span) -> Result<Value> {
+    use BinOp::*;
+    match op {
+        Add | Sub | Mul => match (&a, &b) {
+            (Value::Int(x), Value::Int(y)) => {
+                let r = match op {
+                    Add => x.checked_add(*y),
+                    Sub => x.checked_sub(*y),
+                    Mul => x.checked_mul(*y),
                     _ => unreachable!(),
-                })),
-                _ => Err(rt_err(format!("`{op}` requires booleans"), span)),
-            },
-            Eq | Ne | Lt | Le | Gt | Ge => {
-                let ord = self.compare(&a, &b, span)?;
-                Ok(Value::Bool(match op {
-                    Eq => ord == std::cmp::Ordering::Equal,
-                    Ne => ord != std::cmp::Ordering::Equal,
-                    Lt => ord == std::cmp::Ordering::Less,
-                    Le => ord != std::cmp::Ordering::Greater,
-                    Gt => ord == std::cmp::Ordering::Greater,
-                    Ge => ord != std::cmp::Ordering::Less,
+                };
+                r.map(Value::Int)
+                    .ok_or_else(|| rt_err(format!("integer overflow in `{op}`"), span))
+            }
+            _ => {
+                let (x, y) = two_reals(&a, &b, op, span)?;
+                Ok(Value::Real(match op {
+                    Add => x + y,
+                    Sub => x - y,
+                    Mul => x * y,
                     _ => unreachable!(),
                 }))
             }
+        },
+        FDiv => {
+            let (x, y) = two_reals(&a, &b, op, span)?;
+            if y == 0.0 {
+                return Err(rt_err("division by zero", span));
+            }
+            Ok(Value::Real(x / y))
+        }
+        Div | Mod => match (&a, &b) {
+            (Value::Int(x), Value::Int(y)) => {
+                if *y == 0 {
+                    return Err(rt_err("division by zero", span));
+                }
+                let r = match op {
+                    Div => x.checked_div(*y),
+                    Mod => x.checked_rem(*y),
+                    _ => unreachable!(),
+                };
+                r.map(Value::Int)
+                    .ok_or_else(|| rt_err(format!("integer overflow in `{op}`"), span))
+            }
+            _ => Err(rt_err(format!("`{op}` requires integers"), span)),
+        },
+        And | Or => match (&a, &b) {
+            (Value::Bool(x), Value::Bool(y)) => Ok(Value::Bool(match op {
+                And => *x && *y,
+                Or => *x || *y,
+                _ => unreachable!(),
+            })),
+            _ => Err(rt_err(format!("`{op}` requires booleans"), span)),
+        },
+        Eq | Ne | Lt | Le | Gt | Ge => {
+            let ord = compare(&a, &b, span)?;
+            Ok(Value::Bool(match op {
+                Eq => ord == std::cmp::Ordering::Equal,
+                Ne => ord != std::cmp::Ordering::Equal,
+                Lt => ord == std::cmp::Ordering::Less,
+                Le => ord != std::cmp::Ordering::Greater,
+                Gt => ord == std::cmp::Ordering::Greater,
+                Ge => ord != std::cmp::Ordering::Less,
+                _ => unreachable!(),
+            }))
         }
     }
+}
 
-    fn two_reals(&self, a: &Value, b: &Value, op: BinOp, span: Span) -> Result<(f64, f64)> {
-        match (a.as_real(), b.as_real()) {
-            (Some(x), Some(y)) => Ok((x, y)),
-            _ => Err(rt_err(
-                format!("`{op}` requires numeric operands, found `{a}` and `{b}`"),
-                span,
-            )),
-        }
+fn two_reals(a: &Value, b: &Value, op: BinOp, span: Span) -> Result<(f64, f64)> {
+    match (a.as_real(), b.as_real()) {
+        (Some(x), Some(y)) => Ok((x, y)),
+        _ => Err(rt_err(
+            format!("`{op}` requires numeric operands, found `{a}` and `{b}`"),
+            span,
+        )),
     }
+}
 
-    fn compare(&self, a: &Value, b: &Value, span: Span) -> Result<std::cmp::Ordering> {
-        use std::cmp::Ordering;
-        match (a, b) {
-            (Value::Int(x), Value::Int(y)) => Ok(x.cmp(y)),
-            (Value::Bool(x), Value::Bool(y)) => Ok(x.cmp(y)),
-            (Value::Char(x), Value::Char(y)) => Ok(x.cmp(y)),
-            (Value::Str(x), Value::Str(y)) => Ok(x.cmp(y)),
-            _ => match (a.as_real(), b.as_real()) {
-                (Some(x), Some(y)) => Ok(x.partial_cmp(&y).unwrap_or(Ordering::Equal)),
-                _ => Err(rt_err(format!("cannot compare `{a}` with `{b}`"), span)),
-            },
-        }
+fn compare(a: &Value, b: &Value, span: Span) -> Result<std::cmp::Ordering> {
+    use std::cmp::Ordering;
+    match (a, b) {
+        (Value::Int(x), Value::Int(y)) => Ok(x.cmp(y)),
+        (Value::Bool(x), Value::Bool(y)) => Ok(x.cmp(y)),
+        (Value::Char(x), Value::Char(y)) => Ok(x.cmp(y)),
+        (Value::Str(x), Value::Str(y)) => Ok(x.cmp(y)),
+        _ => match (a.as_real(), b.as_real()) {
+            (Some(x), Some(y)) => Ok(x.partial_cmp(&y).unwrap_or(Ordering::Equal)),
+            _ => Err(rt_err(format!("cannot compare `{a}` with `{b}`"), span)),
+        },
     }
 }
 

@@ -3,12 +3,13 @@
 //! structured control flow computes what a Rust re-implementation
 //! computes.
 //!
-//! Gated behind the `proptest` cargo feature: the offline build
+//! Gated behind `--cfg gadt_proptest` (a cfg rather than a cargo
+//! feature, so `--all-features` stays green offline): the build
 //! environment has no registry access, so the `proptest` dev-dependency
 //! is not declared. To run this suite, restore `proptest = "1"` under
 //! `[dev-dependencies]` in `crates/pascal/Cargo.toml` and build with
-//! `cargo test -p gadt-pascal --features proptest`.
-#![cfg(feature = "proptest")]
+//! `RUSTFLAGS="--cfg gadt_proptest" cargo test -p gadt-pascal`.
+#![cfg(gadt_proptest)]
 
 use gadt_pascal::interp::Interpreter;
 use gadt_pascal::sema::compile;

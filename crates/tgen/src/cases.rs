@@ -14,11 +14,15 @@
 //! on the tester").
 
 use crate::frames::{Frame, GeneratedFrames};
+use gadt_pascal::cfg::lower;
 use gadt_pascal::error::Result;
-use gadt_pascal::interp::{Interpreter, ProcRun};
+use gadt_pascal::interp::{Limits, NoopMonitor, ProcRun};
 use gadt_pascal::sema::{Module, ProcId};
 use gadt_pascal::value::Value;
+use gadt_vm::{CallSemantics, PreparedEngine};
 use std::collections::BTreeMap;
+
+pub use gadt_vm::Engine;
 
 /// One executable test case: a frame plus concrete input values.
 #[derive(Debug, Clone)]
@@ -205,16 +209,29 @@ pub fn run_cases(
     cases: &[TestCase],
     oracle: &dyn Fn(&[Value], &ProcRun) -> bool,
 ) -> Result<TestDb> {
-    let proc = module.proc_by_name(unit).ok_or_else(|| {
-        gadt_pascal::error::Diagnostic::new(
-            gadt_pascal::error::Stage::Runtime,
-            format!("unit `{unit}` not found"),
-            gadt_pascal::span::Span::dummy(),
-        )
-    })?;
+    run_cases_on(Engine::TreeWalker, module, unit, cases, oracle)
+}
+
+/// [`run_cases`] on an explicit execution [`Engine`]. The unit's CFG is
+/// lowered (and, for [`Engine::Vm`], compiled to bytecode) **once** for
+/// the whole batch; both engines produce identical [`TestDb`] contents
+/// (`tests/vm_conformance.rs` pins this down).
+///
+/// # Errors
+/// Same as [`run_cases`].
+pub fn run_cases_on(
+    engine: Engine,
+    module: &Module,
+    unit: &str,
+    cases: &[TestCase],
+    oracle: &dyn Fn(&[Value], &ProcRun) -> bool,
+) -> Result<TestDb> {
+    let proc = resolve_unit(module, unit)?;
+    let cfg = lower(module);
+    let prepared = PreparedEngine::new(module, &cfg, engine);
     let mut db = TestDb::new(unit);
     for case in cases {
-        let run = run_unit(module, proc, case.inputs.clone())?;
+        let run = run_unit(&prepared, proc, case.inputs.clone())?;
         let passed = oracle(&case.inputs, &run);
         let mut outputs: Vec<Value> = run.outs.iter().map(|(_, v)| v.clone()).collect();
         if let Some(r) = &run.result {
@@ -231,7 +248,7 @@ pub fn run_cases(
 }
 
 /// Runs test cases in parallel on `threads` workers (`0` = all cores),
-/// fanning each case out to its own [`Interpreter`] and merging the
+/// fanning each case out to its own interpreter run and merging the
 /// reports back into the [`TestDb`] **in case order** — the database is
 /// bit-for-bit identical to the one [`run_cases`] builds, whatever the
 /// thread count (`tests/parallel_determinism.rs` pins this down).
@@ -259,9 +276,56 @@ pub fn run_cases_batch(
     )
 }
 
+/// [`run_cases_batch`] on an explicit execution [`Engine`]. Bytecode is
+/// compiled once and shared (by reference) across all workers, so the
+/// per-case cost on [`Engine::Vm`] is just frame setup plus execution.
+///
+/// # Errors
+/// Same as [`run_cases_batch`].
+pub fn run_cases_batch_on(
+    engine: Engine,
+    threads: usize,
+    module: &Module,
+    unit: &str,
+    cases: &[TestCase],
+    oracle: &(dyn Fn(&[Value], &ProcRun) -> bool + Sync),
+) -> Result<TestDb> {
+    run_cases_batch_observed_on(
+        engine,
+        threads,
+        module,
+        unit,
+        cases,
+        oracle,
+        &mut gadt_obs::Recorder::disabled(),
+    )
+}
+
 /// Deprecated name for [`run_cases_batch`], kept so downstream callers
 /// migrate at their own pace (the repo-wide convention is `*_batch` for
 /// thread-fanned entry points).
+///
+/// # Errors
+/// Same as [`run_cases_batch`].
+///
+/// # Examples
+/// The shim stays call-compatible while it lives:
+/// ```
+/// # #![allow(deprecated)]
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// use gadt_pascal::{sema::compile, testprogs};
+/// use gadt_tgen::{spec, frames, cases};
+/// let m = compile(testprogs::SQRTEST)?;
+/// let s = spec::parse_spec(spec::ARRSUM_SPEC)?;
+/// let g = frames::generate_frames(&s, Default::default());
+/// let tc = cases::instantiate_cases(&g, |f| cases::arrsum_instantiator(f, 2));
+/// let db = cases::run_cases_parallel(2, &m, "arrsum", &tc, &|ins, run| {
+///     cases::arrsum_oracle(ins, run)
+/// })?;
+/// assert_eq!(db.frame_verdict("two.positive.small"), Some(true));
+/// # Ok(())
+/// # }
+/// ```
 #[deprecated(since = "0.1.0", note = "renamed to `run_cases_batch`")]
 pub fn run_cases_parallel(
     threads: usize,
@@ -289,17 +353,41 @@ pub fn run_cases_batch_observed(
     oracle: &(dyn Fn(&[Value], &ProcRun) -> bool + Sync),
     rec: &mut gadt_obs::Recorder,
 ) -> Result<TestDb> {
-    let proc = module.proc_by_name(unit).ok_or_else(|| {
-        gadt_pascal::error::Diagnostic::new(
-            gadt_pascal::error::Stage::Runtime,
-            format!("unit `{unit}` not found"),
-            gadt_pascal::span::Span::dummy(),
-        )
-    })?;
+    run_cases_batch_observed_on(
+        Engine::TreeWalker,
+        threads,
+        module,
+        unit,
+        cases,
+        oracle,
+        rec,
+    )
+}
+
+/// [`run_cases_batch_observed`] on an explicit execution [`Engine`].
+/// Journal spans and counters are engine-invariant: the same cases
+/// produce the same `tgen.cases`/`tgen.passed`/`tgen.failed` totals on
+/// either backend.
+///
+/// # Errors
+/// Same as [`run_cases_batch`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_cases_batch_observed_on(
+    engine: Engine,
+    threads: usize,
+    module: &Module,
+    unit: &str,
+    cases: &[TestCase],
+    oracle: &(dyn Fn(&[Value], &ProcRun) -> bool + Sync),
+    rec: &mut gadt_obs::Recorder,
+) -> Result<TestDb> {
+    let proc = resolve_unit(module, unit)?;
+    let cfg = lower(module);
+    let prepared = PreparedEngine::new(module, &cfg, engine);
     let span = gadt_obs::span!(rec, "tgen_cases", unit = unit, cases = cases.len());
     let pool = gadt_exec::BatchExecutor::new(threads);
     let reports = pool.try_run_observed(cases.to_vec(), rec, |_, case, crec| {
-        let run = run_unit(module, proc, case.inputs.clone())?;
+        let run = run_unit(&prepared, proc, case.inputs.clone())?;
         let passed = oracle(&case.inputs, &run);
         crec.incr("tgen.cases");
         crec.incr(if passed { "tgen.passed" } else { "tgen.failed" });
@@ -349,19 +437,43 @@ pub fn run_cases_batch_persisted(
     oracle: &(dyn Fn(&[Value], &ProcRun) -> bool + Sync),
     store: &gadt_store::SharedStore,
 ) -> Result<TestDb> {
-    let proc = module.proc_by_name(unit).ok_or_else(|| {
-        gadt_pascal::error::Diagnostic::new(
-            gadt_pascal::error::Stage::Runtime,
-            format!("unit `{unit}` not found"),
-            gadt_pascal::span::Span::dummy(),
-        )
-    })?;
+    run_cases_batch_persisted_on(
+        Engine::TreeWalker,
+        threads,
+        module,
+        unit,
+        cases,
+        oracle,
+        store,
+    )
+}
+
+/// [`run_cases_batch_persisted`] on an explicit execution [`Engine`].
+/// The WAL bytes are engine-invariant as well as thread-count
+/// invariant: both backends feed identical reports through the
+/// serialized appender.
+///
+/// # Errors
+/// Same as [`run_cases_batch_persisted`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_cases_batch_persisted_on(
+    engine: Engine,
+    threads: usize,
+    module: &Module,
+    unit: &str,
+    cases: &[TestCase],
+    oracle: &(dyn Fn(&[Value], &ProcRun) -> bool + Sync),
+    store: &gadt_store::SharedStore,
+) -> Result<TestDb> {
+    let proc = resolve_unit(module, unit)?;
+    let cfg = lower(module);
+    let prepared = PreparedEngine::new(module, &cfg, engine);
     let pool = gadt_exec::BatchExecutor::new(threads);
     let mut sink_err: Option<std::io::Error> = None;
     let reports = pool.try_run_with_sink(
         cases.to_vec(),
         |_, case| {
-            let run = run_unit(module, proc, case.inputs.clone())?;
+            let run = run_unit(&prepared, proc, case.inputs.clone())?;
             let passed = oracle(&case.inputs, &run);
             let mut outputs: Vec<Value> = run.outs.iter().map(|(_, v)| v.clone()).collect();
             if let Some(r) = &run.result {
@@ -410,9 +522,18 @@ pub fn run_cases_batch_persisted(
     Ok(db)
 }
 
-fn run_unit(module: &Module, proc: ProcId, inputs: Vec<Value>) -> Result<ProcRun> {
-    let mut interp = Interpreter::new(module);
-    interp.run_proc(proc, inputs)
+fn resolve_unit(module: &Module, unit: &str) -> Result<ProcId> {
+    module.proc_by_name(unit).ok_or_else(|| {
+        gadt_pascal::error::Diagnostic::new(
+            gadt_pascal::error::Stage::Runtime,
+            format!("unit `{unit}` not found"),
+            gadt_pascal::span::Span::dummy(),
+        )
+    })
+}
+
+fn run_unit(engine: &PreparedEngine<'_>, proc: ProcId, inputs: Vec<Value>) -> Result<ProcRun> {
+    engine.run_proc_with(proc, inputs, Limits::default(), &mut NoopMonitor)
 }
 
 // ----------------------------------------------------------------------

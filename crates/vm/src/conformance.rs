@@ -1,0 +1,104 @@
+//! Conformance monitors: cheap, stable renderings of an event stream for
+//! cross-engine comparison.
+//!
+//! [`EventLog`] records every event's full `Debug` rendering — the
+//! strongest (and most debuggable) equality, used by the conformance
+//! test suites. [`EventHasher`] folds the same renderings into a single
+//! FNV-1a fingerprint — constant memory, used by the corpus fuzzer's
+//! three-way differential leg and the benchmark harness.
+
+use gadt_pascal::interp::{Event, Monitor};
+use gadt_pascal::sema::Module;
+
+/// Records the `Debug` rendering of every event.
+#[derive(Debug, Default, Clone)]
+pub struct EventLog {
+    /// One entry per event, in firing order.
+    pub events: Vec<String>,
+}
+
+impl EventLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Monitor for EventLog {
+    fn on_event(&mut self, _module: &Module, event: &Event<'_>) {
+        self.events.push(format!("{event:?}"));
+    }
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Folds every event's `Debug` rendering into one 64-bit FNV-1a hash.
+#[derive(Debug, Clone)]
+pub struct EventHasher {
+    hash: u64,
+    count: u64,
+}
+
+impl Default for EventHasher {
+    fn default() -> Self {
+        EventHasher {
+            hash: FNV_OFFSET,
+            count: 0,
+        }
+    }
+}
+
+impl EventHasher {
+    /// A fresh hasher.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The fingerprint over all events seen so far.
+    pub fn digest(&self) -> u64 {
+        // Mix in the count so a truncated stream can't collide with its
+        // own prefix.
+        let mut h = self.hash;
+        for b in self.count.to_le_bytes() {
+            h = (h ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+        }
+        h
+    }
+
+    /// Number of events hashed.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    fn absorb(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.hash = (self.hash ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+        }
+    }
+}
+
+impl Monitor for EventHasher {
+    fn on_event(&mut self, _module: &Module, event: &Event<'_>) {
+        let rendered = format!("{event:?}");
+        self.absorb(rendered.as_bytes());
+        self.absorb(b"\n");
+        self.count += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hasher_distinguishes_order_and_count() {
+        let mut a = EventHasher::new();
+        let mut b = EventHasher::new();
+        a.absorb(b"xy");
+        b.absorb(b"x");
+        assert_ne!(a.digest(), b.digest());
+        let empty = EventHasher::new();
+        assert_ne!(empty.digest(), 0);
+    }
+}

@@ -1,0 +1,1053 @@
+//! The stack-frame VM.
+//!
+//! Executes a [`VmProgram`] with explicit frame, operand, and uses-buffer
+//! stacks (no native recursion), firing the *exact* [`Event`] stream the
+//! tree-walking interpreter fires — same ordering, same payloads, same
+//! counters — so traces, slices, execution trees, and journals built on
+//! either engine are byte-identical. Every bookkeeping quirk of the
+//! interpreter is reproduced deliberately (e.g. reference-parameter
+//! first-access lists are recorded on the *top* frame, and missing
+//! variables in the non-local write walk default to `0`), because the
+//! differential harness compares engines bug-for-bug.
+
+use crate::compile::{Op, SlotRef, StoreTy, VmProc, VmProgram};
+use gadt_pascal::cfg::{BlockId, LoopId};
+use gadt_pascal::error::{Diagnostic, Result, Stage};
+use gadt_pascal::interp::{
+    coerce_store, eval_binary_op, eval_intrinsic_op, eval_unary_op, Event, Limits, MemLoc, Monitor,
+    Outcome, ProcRun,
+};
+use gadt_pascal::sema::{Module, ProcId, VarId, MAIN_PROC};
+use gadt_pascal::span::Span;
+use gadt_pascal::value::Value;
+use std::collections::{HashMap, VecDeque};
+
+fn rt_err(msg: impl Into<String>, span: Span) -> Diagnostic {
+    Diagnostic::new(Stage::Runtime, msg, span)
+}
+
+/// An absolute storage location: frame-stack index + slot + element.
+#[derive(Debug, Clone, Copy)]
+struct VmLoc {
+    frame_idx: usize,
+    slot: u32,
+    /// The variable stored at `slot`, for event reporting.
+    var: VarId,
+    elem: Option<i64>,
+    /// `Some(param)` when reached through a reference-parameter binding.
+    via_param: Option<VarId>,
+}
+
+/// Saved caller state for a frame return.
+#[derive(Debug, Clone, Copy)]
+struct ReturnCtx {
+    proc: ProcId,
+    ip: usize,
+    expr_pos: bool,
+    span: Span,
+}
+
+struct VmFrame {
+    id: u64,
+    call: u64,
+    proc: ProcId,
+    static_link: Option<usize>,
+    slots: Vec<Value>,
+    /// Extra root-frame storage for `run_proc` reference parameters,
+    /// appended past the proc's own slots: (param, slot index).
+    extras: Vec<(VarId, u32)>,
+    /// Reference-parameter bindings: (param, ultimate location).
+    bindings: Vec<(VarId, VmLoc)>,
+    loop_stack: Vec<(LoopId, u64, u64)>,
+    nl_reads: Vec<(VarId, Value)>,
+    nl_written: Vec<VarId>,
+    ref_read: Vec<VarId>,
+    ref_written: Vec<VarId>,
+    site_stmt: Option<gadt_pascal::ast::StmtId>,
+    /// Operand-stack level at frame entry (for goto landing cleanup).
+    stack_base: usize,
+    /// Index of this frame's uses buffer in the uses stack.
+    uses_top: usize,
+    /// How to resume the caller, `None` for base frames.
+    ret: Option<ReturnCtx>,
+}
+
+/// Argument record accumulated between `BeginCall` and `DoCall`.
+#[derive(Default)]
+struct PendingCall {
+    entry_args: Vec<(VarId, Value)>,
+    params: Vec<(u32, Value)>,
+    bindings: Vec<(VarId, VmLoc)>,
+}
+
+/// One VM execution. Create via [`Vm::new`], feed input, then call
+/// [`Vm::run_with`] or [`Vm::run_proc_with`]; the compiled program is
+/// immutable and may be shared across any number of concurrent `Vm`s.
+pub struct Vm<'m> {
+    module: &'m Module,
+    program: &'m VmProgram,
+    input: VecDeque<Value>,
+    output: String,
+    limits: Limits,
+    frames: Vec<VmFrame>,
+    stack: Vec<Value>,
+    uses_stack: Vec<Vec<MemLoc>>,
+    pending: Vec<PendingCall>,
+    next_frame: u64,
+    next_call: u64,
+    next_loop_instance: u64,
+    steps: u64,
+    cur_span: Span,
+}
+
+impl<'m> std::fmt::Debug for Vm<'m> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Vm")
+            .field("steps", &self.steps)
+            .field("frames", &self.frames.len())
+            .finish()
+    }
+}
+
+impl<'m> Vm<'m> {
+    /// Creates a VM over a compiled program.
+    pub fn new(module: &'m Module, program: &'m VmProgram) -> Self {
+        Vm {
+            module,
+            program,
+            input: VecDeque::new(),
+            output: String::new(),
+            limits: Limits::default(),
+            frames: Vec::new(),
+            stack: Vec::new(),
+            uses_stack: Vec::new(),
+            pending: Vec::new(),
+            next_frame: 0,
+            next_call: 0,
+            next_loop_instance: 0,
+            steps: 0,
+            cur_span: Span::dummy(),
+        }
+    }
+
+    /// Replaces the execution limits.
+    pub fn set_limits(&mut self, limits: Limits) {
+        self.limits = limits;
+    }
+
+    /// Replaces the input queue.
+    pub fn set_input(&mut self, values: impl IntoIterator<Item = Value>) {
+        self.input = values.into_iter().collect();
+    }
+
+    fn reset(&mut self) {
+        self.frames.clear();
+        self.stack.clear();
+        self.uses_stack.clear();
+        self.pending.clear();
+        self.output.clear();
+        self.steps = 0;
+        self.next_frame = 0;
+        self.next_call = 0;
+        self.next_loop_instance = 0;
+        self.cur_span = Span::dummy();
+    }
+
+    /// Runs the whole program (the `run_with` entry point).
+    ///
+    /// # Errors
+    /// The same runtime errors, with the same messages and spans, as
+    /// [`gadt_pascal::interp::Interpreter::run_with`].
+    pub fn run_with(&mut self, monitor: &mut dyn Monitor) -> Result<Outcome> {
+        self.reset();
+        self.uses_stack.push(Vec::new());
+        self.push_frame(MAIN_PROC, None, Vec::new(), Vec::new(), None, None);
+        self.fire_call_enter(monitor, &[]);
+        self.exec(MAIN_PROC, 1, monitor)?;
+        // Capture globals before popping.
+        let mut globals = HashMap::new();
+        for (name, slot) in &self.program.proc(MAIN_PROC).globals {
+            globals.insert(name.clone(), self.frames[0].slots[*slot as usize].clone());
+        }
+        self.fire_call_exit(monitor, false);
+        self.frames.pop();
+        Ok(Outcome::from_parts(
+            std::mem::take(&mut self.output),
+            self.steps,
+            globals,
+        ))
+    }
+
+    /// Runs a single top-level procedure in isolation (the T-GEN entry
+    /// point).
+    ///
+    /// # Errors
+    /// The same conditions as
+    /// [`gadt_pascal::interp::Interpreter::run_proc_with`].
+    pub fn run_proc_with(
+        &mut self,
+        proc: ProcId,
+        args: Vec<Value>,
+        monitor: &mut dyn Monitor,
+    ) -> Result<ProcRun> {
+        let info = self.module.proc(proc).clone();
+        if info.parent != Some(MAIN_PROC) {
+            return Err(rt_err(
+                format!("procedure `{}` is not declared at the top level", info.name),
+                Span::dummy(),
+            ));
+        }
+        if info.params.len() != args.len() {
+            return Err(rt_err(
+                format!(
+                    "`{}` expects {} argument(s), got {}",
+                    info.name,
+                    info.params.len(),
+                    args.len()
+                ),
+                Span::dummy(),
+            ));
+        }
+        self.reset();
+        self.uses_stack.push(Vec::new());
+        self.push_frame(MAIN_PROC, None, Vec::new(), Vec::new(), None, None);
+        self.fire_call_enter(monitor, &[]);
+
+        let callee = self.program.proc(proc);
+        let mut params = Vec::new();
+        let mut bindings = Vec::new();
+        let mut entry_args = Vec::new();
+        for (spec, v) in callee.params.iter().zip(args) {
+            let pinfo = self.module.var(spec.var);
+            let v = match (&v, spec.widen_real) {
+                (Value::Int(n), true) => Value::Real(*n as f64),
+                _ => v,
+            };
+            if !pinfo.ty.assignable_from(&v.type_of()) {
+                return Err(rt_err(
+                    format!(
+                        "argument for `{}` has type `{}`, expected `{}`",
+                        pinfo.name,
+                        v.type_of(),
+                        pinfo.ty
+                    ),
+                    Span::dummy(),
+                ));
+            }
+            entry_args.push((spec.var, v.clone()));
+            if spec.is_ref {
+                // Hidden storage appended to the root frame.
+                let root = &mut self.frames[0];
+                let slot = root.slots.len() as u32;
+                root.slots.push(v);
+                root.extras.push((spec.var, slot));
+                bindings.push((
+                    spec.var,
+                    VmLoc {
+                        frame_idx: 0,
+                        slot,
+                        var: spec.var,
+                        elem: None,
+                        via_param: None,
+                    },
+                ));
+            } else {
+                params.push((spec.slot, v));
+            }
+        }
+        self.uses_stack.push(Vec::new());
+        self.push_frame(proc, Some(0), params, bindings, None, None);
+        self.fire_call_enter(monitor, &entry_args);
+        self.exec(proc, 2, monitor)?;
+
+        let mut outs = Vec::new();
+        for spec in &callee.params {
+            if spec.passes_back {
+                if let Some(&(_, slot)) = self.frames[0].extras.iter().find(|(p, _)| *p == spec.var)
+                {
+                    outs.push((spec.var, self.frames[0].slots[slot as usize].clone()));
+                }
+            }
+        }
+        let result = callee
+            .result
+            .map(|(_, slot)| self.top().slots[slot as usize].clone());
+        self.fire_call_exit(monitor, false);
+        self.frames.pop();
+        self.fire_call_exit(monitor, false);
+        self.frames.pop();
+        Ok(ProcRun {
+            outs,
+            result,
+            output: std::mem::take(&mut self.output),
+            steps: self.steps,
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Frames and locations
+    // ------------------------------------------------------------------
+
+    fn push_frame(
+        &mut self,
+        proc: ProcId,
+        static_link: Option<usize>,
+        params: Vec<(u32, Value)>,
+        bindings: Vec<(VarId, VmLoc)>,
+        site_stmt: Option<gadt_pascal::ast::StmtId>,
+        ret: Option<ReturnCtx>,
+    ) {
+        let vproc = self.program.proc(proc);
+        let mut slots = vproc.zeros.clone();
+        for (slot, v) in params {
+            slots[slot as usize] = v;
+        }
+        let id = self.next_frame;
+        self.next_frame += 1;
+        let call = self.next_call;
+        self.next_call += 1;
+        self.frames.push(VmFrame {
+            id,
+            call,
+            proc,
+            static_link,
+            slots,
+            extras: Vec::new(),
+            bindings,
+            loop_stack: Vec::new(),
+            nl_reads: Vec::new(),
+            nl_written: Vec::new(),
+            ref_read: Vec::new(),
+            ref_written: Vec::new(),
+            site_stmt,
+            stack_base: self.stack.len(),
+            uses_top: self.uses_stack.len().saturating_sub(1),
+            ret,
+        });
+    }
+
+    fn top(&self) -> &VmFrame {
+        self.frames.last().expect("frame stack nonempty")
+    }
+
+    /// Resolves a compile-time [`SlotRef`] against the current frame
+    /// stack: a fixed number of static-link hops, then (for reference
+    /// parameters) one binding lookup.
+    fn resolve(&self, sr: &SlotRef) -> VmLoc {
+        let mut idx = self.frames.len() - 1;
+        for _ in 0..sr.hops {
+            idx = self.frames[idx]
+                .static_link
+                .expect("variable owner must be on the static chain");
+        }
+        if sr.binding {
+            let f = &self.frames[idx];
+            let (_, b) = f
+                .bindings
+                .iter()
+                .find(|(p, _)| *p == sr.var)
+                .expect("reference parameter is bound");
+            VmLoc {
+                via_param: Some(sr.var),
+                ..*b
+            }
+        } else {
+            VmLoc {
+                frame_idx: idx,
+                slot: sr.slot,
+                var: sr.var,
+                elem: None,
+                via_param: None,
+            }
+        }
+    }
+
+    fn memloc(&self, loc: VmLoc) -> MemLoc {
+        MemLoc {
+            frame: self.frames[loc.frame_idx].id,
+            var: loc.var,
+            elem: loc.elem,
+        }
+    }
+
+    fn read_loc(&mut self, loc: VmLoc, span: Span) -> Result<Value> {
+        let base = &self.frames[loc.frame_idx].slots[loc.slot as usize];
+        let value = match loc.elem {
+            None => base.clone(),
+            Some(i) => match base {
+                Value::Array(a) => a
+                    .get(i)
+                    .ok_or_else(|| {
+                        rt_err(
+                            format!("array index {i} out of bounds [{}..{}]", a.lo, a.hi()),
+                            span,
+                        )
+                    })?
+                    .clone(),
+                _ => return Err(rt_err("indexing a non-array value", span)),
+            },
+        };
+        if let Some(p) = loc.via_param {
+            let f = self.frames.last_mut().expect("frame");
+            if !f.ref_written.contains(&p) && !f.ref_read.contains(&p) {
+                f.ref_read.push(p);
+            }
+        }
+        self.note_nonlocal_read(loc, &value);
+        Ok(value)
+    }
+
+    /// Reads without bookkeeping (incoming-value capture for reporting).
+    fn peek_loc(&self, loc: VmLoc, span: Span) -> Result<Value> {
+        let base = &self.frames[loc.frame_idx].slots[loc.slot as usize];
+        match loc.elem {
+            None => Ok(base.clone()),
+            Some(i) => match base {
+                Value::Array(a) => a
+                    .get(i)
+                    .cloned()
+                    .ok_or_else(|| rt_err("array index out of bounds", span)),
+                _ => Err(rt_err("indexing a non-array value", span)),
+            },
+        }
+    }
+
+    fn write_loc(&mut self, loc: VmLoc, value: Value, span: Span) -> Result<()> {
+        if let Some(p) = loc.via_param {
+            let f = self.frames.last_mut().expect("frame");
+            if !f.ref_written.contains(&p) {
+                f.ref_written.push(p);
+            }
+        }
+        self.note_nonlocal_write(loc);
+        let base = &mut self.frames[loc.frame_idx].slots[loc.slot as usize];
+        match loc.elem {
+            None => {
+                *base = value;
+                Ok(())
+            }
+            Some(i) => match base {
+                Value::Array(a) => {
+                    let (lo, hi) = (a.lo, a.hi());
+                    let slot = a.get_mut(i).ok_or_else(|| {
+                        rt_err(format!("array index {i} out of bounds [{lo}..{hi}]"), span)
+                    })?;
+                    *slot = value;
+                    Ok(())
+                }
+                _ => Err(rt_err("indexing a non-array value", span)),
+            },
+        }
+    }
+
+    fn note_nonlocal_read(&mut self, loc: VmLoc, value: &Value) {
+        let top = self.frames.len() - 1;
+        if loc.via_param.is_some() || loc.frame_idx >= top {
+            return;
+        }
+        for idx in ((loc.frame_idx + 1)..=top).rev() {
+            let already_written = self.frames[idx].nl_written.contains(&loc.var);
+            let already_read = self.frames[idx].nl_reads.iter().any(|(v, _)| *v == loc.var);
+            if !already_written && !already_read {
+                let v = value.clone();
+                self.frames[idx].nl_reads.push((loc.var, v));
+            }
+        }
+    }
+
+    fn note_nonlocal_write(&mut self, loc: VmLoc) {
+        let top = self.frames.len() - 1;
+        if loc.via_param.is_some() || loc.frame_idx >= top {
+            return;
+        }
+        for idx in (loc.frame_idx + 1)..=top {
+            if !self.frames[idx].nl_written.contains(&loc.var) {
+                self.frames[idx].nl_written.push(loc.var);
+            }
+        }
+    }
+
+    /// What the interpreter's `frames[idx].vars.get(&v)` returns: `None`
+    /// when the variable is a reference parameter bound in that frame
+    /// (bindings shadow storage) or not stored there at all.
+    fn frame_value(&self, idx: usize, v: VarId) -> Option<&Value> {
+        let f = &self.frames[idx];
+        if f.bindings.iter().any(|(p, _)| *p == v) {
+            return None;
+        }
+        if let Some(&slot) = self.program.proc(f.proc).slot_of.get(&v) {
+            return Some(&f.slots[slot as usize]);
+        }
+        f.extras
+            .iter()
+            .find(|(p, _)| *p == v)
+            .map(|&(_, slot)| &f.slots[slot as usize])
+    }
+
+    // ------------------------------------------------------------------
+    // Events
+    // ------------------------------------------------------------------
+
+    fn fire_call_enter(&mut self, monitor: &mut dyn Monitor, args: &[(VarId, Value)]) {
+        let f = self.top();
+        let mut bindings: Vec<(VarId, MemLoc)> = f
+            .bindings
+            .iter()
+            .map(|(p, loc)| {
+                (
+                    *p,
+                    MemLoc {
+                        frame: self.frames[loc.frame_idx].id,
+                        var: loc.var,
+                        elem: loc.elem,
+                    },
+                )
+            })
+            .collect();
+        bindings.sort_by_key(|(p, _)| *p);
+        let f = self.top();
+        let ev = Event::CallEnter {
+            call: f.call,
+            frame: f.id,
+            proc: f.proc,
+            site_stmt: f.site_stmt,
+            args,
+            bindings: &bindings,
+            depth: self.frames.len() - 1,
+        };
+        monitor.on_event(self.module, &ev);
+    }
+
+    fn fire_call_exit(&mut self, monitor: &mut dyn Monitor, via_goto: bool) {
+        let f = self.frames.last().expect("frame");
+        let vproc = self.program.proc(f.proc);
+        let mut outs = Vec::new();
+        for spec in &vproc.params {
+            if spec.passes_back {
+                if let Some((_, b)) = f.bindings.iter().find(|(p, _)| *p == spec.var) {
+                    let base = &self.frames[b.frame_idx].slots[b.slot as usize];
+                    let v = match b.elem {
+                        None => base.clone(),
+                        Some(i) => match base {
+                            Value::Array(a) => a.get(i).cloned().unwrap_or(Value::Int(0)),
+                            other => other.clone(),
+                        },
+                    };
+                    outs.push((spec.var, v));
+                }
+            }
+        }
+        if let Some((rv, slot)) = vproc.result {
+            outs.push((rv, f.slots[slot as usize].clone()));
+        }
+        let nl_writes: Vec<(VarId, Value)> = f
+            .nl_written
+            .iter()
+            .map(|&v| {
+                // Resolve from this frame's perspective, by owner-proc
+                // walk (with the interpreter's frame-0 fallback).
+                let owner = self.module.var(v).owner;
+                let mut idx = self.frames.len() - 1;
+                let frame_idx = loop {
+                    if self.frames[idx].proc == owner {
+                        break idx;
+                    }
+                    match self.frames[idx].static_link {
+                        Some(n) => idx = n,
+                        None => break 0,
+                    }
+                };
+                let val = self
+                    .frame_value(frame_idx, v)
+                    .cloned()
+                    .unwrap_or(Value::Int(0));
+                (v, val)
+            })
+            .collect();
+        let f = self.top();
+        let ev = Event::CallExit {
+            call: f.call,
+            frame: f.id,
+            proc: f.proc,
+            outs: &outs,
+            nonlocal_reads: &f.nl_reads,
+            nonlocal_writes: &nl_writes,
+            param_reads: &f.ref_read,
+            via_goto,
+        };
+        monitor.on_event(self.module, &ev);
+    }
+
+    fn fire_step(
+        &mut self,
+        monitor: &mut dyn Monitor,
+        step: u32,
+        defs: &[MemLoc],
+        uses: &[MemLoc],
+        branch_taken: Option<bool>,
+    ) -> Result<()> {
+        let ctx = self.program.proc(self.top().proc).steps[step as usize];
+        self.steps += 1;
+        if self.steps > self.limits.max_steps {
+            return Err(rt_err(
+                format!("step limit of {} exceeded", self.limits.max_steps),
+                Span::dummy(),
+            ));
+        }
+        let f = self.top();
+        let ev = Event::Step {
+            idx: self.steps,
+            frame: f.id,
+            proc: f.proc,
+            block: ctx.block,
+            instr: ctx.instr.map(|i| i as usize),
+            stmt: ctx.stmt,
+            defs,
+            uses,
+            branch_taken,
+        };
+        monitor.on_event(self.module, &ev);
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Loop events
+    // ------------------------------------------------------------------
+
+    fn loop_snapshot(&self, lid: LoopId) -> Vec<(VarId, Value)> {
+        let info = &self.program.loops[lid.0 as usize];
+        let mut snap = Vec::new();
+        for (v, sr) in &info.snapshot {
+            let loc = self.resolve(sr);
+            if let Ok(val) = self.peek_loc(loc, Span::dummy()) {
+                snap.push((*v, val));
+            }
+        }
+        snap
+    }
+
+    fn transfer_loops(&mut self, to_block: BlockId, monitor: &mut dyn Monitor) {
+        let proc = self.top().proc;
+        let to_loops = &self.program.proc(proc).block_loops[to_block.0 as usize];
+        let cur: Vec<LoopId> = self.top().loop_stack.iter().map(|(l, _, _)| *l).collect();
+        let mut common = 0;
+        while common < cur.len() && common < to_loops.len() && cur[common] == to_loops[common] {
+            common += 1;
+        }
+        let entering: Vec<LoopId> = to_loops[common..].to_vec();
+        let to_len = to_loops.len();
+        // Exit loops we left, innermost first.
+        for i in (common..cur.len()).rev() {
+            let (lid, instance, iters) = self.top().loop_stack[i];
+            let vars = self.loop_snapshot(lid);
+            let frame = self.top().id;
+            monitor.on_event(
+                self.module,
+                &Event::LoopExit {
+                    loop_id: lid,
+                    frame,
+                    instance,
+                    iterations: iters,
+                    vars: &vars,
+                },
+            );
+            self.frames.last_mut().expect("frame").loop_stack.pop();
+        }
+        // Enter loops newly containing the target.
+        for lid in entering {
+            let instance = self.next_loop_instance;
+            self.next_loop_instance += 1;
+            let frame = self.top().id;
+            monitor.on_event(
+                self.module,
+                &Event::LoopEnter {
+                    loop_id: lid,
+                    frame,
+                    instance,
+                },
+            );
+            self.frames
+                .last_mut()
+                .expect("frame")
+                .loop_stack
+                .push((lid, instance, 1));
+        }
+        // Back-edge to the innermost active loop's header = new iteration.
+        if let Some(&(lid, instance, iters)) = self.top().loop_stack.last() {
+            if common == to_len
+                && common == cur.len()
+                && self.program.loops[lid.0 as usize].header == to_block
+            {
+                let iteration = iters + 1;
+                let vars = self.loop_snapshot(lid);
+                let frame = self.top().id;
+                monitor.on_event(
+                    self.module,
+                    &Event::LoopIter {
+                        loop_id: lid,
+                        frame,
+                        instance,
+                        iteration,
+                        vars: &vars,
+                    },
+                );
+                self.frames
+                    .last_mut()
+                    .expect("frame")
+                    .loop_stack
+                    .last_mut()
+                    .expect("loop")
+                    .2 = iteration;
+            }
+        }
+    }
+
+    fn exit_all_loops(&mut self, monitor: &mut dyn Monitor) {
+        while let Some(&(lid, instance, iters)) = self.top().loop_stack.last() {
+            let vars = self.loop_snapshot(lid);
+            let frame = self.top().id;
+            monitor.on_event(
+                self.module,
+                &Event::LoopExit {
+                    loop_id: lid,
+                    frame,
+                    instance,
+                    iterations: iters,
+                    vars: &vars,
+                },
+            );
+            self.frames.last_mut().expect("frame").loop_stack.pop();
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // The dispatch loop
+    // ------------------------------------------------------------------
+
+    /// Runs bytecode starting at the top frame's entry until the frame at
+    /// `base_frames` returns. `base_frames` is 1 for whole-program runs
+    /// and 2 for isolated procedure runs.
+    fn exec(&mut self, start: ProcId, base_frames: usize, monitor: &mut dyn Monitor) -> Result<()> {
+        let mut proc = start;
+        let mut vproc: &VmProc = self.program.proc(proc);
+        let mut ip = vproc.block_start[vproc.entry.0 as usize];
+        self.transfer_loops(vproc.entry, monitor);
+        macro_rules! reload {
+            ($p:expr, $i:expr) => {{
+                proc = $p;
+                vproc = self.program.proc(proc);
+                ip = $i;
+            }};
+        }
+        loop {
+            let op = &vproc.code[ip];
+            ip += 1;
+            match op {
+                Op::SpanCtx(span) => self.cur_span = *span,
+                Op::Const(k) => self.stack.push(vproc.consts[*k as usize].clone()),
+                Op::Load(sr) => {
+                    let loc = self.resolve(&vproc.slotrefs[*sr as usize]);
+                    let ml = self.memloc(loc);
+                    self.uses_stack.last_mut().expect("uses").push(ml);
+                    let v = self.read_loc(loc, self.cur_span)?;
+                    self.stack.push(v);
+                }
+                Op::LoadElem(sr) => {
+                    let loc = self.indexed_loc(&vproc.slotrefs[*sr as usize])?;
+                    let ml = self.memloc(loc);
+                    self.uses_stack.last_mut().expect("uses").push(ml);
+                    let v = self.read_loc(loc, self.cur_span)?;
+                    self.stack.push(v);
+                }
+                Op::Unary(op) => {
+                    let v = self.stack.pop().expect("operand");
+                    let r = eval_unary_op(*op, v, self.cur_span)?;
+                    self.stack.push(r);
+                }
+                Op::Binary(op) => {
+                    let b = self.stack.pop().expect("operand");
+                    let a = self.stack.pop().expect("operand");
+                    let r = eval_binary_op(*op, a, b, self.cur_span)?;
+                    self.stack.push(r);
+                }
+                Op::IntrinsicCall(which) => {
+                    let v = self.stack.pop().expect("operand");
+                    let r = eval_intrinsic_op(*which, v, self.cur_span)?;
+                    self.stack.push(r);
+                }
+                Op::BeginCall => {
+                    if self.frames.len() >= self.limits.max_depth {
+                        return Err(rt_err(
+                            format!("call depth limit of {} exceeded", self.limits.max_depth),
+                            self.cur_span,
+                        ));
+                    }
+                    self.pending.push(PendingCall::default());
+                    self.uses_stack.push(Vec::new());
+                }
+                Op::PushArg { var, slot, widen } => {
+                    let v = self.stack.pop().expect("argument");
+                    let v = match (&v, widen) {
+                        (Value::Int(n), true) => Value::Real(*n as f64),
+                        _ => v,
+                    };
+                    let p = self.pending.last_mut().expect("pending call");
+                    p.entry_args.push((*var, v.clone()));
+                    p.params.push((*slot, v));
+                }
+                Op::RefArg { sr, var, indexed } => {
+                    let loc = if *indexed {
+                        self.indexed_loc(&vproc.slotrefs[*sr as usize])?
+                    } else {
+                        self.resolve(&vproc.slotrefs[*sr as usize])
+                    };
+                    let current = self.peek_loc(loc, self.cur_span)?;
+                    let p = self.pending.last_mut().expect("pending call");
+                    p.entry_args.push((*var, current));
+                    p.bindings.push((*var, loc));
+                }
+                Op::DoCall(site_idx) => {
+                    let site = vproc.calls[*site_idx as usize];
+                    // The call's own Step event, in the caller's context,
+                    // before the callee runs.
+                    let uses = self.uses_stack.pop().expect("call uses");
+                    self.fire_step(monitor, site.step, &[], &uses, None)?;
+                    // Reuse the argument buffer as the callee's exec
+                    // buffer.
+                    let mut buf = uses;
+                    buf.clear();
+                    self.uses_stack.push(buf);
+                    // Static link: nearest frame on the current static
+                    // chain whose proc is the callee's lexical parent.
+                    let callee = self.program.proc(site.callee);
+                    let static_link = match callee.parent {
+                        None => None,
+                        Some(parent) => {
+                            let mut idx = self.frames.len() - 1;
+                            loop {
+                                if self.frames[idx].proc == parent {
+                                    break Some(idx);
+                                }
+                                match self.frames[idx].static_link {
+                                    Some(n) => idx = n,
+                                    None => break Some(0),
+                                }
+                            }
+                        }
+                    };
+                    let pend = self.pending.pop().expect("pending call");
+                    let ret = ReturnCtx {
+                        proc,
+                        ip,
+                        expr_pos: site.expr_pos,
+                        span: self.cur_span,
+                    };
+                    self.push_frame(
+                        site.callee,
+                        static_link,
+                        pend.params,
+                        pend.bindings,
+                        site.site_stmt,
+                        Some(ret),
+                    );
+                    self.fire_call_enter(monitor, &pend.entry_args);
+                    let entry = callee.entry;
+                    reload!(site.callee, callee.block_start[entry.0 as usize]);
+                    self.transfer_loops(entry, monitor);
+                }
+                Op::Store {
+                    sr,
+                    indexed,
+                    ty,
+                    step,
+                } => {
+                    let loc = if *indexed {
+                        self.indexed_loc(&vproc.slotrefs[*sr as usize])?
+                    } else {
+                        self.resolve(&vproc.slotrefs[*sr as usize])
+                    };
+                    let value = self.stack.pop().expect("store value");
+                    let value = self.coerce(value, &vproc.store_tys[*ty as usize])?;
+                    let def = self.memloc(loc);
+                    self.write_loc(loc, value, self.cur_span)?;
+                    let uses = std::mem::take(self.uses_stack.last_mut().expect("uses"));
+                    self.fire_step(monitor, *step, &[def], &uses, None)?;
+                    let mut buf = uses;
+                    buf.clear();
+                    *self.uses_stack.last_mut().expect("uses") = buf;
+                }
+                Op::ReadInto {
+                    sr,
+                    indexed,
+                    ty,
+                    step,
+                } => {
+                    let loc = if *indexed {
+                        self.indexed_loc(&vproc.slotrefs[*sr as usize])?
+                    } else {
+                        self.resolve(&vproc.slotrefs[*sr as usize])
+                    };
+                    let raw = self
+                        .input
+                        .pop_front()
+                        .ok_or_else(|| rt_err("input exhausted", self.cur_span))?;
+                    let value = self.coerce(raw, &vproc.store_tys[*ty as usize])?;
+                    let def = self.memloc(loc);
+                    self.write_loc(loc, value, self.cur_span)?;
+                    let uses = std::mem::take(self.uses_stack.last_mut().expect("uses"));
+                    self.fire_step(monitor, *step, &[def], &uses, None)?;
+                    let mut buf = uses;
+                    buf.clear();
+                    *self.uses_stack.last_mut().expect("uses") = buf;
+                }
+                Op::WritePush => {
+                    let v = self.stack.pop().expect("write value");
+                    self.output.push_str(&v.to_string());
+                }
+                Op::WriteEnd { newline, step } => {
+                    if *newline {
+                        self.output.push('\n');
+                    }
+                    let uses = std::mem::take(self.uses_stack.last_mut().expect("uses"));
+                    self.fire_step(monitor, *step, &[], &uses, None)?;
+                    let mut buf = uses;
+                    buf.clear();
+                    *self.uses_stack.last_mut().expect("uses") = buf;
+                }
+                Op::JumpTo(b) => {
+                    let target = BlockId(*b);
+                    self.transfer_loops(target, monitor);
+                    ip = vproc.block_start[*b as usize];
+                }
+                Op::BranchIf {
+                    then_bb,
+                    else_bb,
+                    step,
+                } => {
+                    let v = self.stack.pop().expect("condition");
+                    let taken = v
+                        .as_bool()
+                        .ok_or_else(|| rt_err("branch condition is not boolean", Span::dummy()))?;
+                    let uses = std::mem::take(self.uses_stack.last_mut().expect("uses"));
+                    self.fire_step(monitor, *step, &[], &uses, Some(taken))?;
+                    let mut buf = uses;
+                    buf.clear();
+                    *self.uses_stack.last_mut().expect("uses") = buf;
+                    let b = if taken { *then_bb } else { *else_bb };
+                    let target = BlockId(b);
+                    self.transfer_loops(target, monitor);
+                    ip = vproc.block_start[b as usize];
+                }
+                Op::Ret => {
+                    self.exit_all_loops(monitor);
+                    if self.frames.len() == base_frames {
+                        return Ok(());
+                    }
+                    let result = vproc
+                        .result
+                        .map(|(_, slot)| self.top().slots[slot as usize].clone());
+                    self.fire_call_exit(monitor, false);
+                    let popped = self.frames.pop().expect("frame");
+                    self.uses_stack.pop();
+                    let rctx = popped.ret.expect("non-base frame has a return ctx");
+                    self.cur_span = rctx.span;
+                    if rctx.expr_pos {
+                        match result {
+                            Some(v) => {
+                                if let Some((rv, _)) = vproc.result {
+                                    self.uses_stack.last_mut().expect("uses").push(MemLoc {
+                                        frame: popped.id,
+                                        var: rv,
+                                        elem: None,
+                                    });
+                                }
+                                self.stack.push(v);
+                            }
+                            None => {
+                                return Err(rt_err("function returned no value", rctx.span));
+                            }
+                        }
+                    }
+                    reload!(rctx.proc, rctx.ip);
+                }
+                Op::Goto(g) => {
+                    let site = vproc.gotos[*g as usize].clone();
+                    self.fire_step(monitor, site.step, &[], &[], None)?;
+                    self.exit_all_loops(monitor);
+                    if self.top().proc == site.owner {
+                        let target = site.target;
+                        self.land(target, monitor);
+                        let lp = self.top().proc;
+                        reload!(lp, self.program.proc(lp).block_start[target.0 as usize]);
+                        continue;
+                    }
+                    loop {
+                        if self.frames.len() <= base_frames {
+                            // Only reachable from isolated procedure runs:
+                            // main-program lowering always finds the owner.
+                            return Err(rt_err(
+                                "non-local goto escaped an isolated procedure run",
+                                Span::dummy(),
+                            ));
+                        }
+                        self.fire_call_exit(monitor, true);
+                        let popped = self.frames.pop().expect("frame");
+                        self.uses_stack.pop();
+                        let rctx = popped.ret.expect("non-base frame has a return ctx");
+                        self.cur_span = rctx.span;
+                        if rctx.expr_pos {
+                            return Err(rt_err(
+                                "non-local goto out of a function used in an expression",
+                                rctx.span,
+                            ));
+                        }
+                        if self.top().proc == site.owner {
+                            let target = site.target;
+                            self.land(target, monitor);
+                            let lp = self.top().proc;
+                            reload!(lp, self.program.proc(lp).block_start[target.0 as usize]);
+                            break;
+                        }
+                        self.exit_all_loops(monitor);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Lands a non-local goto in the (already top) owner frame: discard
+    /// abandoned partial evaluation, then transfer loop context.
+    fn land(&mut self, target: BlockId, monitor: &mut dyn Monitor) {
+        let f = self.frames.last().expect("frame");
+        let (sb, ut) = (f.stack_base, f.uses_top);
+        self.stack.truncate(sb);
+        self.uses_stack.truncate(ut + 1);
+        self.uses_stack.last_mut().expect("uses").clear();
+        self.pending.clear();
+        self.transfer_loops(target, monitor);
+    }
+
+    /// Pops an index and resolves an element location (the interpreter's
+    /// `loc_with_elem` with an index present).
+    fn indexed_loc(&mut self, sr: &SlotRef) -> Result<VmLoc> {
+        let iv = self.stack.pop().expect("index");
+        let i = iv
+            .as_int()
+            .ok_or_else(|| rt_err("array index is not an integer", self.cur_span))?;
+        let base = self.resolve(sr);
+        if base.elem.is_some() {
+            return Err(rt_err("cannot index a scalar location", self.cur_span));
+        }
+        Ok(VmLoc {
+            elem: Some(i),
+            ..base
+        })
+    }
+
+    fn coerce(&self, value: Value, ty: &StoreTy) -> Result<Value> {
+        match ty {
+            StoreTy::Direct(t) => coerce_store(value, t, self.cur_span),
+            StoreTy::ElemOfNonArray => Err(rt_err("indexing a non-array variable", self.cur_span)),
+        }
+    }
+}

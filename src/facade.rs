@@ -32,7 +32,7 @@
 use gadt::debugger::{DebugConfig, DebugOutcome};
 use gadt::error::{Error, Phase, Result};
 use gadt::oracle::ChainOracle;
-use gadt::session::{self, PreparedProgram, TracedRun};
+use gadt::session::{self, Engine, PreparedProgram, TracedRun};
 use gadt::stored::StoredKnowledgeOracle;
 use gadt_obs::{Journal, Recorder};
 use gadt_pascal::sema::Module;
@@ -54,6 +54,7 @@ impl Gadt {
         Ok(Compiled {
             module,
             threads: 0,
+            engine: Engine::default(),
             rec: Recorder::new(),
             store: None,
         })
@@ -64,6 +65,7 @@ impl Gadt {
         Compiled {
             module,
             threads: 0,
+            engine: Engine::default(),
             rec: Recorder::new(),
             store: None,
         }
@@ -76,6 +78,7 @@ pub struct Compiled {
     /// The compiled module.
     pub module: Module,
     threads: usize,
+    engine: Engine,
     rec: Recorder,
     store: Option<SharedStore>,
 }
@@ -86,6 +89,16 @@ impl Compiled {
     #[must_use]
     pub fn threads(mut self, threads: usize) -> Self {
         self.threads = threads;
+        self
+    }
+
+    /// Selects the execution engine for the trace phase:
+    /// [`Engine::TreeWalker`] (the default reference interpreter) or
+    /// [`Engine::Vm`] (the compiled bytecode VM — same traces, slices,
+    /// and journals, compiled once and shared across batch workers).
+    #[must_use]
+    pub fn with_engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
         self
     }
 
@@ -127,7 +140,8 @@ impl Compiled {
     /// not converge.
     pub fn transform(mut self) -> Result<Prepared> {
         let prepared = session::prepare_observed(&self.module, &mut self.rec)
-            .map_err(|e| Error::from_diagnostic(Phase::Transform, e))?;
+            .map_err(|e| Error::from_diagnostic(Phase::Transform, e))?
+            .with_engine(self.engine);
         Ok(Prepared {
             module: self.module,
             prepared,

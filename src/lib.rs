@@ -56,11 +56,13 @@ pub use gadt_store as store;
 pub use gadt_tgen as tgen;
 pub use gadt_trace as trace;
 pub use gadt_transform as transform;
+pub use gadt_vm as vm;
 
 pub use facade::{Compiled, Gadt, Prepared, Session, Traced};
 
 pub use gadt::debugger::{DebugConfig, DebugOutcome, DebugResult};
 pub use gadt::error::{Error, Phase, Result};
+pub use gadt::session::Engine;
 pub use gadt_pascal::testprogs;
 
 /// Everything most callers need, in one import:
@@ -70,7 +72,7 @@ pub mod prelude {
     pub use gadt::debugger::{DebugConfig, DebugOutcome, DebugResult};
     pub use gadt::error::{Error, Phase, Result};
     pub use gadt::oracle::{Answer, AssertionOracle, ChainOracle, GoldenOracle, ReferenceOracle};
-    pub use gadt::session::{BatchTraced, PhaseTimings, PreparedProgram, TracedRun};
+    pub use gadt::session::{BatchTraced, Engine, PhaseTimings, PreparedProgram, TracedRun};
     pub use gadt_corpus::{DiffConfig, GenConfig, GeneratedProgram};
     pub use gadt_obs::{Journal, JsonLinesSink, MemorySink, Recorder, Sink};
     pub use gadt_pascal::value::Value;

@@ -3,6 +3,7 @@
 //! localized accurately, deterministically at any thread count, and
 //! with slicing saving questions on most mutants.
 
+use gadt::session::Engine;
 use gadt_corpus::{
     corpus_campaign, corpus_campaign_with_store, distribution_key, CorpusCampaignConfig,
 };
@@ -33,6 +34,37 @@ fn full_config(threads: usize) -> CampaignConfig {
 
 fn run_full(threads: usize) -> CampaignSummary {
     run_campaign(&campaign_programs(), &full_config(threads)).expect("golden programs are good")
+}
+
+fn run_full_on(engine: Engine, threads: usize) -> CampaignSummary {
+    let config = CampaignConfig {
+        engine,
+        ..full_config(threads)
+    };
+    run_campaign(&campaign_programs(), &config).expect("golden programs are good")
+}
+
+/// The bytecode VM is a drop-in engine for the campaign: the full-run
+/// fingerprint *and* the merged journal are byte-identical to the
+/// tree-walker's, at 1, 2, and 8 worker threads. (Verdict keys ignore
+/// the engine precisely because of this invariance.)
+#[test]
+fn full_campaign_is_engine_invariant_at_any_thread_count() {
+    let tree = run_full(1);
+    let tree_journal = tree.journal().fingerprint();
+    for threads in [1, 2, 8] {
+        let vm = run_full_on(Engine::Vm, threads);
+        assert_eq!(
+            tree.fingerprint(),
+            vm.fingerprint(),
+            "vm fingerprint diverges at {threads} threads"
+        );
+        assert_eq!(
+            tree_journal,
+            vm.journal().fingerprint(),
+            "vm journal diverges at {threads} threads"
+        );
+    }
 }
 
 /// The headline acceptance bar: ≥ 100 mutants over ≥ 3 programs, ≥ 90%
@@ -139,6 +171,7 @@ fn corpus_config(threads: usize) -> CorpusCampaignConfig {
             // Half the default budget: generated mutants that loop forever
             // dominate the runtime, and exhaustion classifies identically.
             max_steps: 100_000,
+            ..CampaignConfig::default()
         },
         ..CorpusCampaignConfig::default()
     }
@@ -186,6 +219,7 @@ fn corpus_campaign_persists_distribution_and_reuses_verdicts() {
             max_mutants: 400,
             threads: 4,
             max_steps: 100_000,
+            ..CampaignConfig::default()
         },
         ..CorpusCampaignConfig::default()
     };

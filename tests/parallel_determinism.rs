@@ -3,7 +3,7 @@
 //! counterpart at any thread count. Thread counts 1, 2 and 8 cover the
 //! inline fast path, minimal contention, and more workers than cores.
 
-use gadt::session::{prepare, run_traced, run_traced_batch, trace_batch};
+use gadt::session::{prepare, run_traced, run_traced_batch, trace_batch, Engine};
 use gadt_analysis::dyntrace::record_trace;
 use gadt_analysis::slice_batch::dynamic_slice_batch;
 use gadt_analysis::slice_dynamic::dynamic_slice_output;
@@ -27,6 +27,13 @@ fn tgen_case_runs_are_thread_count_invariant() {
     for threads in THREADS {
         let par = cases::run_cases_batch(threads, &m, "arrsum", &tc, &oracle).unwrap();
         assert_eq!(seq, par, "TestDb diverges at {threads} threads");
+    }
+    // Engine axis: the bytecode VM builds the identical database at
+    // every thread count.
+    for threads in THREADS {
+        let vm =
+            cases::run_cases_batch_on(Engine::Vm, threads, &m, "arrsum", &tc, &oracle).unwrap();
+        assert_eq!(seq, vm, "VM TestDb diverges at {threads} threads");
     }
 }
 
@@ -124,6 +131,21 @@ fn batch_tracing_matches_sequential_tracing() {
         assert_eq!(par.len(), seq.len());
         for (s, p) in seq.iter().zip(&par) {
             assert_eq!(s.output, p.output);
+            assert_eq!(s.trace.events.len(), p.trace.events.len());
+            assert_eq!(s.tree.render(s.tree.root), p.tree.render(p.tree.root));
+        }
+    }
+    // Engine axis: the same batch on the shared compiled bytecode must
+    // reproduce the tree-walker's sequential traces at any thread count.
+    let vm_prepared = prepare(&m).unwrap().with_engine(Engine::Vm);
+    for threads in THREADS {
+        let par = run_traced_batch(&vm_prepared, inputs.clone(), threads).unwrap();
+        assert_eq!(par.len(), seq.len());
+        for (s, p) in seq.iter().zip(&par) {
+            assert_eq!(
+                s.output, p.output,
+                "VM output diverges at {threads} threads"
+            );
             assert_eq!(s.trace.events.len(), p.trace.events.len());
             assert_eq!(s.tree.render(s.tree.root), p.tree.render(p.tree.root));
         }

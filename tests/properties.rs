@@ -11,10 +11,11 @@
 //! The invariants run in two forms. The `deterministic` module sweeps a
 //! fixed seed grid and always runs — the offline tier-1 gate. The
 //! `prop` module explores the space with proptest and is gated behind
-//! the `proptest` cargo feature, because the offline build environment
-//! cannot fetch the crate; restore `proptest = "1"` under the root
-//! `[dev-dependencies]` and run `cargo test --features proptest` to use
-//! it.
+//! `--cfg gadt_proptest` (not a cargo feature, so `--all-features`
+//! stays green offline), because the offline build environment cannot
+//! fetch the crate; restore `proptest = "1"` under the root
+//! `[dev-dependencies]` and run
+//! `RUSTFLAGS="--cfg gadt_proptest" cargo test --test properties`.
 
 use gadt_bench::genprog::{generate, GenConfig};
 
@@ -287,7 +288,7 @@ mod deterministic {
     }
 }
 
-#[cfg(feature = "proptest")]
+#[cfg(gadt_proptest)]
 mod prop {
     use super::gen_source;
     use gadt_bench::genprog::{generate, mutate, GenConfig};
