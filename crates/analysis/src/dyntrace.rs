@@ -459,7 +459,9 @@ impl Monitor for DependenceRecorder<'_> {
 
 /// Runs a module once and returns its dynamic trace.
 ///
-/// Convenience wrapper; `input` is pushed before running.
+/// Convenience wrapper; `input` is pushed before running. Clones the
+/// lowering for the run — callers holding an `Arc`ed lowering (oracles,
+/// batch harnesses) should use [`record_trace_shared`] instead.
 ///
 /// # Errors
 /// Propagates interpreter runtime errors.
@@ -468,9 +470,22 @@ pub fn record_trace(
     cfg: &gadt_pascal::cfg::ProgramCfg,
     input: impl IntoIterator<Item = Value>,
 ) -> gadt_pascal::error::Result<DynTrace> {
-    let cd = ProgramControlDeps::compute(module, cfg);
+    record_trace_shared(module, std::sync::Arc::new(cfg.clone()), input)
+}
+
+/// [`record_trace`] over an already-shared lowering: no per-run CFG
+/// clone.
+///
+/// # Errors
+/// Propagates interpreter runtime errors.
+pub fn record_trace_shared(
+    module: &Module,
+    cfg: std::sync::Arc<gadt_pascal::cfg::ProgramCfg>,
+    input: impl IntoIterator<Item = Value>,
+) -> gadt_pascal::error::Result<DynTrace> {
+    let cd = ProgramControlDeps::compute(module, &cfg);
     let mut rec = DependenceRecorder::new(&cd);
-    let mut interp = gadt_pascal::interp::Interpreter::with_cfg(module, cfg.clone());
+    let mut interp = gadt_pascal::interp::Interpreter::with_shared_cfg(module, cfg);
     interp.set_input(input);
     interp.run_with(&mut rec)?;
     Ok(rec.finish())

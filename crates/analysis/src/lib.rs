@@ -57,7 +57,7 @@ pub mod slice_dynamic;
 pub mod slice_static;
 
 pub use callgraph::CallGraph;
-pub use dyntrace::{record_trace, DynTrace};
+pub use dyntrace::{record_trace, record_trace_shared, DynTrace};
 pub use effects::Effects;
 pub use slice_batch::{dynamic_slice_batch, SliceCache};
 pub use slice_dynamic::{close_for_replay, dynamic_slice_final, dynamic_slice_output, DynSlice};

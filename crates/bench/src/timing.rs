@@ -54,10 +54,8 @@ impl Harness {
         Harness::default()
     }
 
-    /// Times `f`, prints one result line, and returns the measurement.
-    pub fn bench<R>(&self, name: &str, mut f: impl FnMut() -> R) -> Timing {
-        // Calibrate: grow the iteration count until one batch fills the
-        // sample budget.
+    /// Grows the iteration count until one batch fills the sample budget.
+    fn calibrate<R>(&self, f: &mut impl FnMut() -> R) -> u64 {
         let mut iters: u64 = 1;
         loop {
             let t = Instant::now();
@@ -66,7 +64,7 @@ impl Harness {
             }
             let elapsed = t.elapsed();
             if elapsed >= self.sample_time || iters >= 1 << 30 {
-                break;
+                return iters;
             }
             iters = if elapsed.is_zero() {
                 iters * 100
@@ -75,18 +73,18 @@ impl Harness {
                 (iters as f64 * scale.clamp(1.5, 100.0)).ceil() as u64
             };
         }
+    }
 
-        let mut per_iter: Vec<Duration> = (0..self.samples.max(1))
-            .map(|_| {
-                let t = Instant::now();
-                for _ in 0..iters {
-                    std::hint::black_box(f());
-                }
-                t.elapsed() / iters as u32
-            })
-            .collect();
-        per_iter.sort();
-        let median = per_iter[per_iter.len() / 2];
+    /// One sample: `iters` runs of `f`, averaged to time-per-iteration.
+    fn sample<R>(iters: u64, f: &mut impl FnMut() -> R) -> Duration {
+        let t = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(f());
+        }
+        t.elapsed() / iters as u32
+    }
+
+    fn report(&self, name: &str, iters: u64, median: Duration) -> Timing {
         let timing = Timing {
             name: name.to_string(),
             per_iter: median,
@@ -100,6 +98,50 @@ impl Harness {
             iters
         );
         timing
+    }
+
+    /// Times `f`, prints one result line, and returns the measurement.
+    pub fn bench<R>(&self, name: &str, mut f: impl FnMut() -> R) -> Timing {
+        let iters = self.calibrate(&mut f);
+        let mut per_iter: Vec<Duration> = (0..self.samples.max(1))
+            .map(|_| Self::sample(iters, &mut f))
+            .collect();
+        per_iter.sort();
+        let median = per_iter[per_iter.len() / 2];
+        self.report(name, iters, median)
+    }
+
+    /// Times two competing implementations with *interleaved* samples —
+    /// `a` then `b`, back to back, repeated `samples` times — and returns
+    /// the sample pair whose `a/b` time ratio is the median.
+    ///
+    /// For A-vs-B comparisons on a noisy machine this is far more stable
+    /// than two independent [`Harness::bench`] calls: load drift that
+    /// spans several samples hits both sides of each pair about equally,
+    /// so the reported *ratio* stays representative even when absolute
+    /// timings wander.
+    pub fn bench_pair<A, B>(
+        &self,
+        name_a: &str,
+        name_b: &str,
+        mut a: impl FnMut() -> A,
+        mut b: impl FnMut() -> B,
+    ) -> (Timing, Timing) {
+        let iters_a = self.calibrate(&mut a);
+        let iters_b = self.calibrate(&mut b);
+        let mut pairs: Vec<(Duration, Duration)> = (0..self.samples.max(1))
+            .map(|_| (Self::sample(iters_a, &mut a), Self::sample(iters_b, &mut b)))
+            .collect();
+        pairs.sort_by(|x, y| {
+            let rx = x.0.as_secs_f64() / x.1.as_secs_f64().max(f64::MIN_POSITIVE);
+            let ry = y.0.as_secs_f64() / y.1.as_secs_f64().max(f64::MIN_POSITIVE);
+            rx.total_cmp(&ry)
+        });
+        let (da, db) = pairs[pairs.len() / 2];
+        (
+            self.report(name_a, iters_a, da),
+            self.report(name_b, iters_b, db),
+        )
     }
 }
 
@@ -131,6 +173,23 @@ mod tests {
         assert!(t.iters >= 1);
         assert!(t.per_iter < Duration::from_millis(1));
         assert!(t.per_sec() > 1000.0);
+    }
+
+    #[test]
+    fn bench_pair_reports_both_sides() {
+        let h = Harness {
+            sample_time: Duration::from_millis(2),
+            samples: 3,
+        };
+        let (a, b) = h.bench_pair(
+            "pair_a",
+            "pair_b",
+            || std::hint::black_box(1u64) + 1,
+            || std::hint::black_box([0u64; 64]).iter().sum::<u64>(),
+        );
+        assert!(a.iters >= 1 && b.iters >= 1);
+        assert!(a.per_iter <= Duration::from_millis(1));
+        assert!(b.per_iter <= Duration::from_millis(1));
     }
 
     #[test]

@@ -65,6 +65,11 @@ pub trait Oracle {
 pub struct ReferenceOracle<'m> {
     reference: &'m Module,
     reference_tree: ExecTree,
+    /// Lowered at most once — seeded by [`ReferenceOracle::new`]'s
+    /// reference run, or lazily on the first isolated re-execution
+    /// (judgement rule 2). Every later question shares it instead of
+    /// re-lowering the reference module.
+    cfg: std::sync::OnceLock<std::sync::Arc<gadt_pascal::cfg::ProgramCfg>>,
 }
 
 impl<'m> ReferenceOracle<'m> {
@@ -77,12 +82,19 @@ impl<'m> ReferenceOracle<'m> {
         reference: &'m Module,
         input: impl IntoIterator<Item = Value>,
     ) -> gadt_pascal::error::Result<Self> {
-        let cfg = gadt_pascal::cfg::lower(reference);
-        let trace = gadt_analysis::dyntrace::record_trace(reference, &cfg, input)?;
+        let cfg = std::sync::Arc::new(gadt_pascal::cfg::lower(reference));
+        let trace = gadt_analysis::dyntrace::record_trace_shared(
+            reference,
+            std::sync::Arc::clone(&cfg),
+            input,
+        )?;
         let reference_tree = gadt_trace::build_tree(reference, &trace);
+        let cell = std::sync::OnceLock::new();
+        let _ = cell.set(cfg);
         Ok(ReferenceOracle {
             reference,
             reference_tree,
+            cfg: cell,
         })
     }
 
@@ -93,6 +105,7 @@ impl<'m> ReferenceOracle<'m> {
         ReferenceOracle {
             reference,
             reference_tree,
+            cfg: std::sync::OnceLock::new(),
         }
     }
 
@@ -176,7 +189,13 @@ impl Oracle for ReferenceOracle<'_> {
                     }
                 }
                 if ok {
-                    let mut interp = gadt_pascal::interp::Interpreter::new(self.reference);
+                    let cfg = self.cfg.get_or_init(|| {
+                        std::sync::Arc::new(gadt_pascal::cfg::lower(self.reference))
+                    });
+                    let mut interp = gadt_pascal::interp::Interpreter::with_shared_cfg(
+                        self.reference,
+                        std::sync::Arc::clone(cfg),
+                    );
                     if let Ok(run) = interp.run_proc(rp, args) {
                         let mut expected: Vec<(String, Value)> = run
                             .outs

@@ -36,8 +36,9 @@ pub use gadt_vm::Engine;
 pub struct PreparedProgram {
     /// Transformed module plus construct mapping.
     pub transformed: Transformed,
-    /// The transformed module's CFG.
-    pub cfg: ProgramCfg,
+    /// The transformed module's CFG, lowered once and shared by every
+    /// run (including all batch workers — no per-run clone).
+    pub cfg: Arc<ProgramCfg>,
     /// Which engine executes traced runs.
     engine: Engine,
     /// The compiled bytecode program, present iff `engine` is
@@ -83,7 +84,7 @@ impl PreparedProgram {
         let module = &self.transformed.module;
         match &self.vm {
             None => {
-                let mut interp = Interpreter::with_cfg(module, self.cfg.clone());
+                let mut interp = Interpreter::with_shared_cfg(module, Arc::clone(&self.cfg));
                 interp.set_limits(limits);
                 interp.set_input(input);
                 interp.run_with(monitor)
@@ -93,6 +94,32 @@ impl PreparedProgram {
                 vm.set_limits(limits);
                 vm.set_input(input);
                 vm.run_with(monitor)
+            }
+        }
+    }
+
+    /// Monitor-free run: identical output, step count, final globals,
+    /// and errors to [`PreparedProgram::execute`] with a no-op monitor,
+    /// but on [`Engine::Vm`] all event construction and read/write-set
+    /// bookkeeping is statically compiled out. This is the kill-check /
+    /// verdict-only entry point.
+    ///
+    /// # Errors
+    /// Same conditions as [`PreparedProgram::execute`].
+    pub fn execute_fast(&self, input: Vec<Value>, limits: Limits) -> Result<Outcome> {
+        let module = &self.transformed.module;
+        match &self.vm {
+            None => {
+                let mut interp = Interpreter::with_shared_cfg(module, Arc::clone(&self.cfg));
+                interp.set_limits(limits);
+                interp.set_input(input);
+                interp.run_with(&mut gadt_pascal::interp::NoopMonitor)
+            }
+            Some(program) => {
+                let mut vm = Vm::new(module, program);
+                vm.set_limits(limits);
+                vm.set_input(input);
+                vm.run()
             }
         }
     }
@@ -129,12 +156,16 @@ pub fn prepare(module: &Module) -> Result<PreparedProgram> {
 pub fn prepare_observed(module: &Module, rec: &mut Recorder) -> Result<PreparedProgram> {
     let transformed = transform_observed(module, rec)?;
     let cfg = lower(&transformed.module);
-    Ok(PreparedProgram {
+    let prepared = PreparedProgram {
         transformed,
-        cfg,
+        cfg: Arc::new(cfg),
         engine: Engine::TreeWalker,
         vm: None,
-    })
+    };
+    // Select the workspace-wide default engine (the compiled VM); the
+    // tree-walker remains available via `with_engine` as the
+    // differential reference.
+    Ok(prepared.with_engine(Engine::default()))
 }
 
 /// Phase II output: the traced execution.
@@ -196,6 +227,24 @@ pub fn run_traced_limited(
         tree,
         output: outcome.output_text().to_string(),
     })
+}
+
+/// Monitor-free, limit-bounded run — the mutation campaign's kill-check
+/// screen: only the outcome (output, step count, final globals) or the
+/// runtime error is produced, with no trace, tree, or event stream. On
+/// [`Engine::Vm`] the observation machinery is statically compiled out;
+/// results are byte-identical to a monitored [`run_traced_limited`]
+/// run's outcome on either engine.
+///
+/// # Errors
+/// Propagates runtime errors of the subject program, including limit
+/// exhaustion.
+pub fn run_fast_limited(
+    prepared: &PreparedProgram,
+    input: impl IntoIterator<Item = Value>,
+    limits: Limits,
+) -> Result<Outcome> {
+    prepared.execute_fast(input.into_iter().collect(), limits)
 }
 
 /// Runs the tracing phase on many inputs in parallel: each input gets

@@ -30,7 +30,7 @@ use gadt_exec::BatchExecutor;
 use gadt_obs::Recorder;
 use gadt_pascal::ast::{Program, Stmt, StmtId, StmtKind};
 use gadt_pascal::cfg::lower;
-use gadt_pascal::interp::{Interpreter, Limits, Monitor, NoopMonitor, Outcome};
+use gadt_pascal::interp::{Interpreter, Limits, Monitor, Outcome};
 use gadt_pascal::pretty::print_slice;
 use gadt_pascal::sema::{compile, Module};
 use gadt_vm::conformance::EventHasher;
@@ -194,8 +194,21 @@ fn guard<T>(stage: &str, f: impl FnOnce() -> Result<T, Divergence>) -> Result<T,
     }
 }
 
+/// One-shot, monitor-free run on the default engine's fast path. The
+/// original-run and slice-replay legs need only the outcome, and running
+/// them on a different engine than the traced transformed run adds
+/// engine diversity to the differential for free (errors are
+/// byte-identical across engines, so verdicts are unchanged).
 fn run_module(module: &Module, p: &GeneratedProgram, max_steps: u64) -> Result<Outcome, String> {
-    run_module_observed(module, p, max_steps, &mut NoopMonitor)
+    let cfg = lower(module);
+    let engine = PreparedEngine::new(module, &cfg, Engine::default());
+    let limits = Limits {
+        max_steps,
+        ..Limits::default()
+    };
+    engine
+        .run_fast(p.input.clone(), limits)
+        .map_err(|e| e.to_string())
 }
 
 fn run_module_observed(

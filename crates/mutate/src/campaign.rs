@@ -51,7 +51,7 @@ impl Default for CampaignConfig {
             max_mutants: 0,
             threads: 0,
             max_steps: 200_000,
-            engine: Engine::TreeWalker,
+            engine: Engine::default(),
         }
     }
 }
@@ -333,8 +333,8 @@ pub fn run_campaign_with_store(
 }
 
 /// The full pipeline on one mutant: mutate → print → compile →
-/// transform → trace (bounded) → kill check → debug twice (slicing
-/// on/off) against the golden oracle.
+/// transform → monitor-free crash screen → trace (bounded) → kill
+/// check → debug twice (slicing on/off) against the golden oracle.
 ///
 /// Every step journals into a per-mutant [`Recorder`]: a `mutant` root
 /// span tagged with program/operator/ordinal, the standard
@@ -390,6 +390,16 @@ fn run_mutant_status(
     };
 
     let tspan = gadt_obs::span!(rec, "trace", inputs = 1u64);
+    // Monitor-free crash screen: runaway mutants — the common kill mode,
+    // and the most expensive to trace — burn their step budget here
+    // without paying for dependence recording or tree building. The fast
+    // path is result-identical to the traced run (same error, message
+    // and span), so the Crashed classification is byte-for-byte what the
+    // traced pipeline would have produced.
+    if let Err(e) = session::run_fast_limited(&prepared, ctx.input.iter().cloned(), limits) {
+        rec.exit(tspan);
+        return MutantStatus::Crashed { error: e.message };
+    }
     let run = session::run_traced_limited(&prepared, ctx.input.iter().cloned(), limits);
     let run = match run {
         Ok(r) => {

@@ -29,7 +29,7 @@ use crate::span::Span;
 use crate::types::Type;
 use crate::value::Value;
 use std::collections::{HashMap, VecDeque};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// A concrete memory location at run time.
 ///
@@ -275,7 +275,7 @@ struct Loc {
 /// [`Interpreter::run_with`] to attach a [`Monitor`].
 pub struct Interpreter<'m> {
     module: &'m Module,
-    cfg: Rc<ProgramCfg>,
+    cfg: Arc<ProgramCfg>,
     input: VecDeque<Value>,
     output: String,
     limits: Limits,
@@ -315,12 +315,13 @@ impl<'m> Interpreter<'m> {
 
     /// Creates an interpreter over an already-lowered CFG.
     pub fn with_cfg(module: &'m Module, cfg: ProgramCfg) -> Self {
-        Self::with_shared_cfg(module, Rc::new(cfg))
+        Self::with_shared_cfg(module, Arc::new(cfg))
     }
 
     /// Creates an interpreter sharing an already-lowered CFG (avoids
-    /// cloning the CFG when many runs execute the same module).
-    pub fn with_shared_cfg(module: &'m Module, cfg: Rc<ProgramCfg>) -> Self {
+    /// cloning the CFG when many runs execute the same module — batch
+    /// workers on different threads all point at one lowering).
+    pub fn with_shared_cfg(module: &'m Module, cfg: Arc<ProgramCfg>) -> Self {
         Interpreter {
             module,
             cfg,
@@ -1039,7 +1040,7 @@ impl<'m> Interpreter<'m> {
         self.transfer_loops(block, monitor);
         // Cheap handle so instructions can be borrowed while `self` is
         // mutated (the CFG itself is immutable during execution).
-        let cfg = Rc::clone(&self.cfg);
+        let cfg = Arc::clone(&self.cfg);
         'blocks: loop {
             let blk = cfg.proc(proc).block(block);
             let n_instrs = blk.instrs.len();

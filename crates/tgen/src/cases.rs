@@ -16,7 +16,7 @@
 use crate::frames::{Frame, GeneratedFrames};
 use gadt_pascal::cfg::lower;
 use gadt_pascal::error::Result;
-use gadt_pascal::interp::{Limits, NoopMonitor, ProcRun};
+use gadt_pascal::interp::{Limits, ProcRun};
 use gadt_pascal::sema::{Module, ProcId};
 use gadt_pascal::value::Value;
 use gadt_vm::{CallSemantics, PreparedEngine};
@@ -209,7 +209,7 @@ pub fn run_cases(
     cases: &[TestCase],
     oracle: &dyn Fn(&[Value], &ProcRun) -> bool,
 ) -> Result<TestDb> {
-    run_cases_on(Engine::TreeWalker, module, unit, cases, oracle)
+    run_cases_on(Engine::default(), module, unit, cases, oracle)
 }
 
 /// [`run_cases`] on an explicit execution [`Engine`]. The unit's CFG is
@@ -353,15 +353,7 @@ pub fn run_cases_batch_observed(
     oracle: &(dyn Fn(&[Value], &ProcRun) -> bool + Sync),
     rec: &mut gadt_obs::Recorder,
 ) -> Result<TestDb> {
-    run_cases_batch_observed_on(
-        Engine::TreeWalker,
-        threads,
-        module,
-        unit,
-        cases,
-        oracle,
-        rec,
-    )
+    run_cases_batch_observed_on(Engine::default(), threads, module, unit, cases, oracle, rec)
 }
 
 /// [`run_cases_batch_observed`] on an explicit execution [`Engine`].
@@ -438,7 +430,7 @@ pub fn run_cases_batch_persisted(
     store: &gadt_store::SharedStore,
 ) -> Result<TestDb> {
     run_cases_batch_persisted_on(
-        Engine::TreeWalker,
+        Engine::default(),
         threads,
         module,
         unit,
@@ -533,7 +525,9 @@ fn resolve_unit(module: &Module, unit: &str) -> Result<ProcId> {
 }
 
 fn run_unit(engine: &PreparedEngine<'_>, proc: ProcId, inputs: Vec<Value>) -> Result<ProcRun> {
-    engine.run_proc_with(proc, inputs, Limits::default(), &mut NoopMonitor)
+    // Verdict-only batches never need the event stream: the monitor-free
+    // fast path returns identical `ProcRun`s/errors on both engines.
+    engine.run_proc_fast(proc, inputs, Limits::default())
 }
 
 // ----------------------------------------------------------------------

@@ -158,6 +158,29 @@ pub(crate) enum Op {
     Ret,
     /// Non-local goto: unwind frames toward the owner procedure.
     Goto(u32),
+    /// Superinstruction: `Load(a); Load(b); Binary(op)` fused into one
+    /// dispatch. Semantics (use recording, read bookkeeping, errors) are
+    /// identical to the unfused sequence, in the same order.
+    LoadLoadBin { a: u32, b: u32, op: BinOp },
+    /// Superinstruction: `Load(sr); Const(k); Binary(op)` fused.
+    LoadConstBin { sr: u32, k: u32, op: BinOp },
+    /// Superinstruction: `Binary(cmp); BranchIf` fused — pop two
+    /// operands, apply the comparison, fire the branch Step, jump.
+    CmpBranch {
+        op: BinOp,
+        then_bb: u32,
+        else_bb: u32,
+        step: u32,
+    },
+}
+
+/// Whether `op` is a comparison (always yields a boolean): the only
+/// binaries fused into [`Op::CmpBranch`].
+fn is_cmp(op: BinOp) -> bool {
+    matches!(
+        op,
+        BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
+    )
 }
 
 /// A compiled procedure: dense slot table plus flat code.
@@ -425,6 +448,7 @@ impl<'a> ProcCompiler<'a> {
         let pcfg = self.cfg.proc(self.proc);
         for (bi, block) in pcfg.blocks.iter().enumerate() {
             self.out.block_start.push(self.out.code.len());
+            let block_at = self.out.code.len();
             let bid = BlockId(bi as u32);
             for (i, instr) in block.instrs.iter().enumerate() {
                 self.out.code.push(Op::SpanCtx(instr.span));
@@ -510,6 +534,68 @@ impl<'a> ProcCompiler<'a> {
                     self.out.code.push(Op::Goto(idx));
                 }
             }
+            // Peephole-fuse inside the block we just emitted. Safe at
+            // this point because every jump targets a `block_start`
+            // offset and this block's start is already recorded: index
+            // shifts stay strictly within the block.
+            self.fuse_block(block_at);
+        }
+    }
+
+    /// Replaces adjacent op patterns within `code[start..]` by fused
+    /// superinstructions (left-to-right greedy, longest pattern first).
+    fn fuse_block(&mut self, start: usize) {
+        let tail = self.out.code.split_off(start);
+        let mut i = 0;
+        while i < tail.len() {
+            if i + 2 < tail.len() {
+                if let (Op::Load(a), Op::Load(b), Op::Binary(op)) =
+                    (&tail[i], &tail[i + 1], &tail[i + 2])
+                {
+                    self.out.code.push(Op::LoadLoadBin {
+                        a: *a,
+                        b: *b,
+                        op: *op,
+                    });
+                    i += 3;
+                    continue;
+                }
+                if let (Op::Load(sr), Op::Const(k), Op::Binary(op)) =
+                    (&tail[i], &tail[i + 1], &tail[i + 2])
+                {
+                    self.out.code.push(Op::LoadConstBin {
+                        sr: *sr,
+                        k: *k,
+                        op: *op,
+                    });
+                    i += 3;
+                    continue;
+                }
+            }
+            if i + 1 < tail.len() {
+                if let (
+                    Op::Binary(op),
+                    Op::BranchIf {
+                        then_bb,
+                        else_bb,
+                        step,
+                    },
+                ) = (&tail[i], &tail[i + 1])
+                {
+                    if is_cmp(*op) {
+                        self.out.code.push(Op::CmpBranch {
+                            op: *op,
+                            then_bb: *then_bb,
+                            else_bb: *else_bb,
+                            step: *step,
+                        });
+                        i += 2;
+                        continue;
+                    }
+                }
+            }
+            self.out.code.push(tail[i].clone());
+            i += 1;
         }
     }
 

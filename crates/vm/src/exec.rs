@@ -15,7 +15,7 @@ use gadt_pascal::cfg::{BlockId, LoopId};
 use gadt_pascal::error::{Diagnostic, Result, Stage};
 use gadt_pascal::interp::{
     coerce_store, eval_binary_op, eval_intrinsic_op, eval_unary_op, Event, Limits, MemLoc, Monitor,
-    Outcome, ProcRun,
+    NoopMonitor, Outcome, ProcRun,
 };
 use gadt_pascal::sema::{Module, ProcId, VarId, MAIN_PROC};
 use gadt_pascal::span::Span;
@@ -159,17 +159,36 @@ impl<'m> Vm<'m> {
     /// The same runtime errors, with the same messages and spans, as
     /// [`gadt_pascal::interp::Interpreter::run_with`].
     pub fn run_with(&mut self, monitor: &mut dyn Monitor) -> Result<Outcome> {
+        self.run_impl::<true>(monitor)
+    }
+
+    /// Monitor-free fast path: same output, step count, final globals,
+    /// and errors as [`Vm::run_with`], but with all event construction
+    /// and read/write-set bookkeeping statically compiled out. Use when
+    /// only the *result* of a run matters (kill checks, differential
+    /// output comparison, verdict-only batches).
+    pub fn run(&mut self) -> Result<Outcome> {
+        self.run_impl::<false>(&mut NoopMonitor)
+    }
+
+    fn run_impl<const TRACE: bool>(&mut self, monitor: &mut dyn Monitor) -> Result<Outcome> {
         self.reset();
-        self.uses_stack.push(Vec::new());
+        if TRACE {
+            self.uses_stack.push(Vec::new());
+        }
         self.push_frame(MAIN_PROC, None, Vec::new(), Vec::new(), None, None);
-        self.fire_call_enter(monitor, &[]);
-        self.exec(MAIN_PROC, 1, monitor)?;
+        if TRACE {
+            self.fire_call_enter(monitor, &[]);
+        }
+        self.exec::<TRACE>(MAIN_PROC, 1, monitor)?;
         // Capture globals before popping.
         let mut globals = HashMap::new();
         for (name, slot) in &self.program.proc(MAIN_PROC).globals {
             globals.insert(name.clone(), self.frames[0].slots[*slot as usize].clone());
         }
-        self.fire_call_exit(monitor, false);
+        if TRACE {
+            self.fire_call_exit(monitor, false);
+        }
         self.frames.pop();
         Ok(Outcome::from_parts(
             std::mem::take(&mut self.output),
@@ -185,6 +204,22 @@ impl<'m> Vm<'m> {
     /// The same conditions as
     /// [`gadt_pascal::interp::Interpreter::run_proc_with`].
     pub fn run_proc_with(
+        &mut self,
+        proc: ProcId,
+        args: Vec<Value>,
+        monitor: &mut dyn Monitor,
+    ) -> Result<ProcRun> {
+        self.run_proc_impl::<true>(proc, args, monitor)
+    }
+
+    /// Monitor-free fast path for isolated procedure runs: identical
+    /// `ProcRun`/error results to [`Vm::run_proc_with`] with all event
+    /// machinery statically compiled out.
+    pub fn run_proc(&mut self, proc: ProcId, args: Vec<Value>) -> Result<ProcRun> {
+        self.run_proc_impl::<false>(proc, args, &mut NoopMonitor)
+    }
+
+    fn run_proc_impl<const TRACE: bool>(
         &mut self,
         proc: ProcId,
         args: Vec<Value>,
@@ -209,9 +244,13 @@ impl<'m> Vm<'m> {
             ));
         }
         self.reset();
-        self.uses_stack.push(Vec::new());
+        if TRACE {
+            self.uses_stack.push(Vec::new());
+        }
         self.push_frame(MAIN_PROC, None, Vec::new(), Vec::new(), None, None);
-        self.fire_call_enter(monitor, &[]);
+        if TRACE {
+            self.fire_call_enter(monitor, &[]);
+        }
 
         let callee = self.program.proc(proc);
         let mut params = Vec::new();
@@ -234,7 +273,9 @@ impl<'m> Vm<'m> {
                     Span::dummy(),
                 ));
             }
-            entry_args.push((spec.var, v.clone()));
+            if TRACE {
+                entry_args.push((spec.var, v.clone()));
+            }
             if spec.is_ref {
                 // Hidden storage appended to the root frame.
                 let root = &mut self.frames[0];
@@ -255,10 +296,14 @@ impl<'m> Vm<'m> {
                 params.push((spec.slot, v));
             }
         }
-        self.uses_stack.push(Vec::new());
+        if TRACE {
+            self.uses_stack.push(Vec::new());
+        }
         self.push_frame(proc, Some(0), params, bindings, None, None);
-        self.fire_call_enter(monitor, &entry_args);
-        self.exec(proc, 2, monitor)?;
+        if TRACE {
+            self.fire_call_enter(monitor, &entry_args);
+        }
+        self.exec::<TRACE>(proc, 2, monitor)?;
 
         let mut outs = Vec::new();
         for spec in &callee.params {
@@ -272,9 +317,13 @@ impl<'m> Vm<'m> {
         let result = callee
             .result
             .map(|(_, slot)| self.top().slots[slot as usize].clone());
-        self.fire_call_exit(monitor, false);
+        if TRACE {
+            self.fire_call_exit(monitor, false);
+        }
         self.frames.pop();
-        self.fire_call_exit(monitor, false);
+        if TRACE {
+            self.fire_call_exit(monitor, false);
+        }
         self.frames.pop();
         Ok(ProcRun {
             outs,
@@ -370,7 +419,7 @@ impl<'m> Vm<'m> {
         }
     }
 
-    fn read_loc(&mut self, loc: VmLoc, span: Span) -> Result<Value> {
+    fn read_loc<const TRACE: bool>(&mut self, loc: VmLoc, span: Span) -> Result<Value> {
         let base = &self.frames[loc.frame_idx].slots[loc.slot as usize];
         let value = match loc.elem {
             None => base.clone(),
@@ -387,13 +436,15 @@ impl<'m> Vm<'m> {
                 _ => return Err(rt_err("indexing a non-array value", span)),
             },
         };
-        if let Some(p) = loc.via_param {
-            let f = self.frames.last_mut().expect("frame");
-            if !f.ref_written.contains(&p) && !f.ref_read.contains(&p) {
-                f.ref_read.push(p);
+        if TRACE {
+            if let Some(p) = loc.via_param {
+                let f = self.frames.last_mut().expect("frame");
+                if !f.ref_written.contains(&p) && !f.ref_read.contains(&p) {
+                    f.ref_read.push(p);
+                }
             }
+            self.note_nonlocal_read(loc, &value);
         }
-        self.note_nonlocal_read(loc, &value);
         Ok(value)
     }
 
@@ -412,14 +463,16 @@ impl<'m> Vm<'m> {
         }
     }
 
-    fn write_loc(&mut self, loc: VmLoc, value: Value, span: Span) -> Result<()> {
-        if let Some(p) = loc.via_param {
-            let f = self.frames.last_mut().expect("frame");
-            if !f.ref_written.contains(&p) {
-                f.ref_written.push(p);
+    fn write_loc<const TRACE: bool>(&mut self, loc: VmLoc, value: Value, span: Span) -> Result<()> {
+        if TRACE {
+            if let Some(p) = loc.via_param {
+                let f = self.frames.last_mut().expect("frame");
+                if !f.ref_written.contains(&p) {
+                    f.ref_written.push(p);
+                }
             }
+            self.note_nonlocal_write(loc);
         }
-        self.note_nonlocal_write(loc);
         let base = &mut self.frames[loc.frame_idx].slots[loc.slot as usize];
         match loc.elem {
             None => {
@@ -578,6 +631,20 @@ impl<'m> Vm<'m> {
         monitor.on_event(self.module, &ev);
     }
 
+    /// Step counting + limit check alone: the fast path's replacement
+    /// for [`Vm::fire_step`] (same count, same error, no event).
+    #[inline]
+    fn bump_step(&mut self) -> Result<()> {
+        self.steps += 1;
+        if self.steps > self.limits.max_steps {
+            return Err(rt_err(
+                format!("step limit of {} exceeded", self.limits.max_steps),
+                Span::dummy(),
+            ));
+        }
+        Ok(())
+    }
+
     fn fire_step(
         &mut self,
         monitor: &mut dyn Monitor,
@@ -587,13 +654,7 @@ impl<'m> Vm<'m> {
         branch_taken: Option<bool>,
     ) -> Result<()> {
         let ctx = self.program.proc(self.top().proc).steps[step as usize];
-        self.steps += 1;
-        if self.steps > self.limits.max_steps {
-            return Err(rt_err(
-                format!("step limit of {} exceeded", self.limits.max_steps),
-                Span::dummy(),
-            ));
-        }
+        self.bump_step()?;
         let f = self.top();
         let ev = Event::Step {
             idx: self.steps,
@@ -727,11 +788,23 @@ impl<'m> Vm<'m> {
     /// Runs bytecode starting at the top frame's entry until the frame at
     /// `base_frames` returns. `base_frames` is 1 for whole-program runs
     /// and 2 for isolated procedure runs.
-    fn exec(&mut self, start: ProcId, base_frames: usize, monitor: &mut dyn Monitor) -> Result<()> {
+    ///
+    /// Monomorphized over `TRACE`: the `false` instantiation compiles
+    /// out every event construction, uses-buffer push, and read/write
+    /// bookkeeping while keeping step counting, limits, and all runtime
+    /// errors byte-identical to the monitored run.
+    fn exec<const TRACE: bool>(
+        &mut self,
+        start: ProcId,
+        base_frames: usize,
+        monitor: &mut dyn Monitor,
+    ) -> Result<()> {
         let mut proc = start;
         let mut vproc: &VmProc = self.program.proc(proc);
         let mut ip = vproc.block_start[vproc.entry.0 as usize];
-        self.transfer_loops(vproc.entry, monitor);
+        if TRACE {
+            self.transfer_loops(vproc.entry, monitor);
+        }
         macro_rules! reload {
             ($p:expr, $i:expr) => {{
                 proc = $p;
@@ -747,17 +820,48 @@ impl<'m> Vm<'m> {
                 Op::Const(k) => self.stack.push(vproc.consts[*k as usize].clone()),
                 Op::Load(sr) => {
                     let loc = self.resolve(&vproc.slotrefs[*sr as usize]);
-                    let ml = self.memloc(loc);
-                    self.uses_stack.last_mut().expect("uses").push(ml);
-                    let v = self.read_loc(loc, self.cur_span)?;
+                    if TRACE {
+                        let ml = self.memloc(loc);
+                        self.uses_stack.last_mut().expect("uses").push(ml);
+                    }
+                    let v = self.read_loc::<TRACE>(loc, self.cur_span)?;
                     self.stack.push(v);
                 }
                 Op::LoadElem(sr) => {
                     let loc = self.indexed_loc(&vproc.slotrefs[*sr as usize])?;
-                    let ml = self.memloc(loc);
-                    self.uses_stack.last_mut().expect("uses").push(ml);
-                    let v = self.read_loc(loc, self.cur_span)?;
+                    if TRACE {
+                        let ml = self.memloc(loc);
+                        self.uses_stack.last_mut().expect("uses").push(ml);
+                    }
+                    let v = self.read_loc::<TRACE>(loc, self.cur_span)?;
                     self.stack.push(v);
+                }
+                Op::LoadLoadBin { a, b, op } => {
+                    let la = self.resolve(&vproc.slotrefs[*a as usize]);
+                    if TRACE {
+                        let ml = self.memloc(la);
+                        self.uses_stack.last_mut().expect("uses").push(ml);
+                    }
+                    let va = self.read_loc::<TRACE>(la, self.cur_span)?;
+                    let lb = self.resolve(&vproc.slotrefs[*b as usize]);
+                    if TRACE {
+                        let ml = self.memloc(lb);
+                        self.uses_stack.last_mut().expect("uses").push(ml);
+                    }
+                    let vb = self.read_loc::<TRACE>(lb, self.cur_span)?;
+                    let r = eval_binary_op(*op, va, vb, self.cur_span)?;
+                    self.stack.push(r);
+                }
+                Op::LoadConstBin { sr, k, op } => {
+                    let loc = self.resolve(&vproc.slotrefs[*sr as usize]);
+                    if TRACE {
+                        let ml = self.memloc(loc);
+                        self.uses_stack.last_mut().expect("uses").push(ml);
+                    }
+                    let v = self.read_loc::<TRACE>(loc, self.cur_span)?;
+                    let c = vproc.consts[*k as usize].clone();
+                    let r = eval_binary_op(*op, v, c, self.cur_span)?;
+                    self.stack.push(r);
                 }
                 Op::Unary(op) => {
                     let v = self.stack.pop().expect("operand");
@@ -783,7 +887,9 @@ impl<'m> Vm<'m> {
                         ));
                     }
                     self.pending.push(PendingCall::default());
-                    self.uses_stack.push(Vec::new());
+                    if TRACE {
+                        self.uses_stack.push(Vec::new());
+                    }
                 }
                 Op::PushArg { var, slot, widen } => {
                     let v = self.stack.pop().expect("argument");
@@ -792,7 +898,9 @@ impl<'m> Vm<'m> {
                         _ => v,
                     };
                     let p = self.pending.last_mut().expect("pending call");
-                    p.entry_args.push((*var, v.clone()));
+                    if TRACE {
+                        p.entry_args.push((*var, v.clone()));
+                    }
                     p.params.push((*slot, v));
                 }
                 Op::RefArg { sr, var, indexed } => {
@@ -801,22 +909,31 @@ impl<'m> Vm<'m> {
                     } else {
                         self.resolve(&vproc.slotrefs[*sr as usize])
                     };
+                    // The incoming-value capture doubles as the bounds
+                    // check for indexed ref args: it must run (and its
+                    // error must surface) in both modes.
                     let current = self.peek_loc(loc, self.cur_span)?;
                     let p = self.pending.last_mut().expect("pending call");
-                    p.entry_args.push((*var, current));
+                    if TRACE {
+                        p.entry_args.push((*var, current));
+                    }
                     p.bindings.push((*var, loc));
                 }
                 Op::DoCall(site_idx) => {
                     let site = vproc.calls[*site_idx as usize];
                     // The call's own Step event, in the caller's context,
                     // before the callee runs.
-                    let uses = self.uses_stack.pop().expect("call uses");
-                    self.fire_step(monitor, site.step, &[], &uses, None)?;
-                    // Reuse the argument buffer as the callee's exec
-                    // buffer.
-                    let mut buf = uses;
-                    buf.clear();
-                    self.uses_stack.push(buf);
+                    if TRACE {
+                        let uses = self.uses_stack.pop().expect("call uses");
+                        self.fire_step(monitor, site.step, &[], &uses, None)?;
+                        // Reuse the argument buffer as the callee's exec
+                        // buffer.
+                        let mut buf = uses;
+                        buf.clear();
+                        self.uses_stack.push(buf);
+                    } else {
+                        self.bump_step()?;
+                    }
                     // Static link: nearest frame on the current static
                     // chain whose proc is the callee's lexical parent.
                     let callee = self.program.proc(site.callee);
@@ -850,10 +967,14 @@ impl<'m> Vm<'m> {
                         site.site_stmt,
                         Some(ret),
                     );
-                    self.fire_call_enter(monitor, &pend.entry_args);
+                    if TRACE {
+                        self.fire_call_enter(monitor, &pend.entry_args);
+                    }
                     let entry = callee.entry;
                     reload!(site.callee, callee.block_start[entry.0 as usize]);
-                    self.transfer_loops(entry, monitor);
+                    if TRACE {
+                        self.transfer_loops(entry, monitor);
+                    }
                 }
                 Op::Store {
                     sr,
@@ -868,13 +989,18 @@ impl<'m> Vm<'m> {
                     };
                     let value = self.stack.pop().expect("store value");
                     let value = self.coerce(value, &vproc.store_tys[*ty as usize])?;
-                    let def = self.memloc(loc);
-                    self.write_loc(loc, value, self.cur_span)?;
-                    let uses = std::mem::take(self.uses_stack.last_mut().expect("uses"));
-                    self.fire_step(monitor, *step, &[def], &uses, None)?;
-                    let mut buf = uses;
-                    buf.clear();
-                    *self.uses_stack.last_mut().expect("uses") = buf;
+                    if TRACE {
+                        let def = self.memloc(loc);
+                        self.write_loc::<true>(loc, value, self.cur_span)?;
+                        let uses = std::mem::take(self.uses_stack.last_mut().expect("uses"));
+                        self.fire_step(monitor, *step, &[def], &uses, None)?;
+                        let mut buf = uses;
+                        buf.clear();
+                        *self.uses_stack.last_mut().expect("uses") = buf;
+                    } else {
+                        self.write_loc::<false>(loc, value, self.cur_span)?;
+                        self.bump_step()?;
+                    }
                 }
                 Op::ReadInto {
                     sr,
@@ -892,13 +1018,18 @@ impl<'m> Vm<'m> {
                         .pop_front()
                         .ok_or_else(|| rt_err("input exhausted", self.cur_span))?;
                     let value = self.coerce(raw, &vproc.store_tys[*ty as usize])?;
-                    let def = self.memloc(loc);
-                    self.write_loc(loc, value, self.cur_span)?;
-                    let uses = std::mem::take(self.uses_stack.last_mut().expect("uses"));
-                    self.fire_step(monitor, *step, &[def], &uses, None)?;
-                    let mut buf = uses;
-                    buf.clear();
-                    *self.uses_stack.last_mut().expect("uses") = buf;
+                    if TRACE {
+                        let def = self.memloc(loc);
+                        self.write_loc::<true>(loc, value, self.cur_span)?;
+                        let uses = std::mem::take(self.uses_stack.last_mut().expect("uses"));
+                        self.fire_step(monitor, *step, &[def], &uses, None)?;
+                        let mut buf = uses;
+                        buf.clear();
+                        *self.uses_stack.last_mut().expect("uses") = buf;
+                    } else {
+                        self.write_loc::<false>(loc, value, self.cur_span)?;
+                        self.bump_step()?;
+                    }
                 }
                 Op::WritePush => {
                     let v = self.stack.pop().expect("write value");
@@ -908,15 +1039,21 @@ impl<'m> Vm<'m> {
                     if *newline {
                         self.output.push('\n');
                     }
-                    let uses = std::mem::take(self.uses_stack.last_mut().expect("uses"));
-                    self.fire_step(monitor, *step, &[], &uses, None)?;
-                    let mut buf = uses;
-                    buf.clear();
-                    *self.uses_stack.last_mut().expect("uses") = buf;
+                    if TRACE {
+                        let uses = std::mem::take(self.uses_stack.last_mut().expect("uses"));
+                        self.fire_step(monitor, *step, &[], &uses, None)?;
+                        let mut buf = uses;
+                        buf.clear();
+                        *self.uses_stack.last_mut().expect("uses") = buf;
+                    } else {
+                        self.bump_step()?;
+                    }
                 }
                 Op::JumpTo(b) => {
-                    let target = BlockId(*b);
-                    self.transfer_loops(target, monitor);
+                    if TRACE {
+                        let target = BlockId(*b);
+                        self.transfer_loops(target, monitor);
+                    }
                     ip = vproc.block_start[*b as usize];
                 }
                 Op::BranchIf {
@@ -928,38 +1065,80 @@ impl<'m> Vm<'m> {
                     let taken = v
                         .as_bool()
                         .ok_or_else(|| rt_err("branch condition is not boolean", Span::dummy()))?;
-                    let uses = std::mem::take(self.uses_stack.last_mut().expect("uses"));
-                    self.fire_step(monitor, *step, &[], &uses, Some(taken))?;
-                    let mut buf = uses;
-                    buf.clear();
-                    *self.uses_stack.last_mut().expect("uses") = buf;
+                    if TRACE {
+                        let uses = std::mem::take(self.uses_stack.last_mut().expect("uses"));
+                        self.fire_step(monitor, *step, &[], &uses, Some(taken))?;
+                        let mut buf = uses;
+                        buf.clear();
+                        *self.uses_stack.last_mut().expect("uses") = buf;
+                    } else {
+                        self.bump_step()?;
+                    }
                     let b = if taken { *then_bb } else { *else_bb };
                     let target = BlockId(b);
-                    self.transfer_loops(target, monitor);
+                    if TRACE {
+                        self.transfer_loops(target, monitor);
+                    }
                     ip = vproc.block_start[b as usize];
                 }
+                Op::CmpBranch {
+                    op,
+                    then_bb,
+                    else_bb,
+                    step,
+                } => {
+                    let b = self.stack.pop().expect("operand");
+                    let a = self.stack.pop().expect("operand");
+                    let r = eval_binary_op(*op, a, b, self.cur_span)?;
+                    let taken = r
+                        .as_bool()
+                        .ok_or_else(|| rt_err("branch condition is not boolean", Span::dummy()))?;
+                    if TRACE {
+                        let uses = std::mem::take(self.uses_stack.last_mut().expect("uses"));
+                        self.fire_step(monitor, *step, &[], &uses, Some(taken))?;
+                        let mut buf = uses;
+                        buf.clear();
+                        *self.uses_stack.last_mut().expect("uses") = buf;
+                    } else {
+                        self.bump_step()?;
+                    }
+                    let t = if taken { *then_bb } else { *else_bb };
+                    let target = BlockId(t);
+                    if TRACE {
+                        self.transfer_loops(target, monitor);
+                    }
+                    ip = vproc.block_start[t as usize];
+                }
                 Op::Ret => {
-                    self.exit_all_loops(monitor);
+                    if TRACE {
+                        self.exit_all_loops(monitor);
+                    }
                     if self.frames.len() == base_frames {
                         return Ok(());
                     }
                     let result = vproc
                         .result
                         .map(|(_, slot)| self.top().slots[slot as usize].clone());
-                    self.fire_call_exit(monitor, false);
+                    if TRACE {
+                        self.fire_call_exit(monitor, false);
+                    }
                     let popped = self.frames.pop().expect("frame");
-                    self.uses_stack.pop();
+                    if TRACE {
+                        self.uses_stack.pop();
+                    }
                     let rctx = popped.ret.expect("non-base frame has a return ctx");
                     self.cur_span = rctx.span;
                     if rctx.expr_pos {
                         match result {
                             Some(v) => {
-                                if let Some((rv, _)) = vproc.result {
-                                    self.uses_stack.last_mut().expect("uses").push(MemLoc {
-                                        frame: popped.id,
-                                        var: rv,
-                                        elem: None,
-                                    });
+                                if TRACE {
+                                    if let Some((rv, _)) = vproc.result {
+                                        self.uses_stack.last_mut().expect("uses").push(MemLoc {
+                                            frame: popped.id,
+                                            var: rv,
+                                            elem: None,
+                                        });
+                                    }
                                 }
                                 self.stack.push(v);
                             }
@@ -972,11 +1151,15 @@ impl<'m> Vm<'m> {
                 }
                 Op::Goto(g) => {
                     let site = vproc.gotos[*g as usize].clone();
-                    self.fire_step(monitor, site.step, &[], &[], None)?;
-                    self.exit_all_loops(monitor);
+                    if TRACE {
+                        self.fire_step(monitor, site.step, &[], &[], None)?;
+                        self.exit_all_loops(monitor);
+                    } else {
+                        self.bump_step()?;
+                    }
                     if self.top().proc == site.owner {
                         let target = site.target;
-                        self.land(target, monitor);
+                        self.land::<TRACE>(target, monitor);
                         let lp = self.top().proc;
                         reload!(lp, self.program.proc(lp).block_start[target.0 as usize]);
                         continue;
@@ -990,9 +1173,13 @@ impl<'m> Vm<'m> {
                                 Span::dummy(),
                             ));
                         }
-                        self.fire_call_exit(monitor, true);
+                        if TRACE {
+                            self.fire_call_exit(monitor, true);
+                        }
                         let popped = self.frames.pop().expect("frame");
-                        self.uses_stack.pop();
+                        if TRACE {
+                            self.uses_stack.pop();
+                        }
                         let rctx = popped.ret.expect("non-base frame has a return ctx");
                         self.cur_span = rctx.span;
                         if rctx.expr_pos {
@@ -1003,12 +1190,14 @@ impl<'m> Vm<'m> {
                         }
                         if self.top().proc == site.owner {
                             let target = site.target;
-                            self.land(target, monitor);
+                            self.land::<TRACE>(target, monitor);
                             let lp = self.top().proc;
                             reload!(lp, self.program.proc(lp).block_start[target.0 as usize]);
                             break;
                         }
-                        self.exit_all_loops(monitor);
+                        if TRACE {
+                            self.exit_all_loops(monitor);
+                        }
                     }
                 }
             }
@@ -1017,14 +1206,18 @@ impl<'m> Vm<'m> {
 
     /// Lands a non-local goto in the (already top) owner frame: discard
     /// abandoned partial evaluation, then transfer loop context.
-    fn land(&mut self, target: BlockId, monitor: &mut dyn Monitor) {
+    fn land<const TRACE: bool>(&mut self, target: BlockId, monitor: &mut dyn Monitor) {
         let f = self.frames.last().expect("frame");
         let (sb, ut) = (f.stack_base, f.uses_top);
         self.stack.truncate(sb);
-        self.uses_stack.truncate(ut + 1);
-        self.uses_stack.last_mut().expect("uses").clear();
+        if TRACE {
+            self.uses_stack.truncate(ut + 1);
+            self.uses_stack.last_mut().expect("uses").clear();
+        }
         self.pending.clear();
-        self.transfer_loops(target, monitor);
+        if TRACE {
+            self.transfer_loops(target, monitor);
+        }
     }
 
     /// Pops an index and resolves an element location (the interpreter's

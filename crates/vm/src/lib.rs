@@ -49,18 +49,20 @@ pub use exec::Vm;
 
 use gadt_pascal::cfg::ProgramCfg;
 use gadt_pascal::error::Result;
-use gadt_pascal::interp::{Interpreter, Limits, Monitor, Outcome, ProcRun};
+use gadt_pascal::interp::{Interpreter, Limits, Monitor, NoopMonitor, Outcome, ProcRun};
 use gadt_pascal::sema::{Module, ProcId};
 use gadt_pascal::value::Value;
+use std::sync::Arc;
 
 /// Which execution engine runs the program.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Engine {
     /// The tree-walking reference interpreter
-    /// ([`gadt_pascal::interp::Interpreter`]).
-    #[default]
+    /// ([`gadt_pascal::interp::Interpreter`]) — the semantic reference,
+    /// retained for differential verification.
     TreeWalker,
-    /// The compiled bytecode VM ([`exec::Vm`]).
+    /// The compiled bytecode VM ([`exec::Vm`]) — the default engine.
+    #[default]
     Vm,
 }
 
@@ -110,12 +112,34 @@ pub trait CallSemantics {
         limits: Limits,
         monitor: &mut dyn Monitor,
     ) -> Result<ProcRun>;
+
+    /// Monitor-free whole-program run: identical output, step count,
+    /// final globals, and errors to [`CallSemantics::run_with`] with a
+    /// no-op monitor, but engines may skip all observation machinery.
+    /// Use when only the *result* matters (kill checks, differential
+    /// output comparison).
+    ///
+    /// # Errors
+    /// Same conditions as [`CallSemantics::run_with`].
+    fn run_fast(&self, input: Vec<Value>, limits: Limits) -> Result<Outcome> {
+        self.run_with(input, limits, &mut NoopMonitor)
+    }
+
+    /// Monitor-free isolated procedure run (the verdict-only T-GEN
+    /// path); result-identical to [`CallSemantics::run_proc_with`] with
+    /// a no-op monitor.
+    ///
+    /// # Errors
+    /// Same conditions as [`CallSemantics::run_proc_with`].
+    fn run_proc_fast(&self, proc: ProcId, args: Vec<Value>, limits: Limits) -> Result<ProcRun> {
+        self.run_proc_with(proc, args, limits, &mut NoopMonitor)
+    }
 }
 
-enum Backend<'m> {
-    /// Tree-walker: clones the CFG into a fresh interpreter per run
-    /// (exactly what the pre-engine code paths did).
-    Tree(&'m ProgramCfg),
+enum Backend {
+    /// Tree-walker: one shared lowering, handed by `Arc` to a fresh
+    /// interpreter per run (no per-run CFG clone).
+    Tree(Arc<ProgramCfg>),
     /// Bytecode VM: compiled once, shared by every run.
     Vm(VmProgram),
 }
@@ -124,7 +148,7 @@ enum Backend<'m> {
 pub struct PreparedEngine<'m> {
     module: &'m Module,
     engine: Engine,
-    backend: Backend<'m>,
+    backend: Backend,
 }
 
 impl<'m> PreparedEngine<'m> {
@@ -133,7 +157,8 @@ impl<'m> PreparedEngine<'m> {
     /// cost, amortized over every subsequent run).
     pub fn new(module: &'m Module, cfg: &'m ProgramCfg, engine: Engine) -> Self {
         let backend = match engine {
-            Engine::TreeWalker => Backend::Tree(cfg),
+            // One clone total at preparation time; every run shares it.
+            Engine::TreeWalker => Backend::Tree(Arc::new(cfg.clone())),
             Engine::Vm => Backend::Vm(VmProgram::compile(module, cfg)),
         };
         PreparedEngine {
@@ -171,7 +196,7 @@ impl CallSemantics for PreparedEngine<'_> {
     ) -> Result<Outcome> {
         match &self.backend {
             Backend::Tree(cfg) => {
-                let mut interp = Interpreter::with_cfg(self.module, (*cfg).clone());
+                let mut interp = Interpreter::with_shared_cfg(self.module, Arc::clone(cfg));
                 interp.set_limits(limits);
                 interp.set_input(input);
                 interp.run_with(monitor)
@@ -194,7 +219,7 @@ impl CallSemantics for PreparedEngine<'_> {
     ) -> Result<ProcRun> {
         match &self.backend {
             Backend::Tree(cfg) => {
-                let mut interp = Interpreter::with_cfg(self.module, (*cfg).clone());
+                let mut interp = Interpreter::with_shared_cfg(self.module, Arc::clone(cfg));
                 interp.set_limits(limits);
                 interp.run_proc_with(proc, args, monitor)
             }
@@ -202,6 +227,38 @@ impl CallSemantics for PreparedEngine<'_> {
                 let mut vm = Vm::new(self.module, program);
                 vm.set_limits(limits);
                 vm.run_proc_with(proc, args, monitor)
+            }
+        }
+    }
+
+    fn run_fast(&self, input: Vec<Value>, limits: Limits) -> Result<Outcome> {
+        match &self.backend {
+            Backend::Tree(cfg) => {
+                let mut interp = Interpreter::with_shared_cfg(self.module, Arc::clone(cfg));
+                interp.set_limits(limits);
+                interp.set_input(input);
+                interp.run_with(&mut NoopMonitor)
+            }
+            Backend::Vm(program) => {
+                let mut vm = Vm::new(self.module, program);
+                vm.set_limits(limits);
+                vm.set_input(input);
+                vm.run()
+            }
+        }
+    }
+
+    fn run_proc_fast(&self, proc: ProcId, args: Vec<Value>, limits: Limits) -> Result<ProcRun> {
+        match &self.backend {
+            Backend::Tree(cfg) => {
+                let mut interp = Interpreter::with_shared_cfg(self.module, Arc::clone(cfg));
+                interp.set_limits(limits);
+                interp.run_proc_with(proc, args, &mut NoopMonitor)
+            }
+            Backend::Vm(program) => {
+                let mut vm = Vm::new(self.module, program);
+                vm.set_limits(limits);
+                vm.run_proc(proc, args)
             }
         }
     }

@@ -29,7 +29,7 @@ fn assert_same_events(name: &str, what: &str, tree: &EventLog, vm: &EventLog) {
     for i in 0..n {
         if tree.events[i] != vm.events[i] {
             panic!(
-                "{name} [{what}]: event {i} diverges\n  tree: {}\n  vm:   {}\n  \
+                "{name} [{what}]: event {i} diverges\n  tree: {:?}\n  vm:   {:?}\n  \
                  (tree emitted {} events, vm {})",
                 tree.events[i],
                 vm.events[i],
@@ -40,7 +40,7 @@ fn assert_same_events(name: &str, what: &str, tree: &EventLog, vm: &EventLog) {
     }
     panic!(
         "{name} [{what}]: event streams have a common prefix but different \
-         lengths: tree {} vs vm {}\n  first extra: {}",
+         lengths: tree {} vs vm {}\n  first extra: {:?}",
         tree.events.len(),
         vm.events.len(),
         if tree.events.len() > n {

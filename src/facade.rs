@@ -93,9 +93,10 @@ impl Compiled {
     }
 
     /// Selects the execution engine for the trace phase:
-    /// [`Engine::TreeWalker`] (the default reference interpreter) or
-    /// [`Engine::Vm`] (the compiled bytecode VM — same traces, slices,
-    /// and journals, compiled once and shared across batch workers).
+    /// [`Engine::Vm`] (the compiled bytecode VM, the default — compiled
+    /// once and shared across batch workers) or [`Engine::TreeWalker`]
+    /// (the tree-walking reference interpreter, retained for
+    /// differential verification — same traces, slices, and journals).
     #[must_use]
     pub fn with_engine(mut self, engine: Engine) -> Self {
         self.engine = engine;
