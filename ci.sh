@@ -49,6 +49,40 @@ if [ -n "$leftover" ]; then
 fi
 rmdir "$STORE_TMP"
 
+# Debugging-service tier: the release gadt-serve binary on a unix
+# socket inside a throwaway sandbox, driven end-to-end (compile ->
+# trace -> debug -> answer -> slice) by its own selftest client, which
+# replays the golden §8 session against the server and then asks it to
+# shut down. The clean-shutdown report line only prints after the final
+# store compaction, and a report showing zero compactions fails the
+# tier.
+echo "==> debugging service tier (gadt-serve e2e over unix socket)"
+cargo build --release -q -p gadt-serve --bin gadt-serve
+SERVE_TMP="$(mktemp -d)"
+SERVE_SOCK="$SERVE_TMP/gadt.sock"
+SERVE_LOG="$SERVE_TMP/server.log"
+./target/release/gadt-serve --listen "unix:$SERVE_SOCK" \
+    --store "$SERVE_TMP/store" --shards 3 --threads 4 >"$SERVE_LOG" &
+SERVE_PID=$!
+for _ in $(seq 1 100); do
+    [ -S "$SERVE_SOCK" ] && break
+    sleep 0.1
+done
+./target/release/gadt-serve --selftest "unix:$SERVE_SOCK" --shutdown
+wait "$SERVE_PID"
+grep -q "clean shutdown" "$SERVE_LOG" || {
+    echo "ci: server did not shut down cleanly:"
+    cat "$SERVE_LOG"
+    exit 1
+}
+if grep -q " 0 compactions" "$SERVE_LOG"; then
+    echo "ci: server shut down without ever compacting its store:"
+    cat "$SERVE_LOG"
+    exit 1
+fi
+grep "clean shutdown" "$SERVE_LOG"
+rm -rf "$SERVE_TMP"
+
 # Differential fuzz smoke tier: a bounded sweep through the seeded
 # corpus generator — original vs transformed output agreement plus
 # slice-replay soundness for every program-level variable; the binary

@@ -18,10 +18,9 @@
 
 use crate::oracle::{Answer, ChainOracle, Oracle};
 use gadt_analysis::dyntrace::DynTrace;
-use gadt_analysis::slice_dynamic::{dynamic_slice_output, SliceStats};
+use gadt_analysis::slice_dynamic::SliceStats;
 use gadt_pascal::sema::Module;
-use gadt_trace::{ExecTree, NodeId, NodeKind};
-use std::collections::BTreeSet;
+use gadt_trace::{ExecTree, NodeId};
 
 /// Execution-tree traversal strategy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -134,9 +133,6 @@ pub struct Debugger<'a> {
     module: &'a Module,
     trace: &'a DynTrace,
     config: DebugConfig,
-    transcript: Vec<TranscriptEntry>,
-    slices_taken: usize,
-    slice_stats: Vec<SliceStats>,
     /// When set, queries are rendered in terms of the *original* program
     /// via the transformation mapping (§6.1 transparency).
     mapping: Option<&'a gadt_transform::Mapping>,
@@ -153,9 +149,6 @@ impl<'a> Debugger<'a> {
             module,
             trace,
             config,
-            transcript: Vec::new(),
-            slices_taken: 0,
-            slice_stats: Vec::new(),
             mapping: None,
             obs: None,
         }
@@ -174,63 +167,59 @@ impl<'a> Debugger<'a> {
         self
     }
 
-    fn render(&self, tree: &ExecTree, node: NodeId) -> String {
-        match self.mapping {
-            Some(m) => crate::transparency::render_query_original(m, self.module, tree, node),
-            None => tree.render_node(node),
-        }
-    }
-
     /// Debugs starting from `start` (assumed incorrect, not queried).
+    ///
+    /// A thin driver loop over [`crate::handle::DebugState`]: pull the
+    /// pending question, judge it through the oracle chain, journal it,
+    /// feed the verdict back. Servers that cannot block on an oracle
+    /// callback hold a [`crate::DebugHandle`] instead and pump it one
+    /// request at a time — both paths share the state machine and
+    /// produce byte-identical transcripts.
     pub fn run(
         mut self,
         tree: &ExecTree,
         start: NodeId,
         oracle: &mut ChainOracle<'_>,
     ) -> DebugOutcome {
-        let result = match self.config.strategy {
-            Strategy::TopDown => self.locate_in(tree, start, oracle),
-            Strategy::DivideAndQuery => self.dq(tree, start, oracle),
-        };
-        DebugOutcome {
-            result,
-            transcript: self.transcript,
-            slices_taken: self.slices_taken,
-            slice_stats: self.slice_stats,
+        let mut state = crate::handle::DebugState::new(
+            self.module,
+            self.mapping,
+            tree.clone(),
+            start,
+            self.config,
+        );
+        while let Some(q) = state.next_question() {
+            let (node, unit) = (q.node, q.unit.clone());
+            let answer = oracle.judge(self.module, state.tree(), node);
+            let source = oracle.last_source().to_string();
+            if let Some(rec) = self.obs.as_deref_mut() {
+                rec.incr("debug.questions");
+                rec.incr(&format!(
+                    "debug.questions.by_source.{}",
+                    gadt_obs::slug(&source)
+                ));
+                gadt_obs::event!(
+                    rec,
+                    "question",
+                    unit = unit.as_str(),
+                    source = source.as_str(),
+                    answer = answer.to_string(),
+                );
+            }
+            let before = state.slices_taken();
+            state.answer(self.module, self.trace, self.mapping, answer, &source);
+            if state.slices_taken() > before {
+                let stats = state.slice_stats()[before];
+                self.observe_slice(&stats);
+            }
         }
+        state.into_outcome()
     }
 
     /// Debugs a whole program run: the root (main) is the symptom.
     pub fn run_program(self, tree: &ExecTree, oracle: &mut ChainOracle<'_>) -> DebugOutcome {
         let root = tree.root;
         self.run(tree, root, oracle)
-    }
-
-    fn ask(&mut self, tree: &ExecTree, node: NodeId, oracle: &mut ChainOracle<'_>) -> Answer {
-        let answer = oracle.judge(self.module, tree, node);
-        let unit = tree.node(node).name.clone();
-        let source = oracle.last_source().to_string();
-        if let Some(rec) = self.obs.as_deref_mut() {
-            rec.incr("debug.questions");
-            rec.incr(&format!(
-                "debug.questions.by_source.{}",
-                gadt_obs::slug(&source)
-            ));
-            gadt_obs::event!(
-                rec,
-                "question",
-                unit = unit.as_str(),
-                source = source.as_str(),
-                answer = answer.to_string(),
-            );
-        }
-        self.transcript.push(TranscriptEntry {
-            query: self.render(tree, node),
-            unit,
-            answer: answer.clone(),
-            source,
-        });
-        answer
     }
 
     /// Journals one accepted slice (counter + point event).
@@ -245,136 +234,6 @@ impl<'a> Debugger<'a> {
                 calls = stats.calls,
             );
         }
-    }
-
-    fn bug_at(&self, tree: &ExecTree, node: NodeId) -> DebugResult {
-        DebugResult::BugLocalized {
-            unit: tree.node(node).name.clone(),
-            rendering: self.render(tree, node),
-        }
-    }
-
-    /// Handles a node known to be incorrect (answer `k`): activate
-    /// slicing when applicable, then search its children.
-    fn locate(
-        &mut self,
-        tree: &ExecTree,
-        node: NodeId,
-        wrong_output: Option<usize>,
-        oracle: &mut ChainOracle<'_>,
-    ) -> DebugResult {
-        if self.config.slicing {
-            if let (Some(k), NodeKind::Call { call, .. }) = (wrong_output, &tree.node(node).kind) {
-                // §5.3.3: slicing is activated when "a unit produces
-                // several output values and only some of these values are
-                // erroneous".
-                if tree.node(node).outs.len() > 1 {
-                    // Slices compensate for omission faults (uses with no
-                    // reaching definition) by keeping every candidate
-                    // writer of the undefined location, so pruning on them
-                    // is sound even when the bug is a deleted write.
-                    let slice = dynamic_slice_output(self.module, self.trace, *call, k);
-                    let pruned = tree.prune(node, &slice);
-                    if !pruned.is_empty() {
-                        self.slices_taken += 1;
-                        let stats = slice.stats();
-                        self.observe_slice(&stats);
-                        self.slice_stats.push(stats);
-                        return self.locate_in(&pruned, pruned.root, oracle);
-                    }
-                }
-            }
-        }
-        self.locate_in(tree, node, oracle)
-    }
-
-    /// Searches the children of a known-incorrect node (top-down).
-    fn locate_in(
-        &mut self,
-        tree: &ExecTree,
-        node: NodeId,
-        oracle: &mut ChainOracle<'_>,
-    ) -> DebugResult {
-        let children = tree.node(node).children.clone();
-        for child in children {
-            match self.ask(tree, child, oracle) {
-                Answer::Correct | Answer::DontKnow => continue,
-                Answer::Incorrect { wrong_output } => {
-                    return self.locate(tree, child, wrong_output, oracle);
-                }
-            }
-        }
-        self.bug_at(tree, node)
-    }
-
-    /// Divide-and-query over the subtree of a known-incorrect node.
-    fn dq(&mut self, tree: &ExecTree, root: NodeId, oracle: &mut ChainOracle<'_>) -> DebugResult {
-        let mut root = root;
-        let mut cleared: BTreeSet<NodeId> = BTreeSet::new();
-        loop {
-            // Remaining suspects: descendants of root not under a cleared
-            // node.
-            let suspects = self.live_descendants(tree, root, &cleared);
-            if suspects.is_empty() {
-                return self.bug_at(tree, root);
-            }
-            let total = suspects.len() + 1;
-            // Weight of each candidate = its live subtree size. Query the
-            // one closest to half the total.
-            let mut best: Option<(NodeId, usize)> = None;
-            for &c in &suspects {
-                let w = self.live_descendants(tree, c, &cleared).len() + 1;
-                let d = (2 * w).abs_diff(total);
-                if best.is_none_or(|(_, bd)| d < bd) {
-                    best = Some((c, d));
-                }
-            }
-            let (candidate, _) = best.expect("nonempty suspects");
-            match self.ask(tree, candidate, oracle) {
-                Answer::Correct | Answer::DontKnow => {
-                    cleared.insert(candidate);
-                }
-                Answer::Incorrect { wrong_output } => {
-                    if self.config.slicing {
-                        if let (Some(k), NodeKind::Call { call, .. }) =
-                            (wrong_output, &tree.node(candidate).kind)
-                        {
-                            if tree.node(candidate).outs.len() > 1 {
-                                let slice = dynamic_slice_output(self.module, self.trace, *call, k);
-                                let pruned = tree.prune(candidate, &slice);
-                                if !pruned.is_empty() {
-                                    self.slices_taken += 1;
-                                    let stats = slice.stats();
-                                    self.observe_slice(&stats);
-                                    self.slice_stats.push(stats);
-                                    return self.dq(&pruned.clone(), pruned.root, oracle);
-                                }
-                            }
-                        }
-                    }
-                    root = candidate;
-                    cleared.clear();
-                }
-            }
-        }
-    }
-
-    fn live_descendants(
-        &self,
-        tree: &ExecTree,
-        node: NodeId,
-        cleared: &BTreeSet<NodeId>,
-    ) -> Vec<NodeId> {
-        let mut out = Vec::new();
-        let mut stack: Vec<NodeId> = tree.node(node).children.clone();
-        while let Some(n) = stack.pop() {
-            if cleared.contains(&n) {
-                continue;
-            }
-            out.push(n);
-            stack.extend(tree.node(n).children.iter().copied());
-        }
-        out
     }
 }
 

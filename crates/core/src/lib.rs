@@ -57,6 +57,7 @@
 
 pub mod debugger;
 pub mod error;
+pub mod handle;
 pub mod interactive;
 pub mod oracle;
 pub mod retry;
@@ -67,6 +68,7 @@ pub mod transparency;
 
 pub use debugger::{DebugConfig, DebugOutcome, DebugResult, Debugger, Strategy};
 pub use error::{Error, Phase};
+pub use handle::{DebugHandle, DebugState, Question, Step, Verdict};
 pub use oracle::{
     Answer, AssertionOracle, ChainOracle, CountingOracle, GoldenOracle, Oracle, ReferenceOracle,
 };

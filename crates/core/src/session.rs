@@ -177,6 +177,11 @@ pub struct TracedRun {
     pub tree: ExecTree,
     /// The program's captured output.
     pub output: String,
+    /// Which engine produced this run (provenance: server responses echo
+    /// it without re-deriving it from the prepared program).
+    pub engine: Engine,
+    /// The interpreter limits the run executed under.
+    pub limits: Limits,
 }
 
 /// Runs the tracing phase: executes the transformed program on `input`,
@@ -188,17 +193,7 @@ pub fn run_traced(
     prepared: &PreparedProgram,
     input: impl IntoIterator<Item = Value>,
 ) -> Result<TracedRun> {
-    let module = &prepared.transformed.module;
-    let cd = gadt_analysis::controldep::ProgramControlDeps::compute(module, &prepared.cfg);
-    let mut rec = DependenceRecorder::new(&cd);
-    let outcome = prepared.execute(input.into_iter().collect(), Limits::default(), &mut rec)?;
-    let trace = rec.finish();
-    let tree = build_tree(module, &trace);
-    Ok(TracedRun {
-        trace,
-        tree,
-        output: outcome.output_text().to_string(),
-    })
+    run_traced_limited(prepared, input, Limits::default())
 }
 
 /// Like [`run_traced`] but with interpreter [`Limits`] — the mutation
@@ -226,6 +221,8 @@ pub fn run_traced_limited(
         trace,
         tree,
         output: outcome.output_text().to_string(),
+        engine: prepared.engine(),
+        limits,
     })
 }
 
@@ -293,6 +290,8 @@ pub fn run_traced_batch_observed(
             trace,
             tree,
             output: outcome.output_text().to_string(),
+            engine: prepared.engine(),
+            limits: Limits::default(),
         })
     });
     rec.exit(span);
@@ -357,33 +356,6 @@ pub fn trace_batch(
         journal,
         timings,
     })
-}
-
-/// Deprecated name for [`trace_batch`] (the repo-wide convention is
-/// `*_batch` for thread-fanned entry points).
-///
-/// # Errors
-/// Same as [`trace_batch`].
-///
-/// # Examples
-/// The shim stays call-compatible while it lives:
-/// ```
-/// # #![allow(deprecated)]
-/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
-/// use gadt_pascal::{sema::compile, value::Value};
-/// let m = compile("program t; var n: integer; begin read(n); writeln(n * 2) end.")?;
-/// let batch = gadt::session::trace_inputs(&m, vec![vec![Value::Int(21)]], 1)?;
-/// assert_eq!(batch.runs[0].output, "42\n");
-/// # Ok(())
-/// # }
-/// ```
-#[deprecated(since = "0.1.0", note = "renamed to `trace_batch`")]
-pub fn trace_inputs(
-    module: &Module,
-    inputs: Vec<Vec<Value>>,
-    threads: usize,
-) -> Result<BatchTraced> {
-    trace_batch(module, inputs, threads)
 }
 
 /// Like [`debug`] but also measures the phase's wall-clock, recording it
@@ -627,11 +599,24 @@ mod batch_session_tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_trace_inputs_alias_still_works() {
+    fn traced_runs_echo_engine_and_limits_provenance() {
         let m = compile(SUMMER).unwrap();
-        let batch = trace_inputs(&m, vec![vec![Value::Int(3)]], 1).unwrap();
-        assert_eq!(batch.runs[0].output, "6\n");
+        let prepared = prepare(&m).unwrap();
+        let run = run_traced(&prepared, vec![Value::Int(3)]).unwrap();
+        assert_eq!(run.engine, prepared.engine());
+        assert_eq!(run.limits.max_steps, Limits::default().max_steps);
+
+        let tight = Limits {
+            max_steps: 1_000,
+            max_depth: 32,
+        };
+        let limited = run_traced_limited(&prepared, vec![Value::Int(3)], tight).unwrap();
+        assert_eq!(limited.limits.max_steps, 1_000);
+        assert_eq!(limited.limits.max_depth, 32);
+
+        let tree = prepared.clone().with_engine(Engine::TreeWalker);
+        let batch = run_traced_batch(&tree, vec![vec![Value::Int(2)]], 1).unwrap();
+        assert_eq!(batch[0].engine, Engine::TreeWalker);
     }
 
     #[test]

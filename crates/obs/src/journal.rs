@@ -119,6 +119,19 @@ impl Journal {
         self.render_lines(false)
     }
 
+    /// The timestamp-free JSON line of each event from index `from` on —
+    /// the streaming serialization: a subscriber that has already seen
+    /// `from` events receives exactly the new ones, and the
+    /// concatenation of every increment equals the event portion of
+    /// [`Journal::fingerprint`].
+    pub fn event_lines_from(&self, from: usize) -> Vec<String> {
+        self.events
+            .iter()
+            .skip(from)
+            .map(|e| Self::event_line(e, false))
+            .collect()
+    }
+
     /// The full JSON-lines serialization, wall-clock fields included.
     /// One JSON object per line: events first (in order), then counters.
     pub fn to_json_lines(&self) -> String {

@@ -202,6 +202,19 @@ impl Recorder {
         }
     }
 
+    /// A point-in-time copy of the journal so far, *without* consuming
+    /// the recorder or closing open spans (their `Enter` events appear
+    /// with no matching `Exit` yet). This is the live-streaming read: a
+    /// server snapshots a session's recorder after each request and
+    /// pushes [`Journal::event_lines_from`] the subscriber's high-water
+    /// mark to every subscriber.
+    pub fn snapshot(&self) -> Journal {
+        Journal {
+            events: self.events.clone(),
+            counters: self.counters.clone(),
+        }
+    }
+
     /// Closes any spans left open (defensively) and returns the journal.
     pub fn finish(mut self) -> Journal {
         while let Some(&(idx, _)) = self.stack.last() {
@@ -321,6 +334,28 @@ mod tests {
         b.adopt(make_child("first"), None);
         b.adopt(make_child("second"), None);
         assert_eq!(a.finish().fingerprint(), b.finish().fingerprint());
+    }
+
+    #[test]
+    fn snapshot_streams_incrementally_without_consuming() {
+        let mut rec = Recorder::untimed();
+        rec.event("question", &[("unit", "p".into())]);
+        let first = rec.snapshot();
+        assert_eq!(first.events.len(), 1);
+        rec.event("question", &[("unit", "q".into())]);
+        rec.incr("debug.questions");
+        let second = rec.snapshot();
+        // The increment since the first snapshot is exactly the new line.
+        let delta = second.event_lines_from(first.events.len());
+        assert_eq!(delta.len(), 1);
+        assert!(delta[0].contains("\"unit\":\"q\""), "{}", delta[0]);
+        // Concatenated increments equal the final event lines.
+        let all = second.event_lines_from(0);
+        let mut catted = first.event_lines_from(0);
+        catted.extend(delta);
+        assert_eq!(all, catted);
+        // The recorder is still usable and finishes normally.
+        assert_eq!(rec.finish().counter("debug.questions"), 1);
     }
 
     #[test]

@@ -1,0 +1,342 @@
+//! End-to-end service campaigns: concurrent §8 sessions, determinism
+//! across server thread counts, pooled cross-user knowledge, and
+//! kill/restart durability of acknowledged answers.
+
+use gadt::debugger::DebugConfig;
+use gadt::handle::Verdict;
+use gadt::oracle::{ChainOracle, ReferenceOracle};
+use gadt::session::{debug, prepare, run_traced};
+use gadt_pascal::testprogs;
+use gadt_pascal::value::Value;
+use gadt_serve::{AskReply, Client, Listen, Server, ServerAddr, ServerConfig, SessionOptions};
+use gadt_store::{ShardedStore, TempDir};
+use std::collections::BTreeMap;
+
+/// The §8 golden transcript, keyed by rendered query: what a simulated
+/// user (reference oracle over the fixed program) answers. The server
+/// renders queries in original-program coordinates exactly like the
+/// local driver, so lookups are exact-match.
+fn golden_answers() -> BTreeMap<String, Verdict> {
+    let module = gadt_pascal::sema::compile(testprogs::SQRTEST).unwrap();
+    let fixed = gadt_pascal::sema::compile(testprogs::SQRTEST_FIXED).unwrap();
+    let prepared = prepare(&module).unwrap();
+    let run = run_traced(&prepared, []).unwrap();
+    let mut oracle = ChainOracle::new();
+    oracle.push(ReferenceOracle::new(&fixed, []).unwrap());
+    let outcome = debug(&prepared, &run, &mut oracle, DebugConfig::default());
+    assert!(
+        outcome.transcript.len() >= 7,
+        "§8 asks at least 7 questions"
+    );
+    outcome
+        .transcript
+        .iter()
+        .map(|t| (t.query.clone(), t.answer.clone()))
+        .collect()
+}
+
+/// Drives one complete §8 session over the wire; returns the
+/// per-session journal fingerprint.
+fn run_full_session(addr: &ServerAddr, golden: &BTreeMap<String, Verdict>, pool: bool) -> String {
+    let mut client = Client::connect(addr).expect("connect");
+    let opts = SessionOptions {
+        pool: Some(pool),
+        ..SessionOptions::default()
+    };
+    let sid = client
+        .create_session(testprogs::SQRTEST, &opts)
+        .expect("create");
+    let outputs = client.trace(sid, &[vec![]]).expect("trace");
+    assert_eq!(outputs.len(), 1);
+    let mut reply = client.ask(sid, 0).expect("ask");
+    loop {
+        match reply {
+            AskReply::Done { ref localized, .. } => {
+                assert_eq!(localized.as_deref(), Some("decrement"));
+                break;
+            }
+            AskReply::Question { ref query, .. } => {
+                let verdict = golden
+                    .get(query)
+                    .unwrap_or_else(|| panic!("unexpected question: {query}"))
+                    .clone();
+                reply = client.answer(sid, &verdict).expect("answer");
+            }
+        }
+    }
+    client.journal_fingerprint(sid).expect("journal")
+}
+
+#[test]
+fn eight_concurrent_sessions_are_deterministic_across_thread_counts() {
+    let golden = golden_answers();
+    let mut journal_fps: Vec<String> = Vec::new();
+    let mut store_fps: Vec<String> = Vec::new();
+
+    for threads in [1usize, 2, 8] {
+        let dir = TempDir::new(&format!("serve-det-{threads}"));
+        let store_dir = dir.path().join("store");
+        let mut cfg = ServerConfig::new(Listen::Tcp("127.0.0.1:0".into()), &store_dir);
+        cfg.threads = threads;
+        cfg.shards = 3;
+        let handle = Server::start(cfg).expect("server starts");
+        let addr = handle.addr().clone();
+
+        let fps: Vec<String> = std::thread::scope(|scope| {
+            let workers: Vec<_> = (0..8)
+                .map(|_| scope.spawn(|| run_full_session(&addr, &golden, false)))
+                .collect();
+            workers.into_iter().map(|w| w.join().unwrap()).collect()
+        });
+        // Every session replays the same campaign: all 8 journal
+        // fingerprints are byte-identical within a run.
+        for fp in &fps[1..] {
+            assert_eq!(fp, &fps[0], "at {threads} server threads");
+        }
+        journal_fps.push(fps[0].clone());
+
+        let report = handle.shutdown().expect("clean shutdown");
+        assert_eq!(report.sessions, 8);
+        assert_eq!(report.wal_records, 0, "clean shutdown compacts WALs");
+        assert!(report.compactions >= 3);
+
+        let store = ShardedStore::open(&store_dir, 1).expect("reopen");
+        assert_eq!(store.shard_count(), 3, "layout survives");
+        store_fps.push(store.disk_fingerprint().unwrap());
+    }
+
+    // ... and across server thread counts: same journals, same bytes on
+    // disk.
+    assert_eq!(journal_fps[0], journal_fps[1]);
+    assert_eq!(journal_fps[0], journal_fps[2]);
+    assert_eq!(store_fps[0], store_fps[1]);
+    assert_eq!(store_fps[0], store_fps[2]);
+}
+
+#[test]
+fn pooled_knowledge_answers_the_second_client() {
+    let golden = golden_answers();
+    let dir = TempDir::new("serve-pool");
+    let mut cfg = ServerConfig::new(Listen::Tcp("127.0.0.1:0".into()), dir.path().join("store"));
+    cfg.threads = 2;
+    cfg.shards = 2;
+    let handle = Server::start(cfg).expect("server starts");
+    let addr = handle.addr().clone();
+
+    // First user pays the full question cost.
+    run_full_session(&addr, &golden, true);
+
+    // Second user: every §8 question is already pooled knowledge — the
+    // first `ask` comes back finished, no question ever reaches them.
+    let mut client = Client::connect(&addr).unwrap();
+    let opts = SessionOptions {
+        pool: Some(true),
+        ..SessionOptions::default()
+    };
+    let sid = client.create_session(testprogs::SQRTEST, &opts).unwrap();
+    client.trace(sid, &[vec![]]).unwrap();
+    match client.ask(sid, 0).unwrap() {
+        AskReply::Done {
+            localized,
+            questions,
+            ..
+        } => {
+            assert_eq!(localized.as_deref(), Some("decrement"));
+            assert!(questions >= 7);
+        }
+        AskReply::Question { query, .. } => {
+            panic!("second client should ride the pool, got asked: {query}")
+        }
+    }
+    drop(client);
+    handle.shutdown().unwrap();
+}
+
+#[test]
+fn kill_midway_restart_recovers_every_acknowledged_answer() {
+    let golden = golden_answers();
+    let dir = TempDir::new("serve-kill");
+    let store_dir = dir.path().join("store");
+    let sock = dir.path().join("gadt.sock");
+    let mut cfg = ServerConfig::new(Listen::Unix(sock.clone()), &store_dir);
+    cfg.threads = 4;
+    cfg.shards = 4;
+    let handle = Server::start(cfg.clone()).expect("server starts");
+    let addr = handle.addr().clone();
+
+    // 8 concurrent clients each answer exactly 3 questions; every
+    // acknowledged answer is fsynced before the client sees the reply.
+    type Acked = Vec<(String, Vec<Value>, Verdict)>;
+    let acked: Vec<Acked> = std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..8)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut client = Client::connect(&addr).unwrap();
+                    let opts = SessionOptions {
+                        pool: Some(false),
+                        ..SessionOptions::default()
+                    };
+                    let sid = client.create_session(testprogs::SQRTEST, &opts).unwrap();
+                    client.trace(sid, &[vec![]]).unwrap();
+                    let mut reply = client.ask(sid, 0).unwrap();
+                    let mut mine: Acked = Vec::new();
+                    for _ in 0..3 {
+                        let AskReply::Question {
+                            ref unit,
+                            ref query,
+                            ref ins,
+                            ..
+                        } = reply
+                        else {
+                            break;
+                        };
+                        let verdict = golden.get(query).unwrap().clone();
+                        let (unit, ins) = (unit.clone(), ins.clone());
+                        reply = client.answer(sid, &verdict).unwrap();
+                        // The reply arrived: this answer is acknowledged.
+                        mine.push((unit, ins, verdict));
+                    }
+                    mine
+                })
+            })
+            .collect();
+        workers.into_iter().map(|w| w.join().unwrap()).collect()
+    });
+    assert!(acked.iter().all(|a| a.len() == 3));
+
+    // Kill mid-campaign: no final compaction, sessions lost, socket
+    // file left behind — only the store's durability contract remains.
+    handle.kill();
+
+    // Restart over the same store directory and socket path.
+    let handle = Server::start(cfg).expect("server restarts over the store");
+    let mut client = Client::connect(handle.addr()).unwrap();
+
+    // Zero lost acknowledged appends: every answer any client was shown
+    // an acknowledgement for is served back from the recovered store.
+    for (unit, ins, verdict) in acked.iter().flatten() {
+        let found = client.knowledge(unit, ins).unwrap();
+        assert_eq!(found.as_ref(), Some(verdict), "lost ack for {unit}");
+    }
+
+    // A pooled session resumes the campaign: the recovered knowledge
+    // answers the first three questions before the client sees one.
+    let opts = SessionOptions {
+        pool: Some(true),
+        ..SessionOptions::default()
+    };
+    let sid = client.create_session(testprogs::SQRTEST, &opts).unwrap();
+    client.trace(sid, &[vec![]]).unwrap();
+    let mut reply = client.ask(sid, 0).unwrap();
+    if let AskReply::Question { asked, .. } = reply {
+        assert_eq!(asked, 3, "the three acknowledged answers ride the pool");
+    } else {
+        panic!("expected a fourth question after the pooled prefix");
+    }
+    loop {
+        match reply {
+            AskReply::Done { ref localized, .. } => {
+                assert_eq!(localized.as_deref(), Some("decrement"));
+                break;
+            }
+            AskReply::Question { ref query, .. } => {
+                let verdict = golden.get(query).unwrap().clone();
+                reply = client.answer(sid, &verdict).unwrap();
+            }
+        }
+    }
+    drop(client);
+    let report = handle.shutdown().unwrap();
+    assert!(
+        report.compactions >= 4,
+        "clean shutdown compacts all shards"
+    );
+    assert!(!sock.exists(), "clean shutdown removes the socket file");
+}
+
+#[test]
+fn subscribers_stream_journal_events_live() {
+    let golden = golden_answers();
+    let dir = TempDir::new("serve-subscribe");
+    let mut cfg = ServerConfig::new(Listen::Tcp("127.0.0.1:0".into()), dir.path().join("store"));
+    cfg.threads = 2;
+    let handle = Server::start(cfg).expect("server starts");
+    let addr = handle.addr().clone();
+
+    let mut driver = Client::connect(&addr).unwrap();
+    let opts = SessionOptions {
+        pool: Some(false),
+        ..SessionOptions::default()
+    };
+    let sid = driver.create_session(testprogs::SQRTEST, &opts).unwrap();
+    driver.trace(sid, &[vec![]]).unwrap();
+
+    // Subscribe from a second connection, then drive one answer from
+    // the first: the subscriber must see the transform/trace backlog
+    // AND the live question event.
+    let subscriber = Client::connect(&addr).unwrap();
+    let mut events = subscriber.subscribe(sid).unwrap();
+
+    let reply = driver.ask(sid, 0).unwrap();
+    let AskReply::Question { ref query, .. } = reply else {
+        panic!("expected the first §8 question");
+    };
+    driver
+        .answer(sid, &golden.get(query).unwrap().clone())
+        .unwrap();
+
+    let mut saw_trace = false;
+    let mut saw_question = false;
+    for _ in 0..500 {
+        let Some(line) = events.next_event().unwrap() else {
+            break;
+        };
+        gadt_obs::json::validate(&line).expect("streamed lines are valid JSON");
+        if line.contains("\"name\":\"trace\"") {
+            saw_trace = true;
+        }
+        if line.contains("\"name\":\"question\"") && line.contains("\"unit\":\"sqrtest\"") {
+            saw_question = true;
+            break;
+        }
+    }
+    assert!(saw_trace, "backlog replays the trace span");
+    assert!(saw_question, "live question event reaches the subscriber");
+
+    drop(driver);
+    handle.shutdown().unwrap();
+}
+
+#[test]
+fn server_errors_are_reported_not_fatal() {
+    let dir = TempDir::new("serve-errors");
+    let mut cfg = ServerConfig::new(Listen::Tcp("127.0.0.1:0".into()), dir.path().join("store"));
+    cfg.threads = 1;
+    let handle = Server::start(cfg).expect("server starts");
+    let mut client = Client::connect(handle.addr()).unwrap();
+
+    // Unknown session.
+    let err = client.trace(99, &[vec![]]).unwrap_err();
+    assert!(err.to_string().contains("no session"), "{err}");
+
+    // Compile error.
+    let err = client
+        .create_session("program; begin end.", &SessionOptions::default())
+        .unwrap_err();
+    assert!(err.to_string().contains("compile"), "{err}");
+
+    // Answer with no debug handle.
+    let opts = SessionOptions::default();
+    let sid = client.create_session(testprogs::SQRTEST, &opts).unwrap();
+    let err = client.answer(sid, &Verdict::Correct).unwrap_err();
+    assert!(err.to_string().contains("ask"), "{err}");
+
+    // Ask before any trace.
+    let err = client.ask(sid, 0).unwrap_err();
+    assert!(err.to_string().contains("no traced run"), "{err}");
+
+    // The connection and server are still healthy.
+    assert!(client.ping().unwrap());
+    drop(client);
+    handle.shutdown().unwrap();
+}

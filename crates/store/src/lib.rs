@@ -32,6 +32,7 @@
 
 pub mod json;
 pub mod record;
+pub mod shard;
 pub mod store;
 mod tempdir;
 
@@ -39,5 +40,6 @@ pub use json::{obj, parse, Json};
 pub use record::{
     answer_key, value_from_json, value_to_json, Record, StoredAnswer, StoredReport, FORMAT, VERSION,
 };
+pub use shard::{AnswerAppend, ShardedStore};
 pub use store::{KnowledgeStore, RecoveryReport, SharedStore};
 pub use tempdir::TempDir;

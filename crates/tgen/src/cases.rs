@@ -301,42 +301,6 @@ pub fn run_cases_batch_on(
     )
 }
 
-/// Deprecated name for [`run_cases_batch`], kept so downstream callers
-/// migrate at their own pace (the repo-wide convention is `*_batch` for
-/// thread-fanned entry points).
-///
-/// # Errors
-/// Same as [`run_cases_batch`].
-///
-/// # Examples
-/// The shim stays call-compatible while it lives:
-/// ```
-/// # #![allow(deprecated)]
-/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
-/// use gadt_pascal::{sema::compile, testprogs};
-/// use gadt_tgen::{spec, frames, cases};
-/// let m = compile(testprogs::SQRTEST)?;
-/// let s = spec::parse_spec(spec::ARRSUM_SPEC)?;
-/// let g = frames::generate_frames(&s, Default::default());
-/// let tc = cases::instantiate_cases(&g, |f| cases::arrsum_instantiator(f, 2));
-/// let db = cases::run_cases_parallel(2, &m, "arrsum", &tc, &|ins, run| {
-///     cases::arrsum_oracle(ins, run)
-/// })?;
-/// assert_eq!(db.frame_verdict("two.positive.small"), Some(true));
-/// # Ok(())
-/// # }
-/// ```
-#[deprecated(since = "0.1.0", note = "renamed to `run_cases_batch`")]
-pub fn run_cases_parallel(
-    threads: usize,
-    module: &Module,
-    unit: &str,
-    cases: &[TestCase],
-    oracle: &(dyn Fn(&[Value], &ProcRun) -> bool + Sync),
-) -> Result<TestDb> {
-    run_cases_batch(threads, module, unit, cases, oracle)
-}
-
 /// [`run_cases_batch`] with instrumentation: wraps the batch in a
 /// `tgen_cases` span tagged with the unit and case count, and records
 /// the counters `tgen.cases`, `tgen.passed` and `tgen.failed`. Each
@@ -856,17 +820,6 @@ mod tests {
         let m = compile(testprogs::SQRTEST).unwrap();
         assert!(run_cases(&m, "nosuch", &[], &|_, _| true).is_err());
         assert!(run_cases_batch(4, &m, "nosuch", &[], &|_, _| true).is_err());
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_parallel_alias_still_works() {
-        let m = compile(testprogs::SQRTEST).unwrap();
-        let g = figure1_frames();
-        let cases = instantiate_cases(&g, |f| arrsum_instantiator(f, 2));
-        let a = run_cases_batch(2, &m, "arrsum", &cases, &|i, r| arrsum_oracle(i, r)).unwrap();
-        let b = run_cases_parallel(2, &m, "arrsum", &cases, &|i, r| arrsum_oracle(i, r)).unwrap();
-        assert_eq!(a, b);
     }
 
     #[test]

@@ -31,6 +31,7 @@
 
 use gadt::debugger::{DebugConfig, DebugOutcome};
 use gadt::error::{Error, Phase, Result};
+use gadt::handle::DebugHandle;
 use gadt::oracle::ChainOracle;
 use gadt::session::{self, Engine, PreparedProgram, TracedRun};
 use gadt::stored::StoredKnowledgeOracle;
@@ -87,9 +88,17 @@ impl Compiled {
     /// Sets the worker-thread count used by later batch phases
     /// (`0` = all cores, the default).
     #[must_use]
-    pub fn threads(mut self, threads: usize) -> Self {
+    pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads;
         self
+    }
+
+    /// Deprecated name for [`Compiled::with_threads`] (every facade
+    /// builder method is `with_*`; kept one release for migration).
+    #[deprecated(since = "0.2.0", note = "renamed to `with_threads`")]
+    #[must_use]
+    pub fn threads(self, threads: usize) -> Self {
+        self.with_threads(threads)
     }
 
     /// Selects the execution engine for the trace phase:
@@ -261,6 +270,34 @@ impl Traced {
         })
     }
 
+    /// Starts an owned, resumable debugging session over one traced run
+    /// — the server-side alternative to [`Traced::debug`]: instead of
+    /// blocking on an oracle callback, the returned [`DebugHandle`] is
+    /// pumped one `next_question()` / `answer(verdict)` pair at a time
+    /// and can be parked between requests. The chain itself is not
+    /// consumed; transparency rendering (§6.1) is wired in.
+    ///
+    /// # Errors
+    /// A [`Phase::Debug`] error when `index` is out of range.
+    pub fn debug_handle(&self, index: usize, config: DebugConfig) -> Result<DebugHandle> {
+        let run = self.runs.get(index).ok_or_else(|| {
+            Error::new(
+                Phase::Debug,
+                format!(
+                    "no traced run at index {index} ({} available)",
+                    self.runs.len()
+                ),
+            )
+        })?;
+        Ok(DebugHandle::new(
+            std::sync::Arc::new(self.prepared.transformed.module.clone()),
+            std::sync::Arc::new(run.trace.clone()),
+            Some(self.prepared.transformed.mapping.clone()),
+            run.tree.clone(),
+            config,
+        ))
+    }
+
     /// Ends the chain without a debug phase, yielding the runs and the
     /// journal of the phases so far.
     pub fn finish(self) -> (Vec<TracedRun>, Journal) {
@@ -284,6 +321,19 @@ pub struct Session {
     pub store: Option<SharedStore>,
 }
 
+impl Session {
+    /// The engine that executed the traced runs (provenance echo).
+    pub fn engine(&self) -> Engine {
+        self.prepared.engine()
+    }
+
+    /// The interpreter limits each traced run executed under, in run
+    /// order (provenance echo for server responses).
+    pub fn limits(&self) -> Vec<gadt_pascal::interp::Limits> {
+        self.runs.iter().map(|r| r.limits).collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -298,7 +348,7 @@ mod tests {
         oracle.push(ReferenceOracle::new(&fixed, []).unwrap());
         let session = Gadt::compile(testprogs::SQRTEST)
             .unwrap()
-            .threads(2)
+            .with_threads(2)
             .transform()
             .unwrap()
             .trace(vec![vec![]])
@@ -386,6 +436,53 @@ mod tests {
             .disk_fingerprint()
             .unwrap();
         assert_eq!(fp1, fp2, "replay must leave the store byte-identical");
+    }
+
+    #[test]
+    fn debug_handle_matches_the_callback_path_and_echoes_provenance() {
+        use gadt::oracle::Oracle;
+        let fixed = gadt_pascal::sema::compile(testprogs::SQRTEST_FIXED).unwrap();
+        let traced = Gadt::compile(testprogs::SQRTEST)
+            .unwrap()
+            .transform()
+            .unwrap()
+            .trace(vec![vec![]])
+            .unwrap();
+
+        // Pump the owned handle with the reference oracle.
+        let mut reference = ReferenceOracle::new(&fixed, []).unwrap();
+        let mut handle = traced.debug_handle(0, DebugConfig::default()).unwrap();
+        while let Some(q) = handle.next_question() {
+            let node = q.node;
+            let verdict = reference.judge(&traced.prepared.transformed.module, handle.tree(), node);
+            handle.answer_from(verdict, reference.source_name());
+        }
+        let pumped = handle.into_outcome();
+
+        // The synchronous callback path over the same traced chain.
+        let mut oracle = ChainOracle::new();
+        oracle.push(ReferenceOracle::new(&fixed, []).unwrap());
+        let session = traced.debug(&mut oracle).unwrap();
+
+        assert_eq!(pumped.result, session.outcome.result);
+        assert_eq!(pumped.slices_taken, session.outcome.slices_taken);
+        let p: Vec<&str> = pumped.transcript.iter().map(|t| t.query.as_str()).collect();
+        let s: Vec<&str> = session
+            .outcome
+            .transcript
+            .iter()
+            .map(|t| t.query.as_str())
+            .collect();
+        assert_eq!(p, s, "handle pump must render the same transparent queries");
+
+        // Provenance echo: engine and limits without re-deriving them.
+        assert_eq!(session.engine(), Engine::default());
+        assert_eq!(session.runs[0].engine, Engine::default());
+        assert_eq!(session.limits().len(), 1);
+        assert_eq!(
+            session.limits()[0].max_steps,
+            gadt_pascal::interp::Limits::default().max_steps
+        );
     }
 
     #[test]

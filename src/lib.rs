@@ -62,6 +62,7 @@ pub use facade::{Compiled, Gadt, Prepared, Session, Traced};
 
 pub use gadt::debugger::{DebugConfig, DebugOutcome, DebugResult};
 pub use gadt::error::{Error, Phase, Result};
+pub use gadt::handle::{DebugHandle, Question, Step, Verdict};
 pub use gadt::session::Engine;
 pub use gadt_pascal::testprogs;
 
@@ -71,6 +72,7 @@ pub mod prelude {
     pub use crate::facade::{Compiled, Gadt, Prepared, Session, Traced};
     pub use gadt::debugger::{DebugConfig, DebugOutcome, DebugResult};
     pub use gadt::error::{Error, Phase, Result};
+    pub use gadt::handle::{DebugHandle, Question, Step, Verdict};
     pub use gadt::oracle::{Answer, AssertionOracle, ChainOracle, GoldenOracle, ReferenceOracle};
     pub use gadt::session::{BatchTraced, Engine, PhaseTimings, PreparedProgram, TracedRun};
     pub use gadt_corpus::{DiffConfig, GenConfig, GeneratedProgram};
