@@ -109,4 +109,20 @@ BENCH_TMP="$(mktemp)"
 ./target/release/vm_baseline "$BENCH_TMP" BENCH_vm.json
 rm -f "$BENCH_TMP"
 
+# Strategy tier: the traversal-strategy question-count lab on its CI
+# legs — the 500-mutant smoke subsample of the strategy corpus plus
+# the seeded-store replay sessions. The binary exits non-zero when
+# optimal D&Q stops beating top-down on mean questions per bug, when
+# the knowledge-weighted strategy stops beating optimal D&Q on live
+# replay questions, or when any smoke/replay figure regresses against
+# the committed BENCH_strategies.json (campaigns are deterministic, so
+# the comparison is essentially exact). The full ≥2000-mutant corpus
+# leg is regenerated only when refreshing the committed baseline:
+# `./target/release/strategy_lab BENCH_strategies.json`.
+echo "==> strategy lab (questions per bug by traversal strategy)"
+cargo build --release -q -p gadt-bench --bin strategy_lab
+STRAT_TMP="$(mktemp)"
+./target/release/strategy_lab "$STRAT_TMP" BENCH_strategies.json --smoke
+rm -f "$STRAT_TMP"
+
 echo "ci: all green"

@@ -536,34 +536,31 @@ fn e13() {
     use gadt::Strategy;
     use gadt_bench::measure::strategy_ablation;
 
-    // (a) Traversal strategy: top-down vs divide-and-query, no slicing.
+    // (a) Traversal strategy ablation, no slicing.
     println!("(a) traversal strategy (user queries, no slicing):\n");
-    println!(
-        "{:>6} {:>10} {:>10} {:>14}",
-        "seed", "tree size", "top-down", "divide&query"
-    );
+    print!("{:>6} {:>10}", "seed", "tree size");
+    for s in Strategy::ALL {
+        print!(" {:>18}", s.slug());
+    }
+    println!();
     let rows = strategy_ablation(8, 10);
-    let mut td = 0.0;
-    let mut dq = 0.0;
+    let mut sums = vec![0.0f64; Strategy::ALL.len()];
     for r in &rows {
-        println!(
-            "{:>6} {:>10} {:>10} {:>14}",
-            r.seed, r.tree_size, r.queries.0, r.queries.1
-        );
-        td += r.queries.0 as f64;
-        dq += r.queries.1 as f64;
+        print!("{:>6} {:>10}", r.seed, r.tree_size);
+        for (i, q) in r.queries.iter().enumerate() {
+            print!(" {:>18}", q);
+            sums[i] += *q as f64;
+        }
+        println!();
     }
     if !rows.is_empty() {
-        println!(
-            "{:>6} {:>10} {:>10.1} {:>14.1}",
-            "mean",
-            "",
-            td / rows.len() as f64,
-            dq / rows.len() as f64
-        );
+        print!("{:>6} {:>10}", "mean", "");
+        for s in &sums {
+            print!(" {:>18.1}", s / rows.len() as f64);
+        }
+        println!();
     }
-    println!("(both strategies localize every planted bug; §7: the traversal choice does not affect correctness)\n");
-    let _ = Strategy::TopDown;
+    println!("(every strategy localizes every planted bug; §7: the traversal choice does not affect correctness)\n");
 
     // (b) Assertions: partial specifications answer queries (§3, after
     // Drabent et al.): the §8 session with assertions for the arithmetic

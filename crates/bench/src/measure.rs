@@ -338,23 +338,25 @@ mod tests {
     }
 }
 
-/// Strategy ablation row: queries under top-down vs divide-and-query.
+/// Strategy ablation row: per-strategy user-query counts on one mutant.
 #[derive(Debug, Clone)]
 pub struct StrategyRow {
     /// Generation seed.
     pub seed: u64,
     /// Execution-tree size.
     pub tree_size: usize,
-    /// User queries: (top-down, divide-and-query), both without slicing.
-    pub queries: (usize, usize),
-    /// Whether both localized the planted bug.
+    /// User queries per strategy, aligned with [`Strategy::ALL`]
+    /// (top-down, divide-and-query, dq-opt, knowledge-weighted), all
+    /// without slicing.
+    pub queries: Vec<usize>,
+    /// Whether every strategy localized the planted bug.
     pub both_correct: bool,
 }
 
-/// Compares the paper's top-down traversal against Shapiro's
-/// divide-and-query on the mutation workload (an ablation the paper's §7
-/// motivates: "generally it doesn't matter which traversal method is
-/// used" for correctness — but query counts differ).
+/// Compares every built-in traversal strategy on the mutation workload
+/// (an ablation the paper's §7 motivates: "generally it doesn't matter
+/// which traversal method is used" for correctness — but query counts
+/// differ).
 pub fn strategy_ablation(n_programs: usize, procs: usize) -> Vec<StrategyRow> {
     let mut rows = Vec::new();
     for seed in 0..n_programs as u64 * 3 {
@@ -381,13 +383,10 @@ pub fn strategy_ablation(n_programs: usize, procs: usize) -> Vec<StrategyRow> {
         if of.output_text() == ob.output_text() {
             continue;
         }
-        let mut q = [0usize; 2];
+        let mut q = Vec::with_capacity(Strategy::ALL.len());
         let mut ok = true;
         let mut tree_size = 0;
-        for (i, strategy) in [Strategy::TopDown, Strategy::DivideAndQuery]
-            .into_iter()
-            .enumerate()
-        {
+        for strategy in Strategy::ALL {
             let Ok(m) = measure_session(
                 &buggy,
                 &fixed,
@@ -402,7 +401,7 @@ pub fn strategy_ablation(n_programs: usize, procs: usize) -> Vec<StrategyRow> {
                 ok = false;
                 break;
             };
-            q[i] = m.user_queries;
+            q.push(m.user_queries);
             ok &= m.localized_correctly;
         }
         if !ok {
@@ -416,7 +415,7 @@ pub fn strategy_ablation(n_programs: usize, procs: usize) -> Vec<StrategyRow> {
         rows.push(StrategyRow {
             seed,
             tree_size,
-            queries: (q[0], q[1]),
+            queries: q,
             both_correct: ok,
         });
     }

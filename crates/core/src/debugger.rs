@@ -4,12 +4,16 @@
 //! The debugger traverses the execution tree asking an oracle about each
 //! unit's behaviour. The search ends, localizing a bug in a unit `p`,
 //! when `p` misbehaved but every unit called from `p` fulfilled the
-//! oracle's expectations (§3). Two traversal strategies are provided:
+//! oracle's expectations (§3). Traversal order is pluggable (see
+//! [`crate::strategy`]); the [`Strategy`] enum names the built-in
+//! implementations:
 //!
 //! * [`Strategy::TopDown`] — the paper's traversal (§7 notes the choice
 //!   of traversal "doesn't matter" for correctness);
-//! * [`Strategy::DivideAndQuery`] — Shapiro's query-minimizing strategy,
-//!   included as an ablation.
+//! * [`Strategy::DivideAndQuery`] — Shapiro's query-minimizing heuristic;
+//! * [`Strategy::DqOpt`] — Insa & Silva's Optimal Divide and Query;
+//! * [`Strategy::KnowledgeWeighted`] — optimal split over store-aware
+//!   weights: nodes answerable from pooled knowledge cost zero.
 //!
 //! When an oracle flags a *specific* wrong output of a node with several
 //! outputs, the dynamic slicer prunes the subtree to the "corresponding
@@ -30,6 +34,52 @@ pub enum Strategy {
     TopDown,
     /// Shapiro's divide-and-query: bisect the suspect subtree by weight.
     DivideAndQuery,
+    /// Insa & Silva's Optimal Divide and Query: minimize the worst-case
+    /// remaining suspect weight, committing to the deeper node on ties.
+    DqOpt,
+    /// Optimal split over knowledge-aware weights: suspects answerable
+    /// from pooled knowledge (via an attached probe) cost zero and are
+    /// drained first. Without a probe, identical to [`Strategy::DqOpt`].
+    KnowledgeWeighted,
+}
+
+impl Strategy {
+    /// Every built-in strategy, in ablation-report order.
+    pub const ALL: [Strategy; 4] = [
+        Strategy::TopDown,
+        Strategy::DivideAndQuery,
+        Strategy::DqOpt,
+        Strategy::KnowledgeWeighted,
+    ];
+
+    /// The stable identifier used in journals, benchmarks, and the
+    /// serve protocol (`top_down`, `divide_and_query`, `dq_opt`,
+    /// `knowledge_weighted`).
+    pub fn slug(self) -> &'static str {
+        match self {
+            Strategy::TopDown => "top_down",
+            Strategy::DivideAndQuery => "divide_and_query",
+            Strategy::DqOpt => "dq_opt",
+            Strategy::KnowledgeWeighted => "knowledge_weighted",
+        }
+    }
+
+    /// Parses a [`Strategy::slug`] back into a strategy.
+    pub fn parse(s: &str) -> Option<Strategy> {
+        Strategy::ALL.into_iter().find(|st| st.slug() == s)
+    }
+
+    /// The strategy's [`crate::strategy::TraversalStrategy`]
+    /// implementation.
+    pub fn implementation(self) -> Box<dyn crate::strategy::TraversalStrategy> {
+        use crate::strategy::*;
+        match self {
+            Strategy::TopDown => Box::new(TopDownStrategy),
+            Strategy::DivideAndQuery => Box::new(DivideAndQueryStrategy),
+            Strategy::DqOpt => Box::new(DqOptStrategy),
+            Strategy::KnowledgeWeighted => Box::new(KnowledgeWeightedStrategy),
+        }
+    }
 }
 
 /// Debugger configuration.
@@ -138,8 +188,12 @@ pub struct Debugger<'a> {
     mapping: Option<&'a gadt_transform::Mapping>,
     /// When set, every question and slice is journaled: a `question`
     /// point event plus `debug.questions` / `debug.questions.by_source.*`
-    /// counters per query, a `slice` event plus `debug.slices` per prune.
+    /// / `debug.questions.by_strategy.*` counters per query, a `slice`
+    /// event plus `debug.slices` per prune.
     obs: Option<&'a mut gadt_obs::Recorder>,
+    /// When set, knowledge-aware strategies may treat nodes this probe
+    /// can answer as free (zero weight).
+    probe: Option<Box<dyn crate::strategy::AnswerProbe>>,
 }
 
 impl<'a> Debugger<'a> {
@@ -151,7 +205,16 @@ impl<'a> Debugger<'a> {
             config,
             mapping: None,
             obs: None,
+            probe: None,
         }
+    }
+
+    /// Attaches a pooled-knowledge probe consulted by knowledge-aware
+    /// strategies (never consumes an oracle turn; see
+    /// [`crate::strategy::AnswerProbe`]).
+    pub fn with_probe(mut self, probe: Box<dyn crate::strategy::AnswerProbe>) -> Self {
+        self.probe = Some(probe);
+        self
     }
 
     /// Renders queries transparently relative to the original program
@@ -181,12 +244,14 @@ impl<'a> Debugger<'a> {
         start: NodeId,
         oracle: &mut ChainOracle<'_>,
     ) -> DebugOutcome {
-        let mut state = crate::handle::DebugState::new(
+        let mut state = crate::handle::DebugState::with_strategy(
             self.module,
             self.mapping,
             tree.clone(),
             start,
             self.config,
+            self.config.strategy.implementation(),
+            self.probe.take(),
         );
         while let Some(q) = state.next_question() {
             let (node, unit) = (q.node, q.unit.clone());
@@ -197,6 +262,10 @@ impl<'a> Debugger<'a> {
                 rec.incr(&format!(
                     "debug.questions.by_source.{}",
                     gadt_obs::slug(&source)
+                ));
+                rec.incr(&format!(
+                    "debug.questions.by_strategy.{}",
+                    self.config.strategy.slug()
                 ));
                 gadt_obs::event!(
                     rec,

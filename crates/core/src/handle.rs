@@ -17,8 +17,9 @@
 //! [`DebugState`]; both paths produce byte-identical transcripts (pinned
 //! by `handle_pump_matches_chain_oracle_on_golden_session` below).
 
-use crate::debugger::{DebugConfig, DebugOutcome, DebugResult, Strategy, TranscriptEntry};
+use crate::debugger::{DebugConfig, DebugOutcome, DebugResult, TranscriptEntry};
 use crate::oracle::Answer;
+use crate::strategy::{AnswerProbe, Knowledge, TraversalStrategy};
 use gadt_analysis::dyntrace::DynTrace;
 use gadt_analysis::slice_dynamic::{dynamic_slice_output, SliceStats};
 use gadt_pascal::sema::Module;
@@ -65,20 +66,6 @@ pub enum Step {
     Done(DebugResult),
 }
 
-enum Cursor {
-    /// Asking `queue[idx]`, the children of `parent` (known incorrect).
-    TopDown {
-        parent: NodeId,
-        queue: Vec<NodeId>,
-        idx: usize,
-    },
-    /// Bisecting the live subtree of `root` (known incorrect).
-    Dq {
-        root: NodeId,
-        cleared: BTreeSet<NodeId>,
-    },
-}
-
 /// Borrow-free debugging state machine.
 ///
 /// Owns the current execution tree and the session transcript; the
@@ -86,10 +73,23 @@ enum Cursor {
 /// call so the state itself can live in a session table indefinitely.
 /// [`DebugHandle`] packages the two halves together for callers that
 /// can afford owned (`Arc`ed) program artifacts.
+///
+/// Traversal is delegated to a [`TraversalStrategy`]: the state tracks
+/// the *focus* (the deepest node known incorrect — the bug is in its
+/// live subtree) and the set of nodes judged `Correct`/`DontKnow` so
+/// far; the strategy chooses the next question from those two facts.
+/// Judged nodes stay cleared across focus changes, so no strategy ever
+/// re-asks an answered node; only a slice (which replaces the tree,
+/// invalidating node ids) resets the set.
 pub struct DebugState {
     tree: ExecTree,
     config: DebugConfig,
-    cursor: Cursor,
+    strategy: Box<dyn TraversalStrategy>,
+    probe: Option<Box<dyn AnswerProbe>>,
+    /// Deepest node known to misbehave; never queried itself.
+    focus: NodeId,
+    /// Nodes judged `Correct`/`DontKnow` (their subtrees are exonerated).
+    cleared: BTreeSet<NodeId>,
     pending: Option<Question>,
     transcript: Vec<TranscriptEntry>,
     slices_taken: usize,
@@ -104,38 +104,6 @@ fn render(module: &Module, mapping: Option<&Mapping>, tree: &ExecTree, node: Nod
     }
 }
 
-fn live_descendants(tree: &ExecTree, node: NodeId, cleared: &BTreeSet<NodeId>) -> Vec<NodeId> {
-    let mut out = Vec::new();
-    let mut stack: Vec<NodeId> = tree.node(node).children.clone();
-    while let Some(n) = stack.pop() {
-        if cleared.contains(&n) {
-            continue;
-        }
-        out.push(n);
-        stack.extend(tree.node(n).children.iter().copied());
-    }
-    out
-}
-
-/// Shapiro's divide-and-query pick: the live node whose live subtree
-/// weight is closest to half the remaining suspect count.
-fn dq_candidate(tree: &ExecTree, root: NodeId, cleared: &BTreeSet<NodeId>) -> Option<NodeId> {
-    let suspects = live_descendants(tree, root, cleared);
-    if suspects.is_empty() {
-        return None;
-    }
-    let total = suspects.len() + 1;
-    let mut best: Option<(NodeId, usize)> = None;
-    for &c in &suspects {
-        let w = live_descendants(tree, c, cleared).len() + 1;
-        let d = (2 * w).abs_diff(total);
-        if best.is_none_or(|(_, bd)| d < bd) {
-            best = Some((c, d));
-        }
-    }
-    best.map(|(c, _)| c)
-}
-
 impl DebugState {
     /// Starts a session over `tree` from `start` (assumed incorrect, not
     /// queried). A session over a node with no suspects is born finished:
@@ -147,21 +115,31 @@ impl DebugState {
         start: NodeId,
         config: DebugConfig,
     ) -> DebugState {
-        let cursor = match config.strategy {
-            Strategy::TopDown => Cursor::TopDown {
-                parent: start,
-                queue: tree.node(start).children.clone(),
-                idx: 0,
-            },
-            Strategy::DivideAndQuery => Cursor::Dq {
-                root: start,
-                cleared: BTreeSet::new(),
-            },
-        };
+        let strategy = config.strategy.implementation();
+        DebugState::with_strategy(module, mapping, tree, start, config, strategy, None)
+    }
+
+    /// Starts a session with an explicit strategy implementation and an
+    /// optional [`AnswerProbe`] into pooled knowledge (consulted by
+    /// knowledge-weighted strategies; never consumes an oracle turn).
+    /// [`DebugState::new`] delegates here with
+    /// [`crate::Strategy::implementation`] and no probe.
+    pub fn with_strategy(
+        module: &Module,
+        mapping: Option<&Mapping>,
+        tree: ExecTree,
+        start: NodeId,
+        config: DebugConfig,
+        strategy: Box<dyn TraversalStrategy>,
+        probe: Option<Box<dyn AnswerProbe>>,
+    ) -> DebugState {
         let mut state = DebugState {
             tree,
             config,
-            cursor,
+            strategy,
+            probe,
+            focus: start,
+            cleared: BTreeSet::new(),
             pending: None,
             transcript: Vec::new(),
             slices_taken: 0,
@@ -170,6 +148,19 @@ impl DebugState {
         };
         state.settle(module, mapping);
         state
+    }
+
+    /// Attaches (or replaces) the pooled-knowledge probe mid-session and
+    /// recomputes the pending question — probe-aware strategies may pick
+    /// a different node once free answers become visible.
+    pub fn attach_probe(
+        &mut self,
+        module: &Module,
+        mapping: Option<&Mapping>,
+        probe: Box<dyn AnswerProbe>,
+    ) {
+        self.probe = Some(probe);
+        self.settle(module, mapping);
     }
 
     /// The current (possibly pruned) execution tree.
@@ -236,33 +227,25 @@ impl DebugState {
         });
         let mut sliced: Option<SliceStats> = None;
         match verdict {
-            Answer::Correct | Answer::DontKnow => match &mut self.cursor {
-                Cursor::TopDown { idx, .. } => *idx += 1,
-                Cursor::Dq { cleared, .. } => {
-                    cleared.insert(node);
-                }
-            },
+            Answer::Correct | Answer::DontKnow => {
+                // The judged subtree is out of the suspect set for the
+                // rest of the session — no strategy may re-ask it.
+                self.cleared.insert(node);
+            }
             Answer::Incorrect { wrong_output } => {
                 sliced = self.apply_slice(module, trace, node, wrong_output);
                 // After a slice the search restarts at the pruned root
-                // (§8 steps 2 and 4); without one it descends into the
-                // incorrect node, never returning to its siblings.
-                let focus = if sliced.is_some() {
-                    self.tree.root
+                // (§8 steps 2 and 4); node ids belong to the replaced
+                // tree, so the cleared set must be dropped with it.
+                // Without a slice the search descends into the incorrect
+                // node, never returning to its siblings; everything
+                // judged so far stays cleared.
+                if sliced.is_some() {
+                    self.focus = self.tree.root;
+                    self.cleared.clear();
                 } else {
-                    node
-                };
-                self.cursor = match self.config.strategy {
-                    Strategy::TopDown => Cursor::TopDown {
-                        parent: focus,
-                        queue: self.tree.node(focus).children.clone(),
-                        idx: 0,
-                    },
-                    Strategy::DivideAndQuery => Cursor::Dq {
-                        root: focus,
-                        cleared: BTreeSet::new(),
-                    },
-                };
+                    self.focus = node;
+                }
             }
         }
         self.settle(module, mapping);
@@ -318,16 +301,18 @@ impl DebugState {
         Some(stats)
     }
 
-    /// Recomputes the pending question from the cursor, or finishes the
-    /// session when the cursor is exhausted (bug localized at its focus).
+    /// Recomputes the pending question from the strategy, or finishes
+    /// the session when the focus's live subtree is exhausted (bug
+    /// localized at the focus).
     fn settle(&mut self, module: &Module, mapping: Option<&Mapping>) {
         self.pending = None;
         if self.done.is_some() {
             return;
         }
-        let (focus, next) = match &self.cursor {
-            Cursor::TopDown { parent, queue, idx } => (*parent, queue.get(*idx).copied()),
-            Cursor::Dq { root, cleared } => (*root, dq_candidate(&self.tree, *root, cleared)),
+        let focus = self.focus;
+        let next = {
+            let knowledge = Knowledge::new(&self.tree, focus, &self.cleared, self.probe.as_deref());
+            self.strategy.next_query(&self.tree, &knowledge)
         };
         match next {
             Some(n) => {
@@ -423,6 +408,16 @@ impl DebugHandle {
         }
     }
 
+    /// Attaches a pooled-knowledge probe (e.g. a
+    /// [`crate::stored::StoreProbe`] over a shared store) so that
+    /// probe-aware strategies can treat answerable nodes as free. The
+    /// pending question is recomputed immediately.
+    pub fn with_probe(mut self, probe: Box<dyn crate::strategy::AnswerProbe>) -> DebugHandle {
+        self.state
+            .attach_probe(&self.module, self.mapping.as_ref(), probe);
+        self
+    }
+
     /// The pending question, or `None` when the session is finished.
     pub fn next_question(&self) -> Option<&Question> {
         self.state.next_question()
@@ -490,7 +485,7 @@ impl DebugHandle {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::debugger::Debugger;
+    use crate::debugger::{Debugger, Strategy};
     use crate::oracle::{ChainOracle, CountingOracle, Oracle, ReferenceOracle};
     use gadt_pascal::sema::compile;
     use gadt_pascal::testprogs;

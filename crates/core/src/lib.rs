@@ -63,6 +63,7 @@ pub mod oracle;
 pub mod retry;
 pub mod session;
 pub mod stored;
+pub mod strategy;
 pub mod testlookup;
 pub mod transparency;
 
@@ -74,10 +75,12 @@ pub use oracle::{
 };
 pub use retry::{debug_with_retry, RetryOutcome};
 pub use session::{
-    debug, debug_observed, prepare, prepare_observed, quick_debug, run_traced, run_traced_limited,
-    trace_batch, BatchTraced, PhaseTimings, PreparedProgram, TracedRun,
+    debug, debug_observed, debug_observed_with_probe, prepare, prepare_observed, quick_debug,
+    run_traced, run_traced_limited, trace_batch, BatchTraced, PhaseTimings, PreparedProgram,
+    TracedRun,
 };
-pub use stored::{StoredKnowledgeOracle, STORED_SOURCE};
+pub use stored::{StoreProbe, StoredKnowledgeOracle, STORED_SOURCE};
+pub use strategy::{AnswerProbe, Knowledge, TraversalStrategy};
 pub use testlookup::TestLookup;
 pub use transparency::render_query_original;
 

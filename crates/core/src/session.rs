@@ -402,11 +402,29 @@ pub fn debug_observed(
     config: DebugConfig,
     rec: &mut Recorder,
 ) -> DebugOutcome {
+    debug_observed_with_probe(prepared, run, oracle, config, None, rec)
+}
+
+/// [`debug_observed`] with an optional pooled-knowledge probe for
+/// knowledge-aware traversal strategies (see
+/// [`crate::strategy::AnswerProbe`]): the probe weighs nodes during
+/// question selection without consuming oracle turns.
+pub fn debug_observed_with_probe(
+    prepared: &PreparedProgram,
+    run: &TracedRun,
+    oracle: &mut ChainOracle<'_>,
+    config: DebugConfig,
+    probe: Option<Box<dyn crate::strategy::AnswerProbe>>,
+    rec: &mut Recorder,
+) -> DebugOutcome {
     let span = gadt_obs::span!(rec, "debug", slicing = config.slicing);
     let outcome = {
-        let dbg = Debugger::new(&prepared.transformed.module, &run.trace, config)
+        let mut dbg = Debugger::new(&prepared.transformed.module, &run.trace, config)
             .with_mapping(&prepared.transformed.mapping)
             .with_obs(rec);
+        if let Some(p) = probe {
+            dbg = dbg.with_probe(p);
+        }
         dbg.run_program(&run.tree, oracle)
     };
     rec.exit(span);

@@ -73,6 +73,34 @@ impl Oracle for StoredKnowledgeOracle {
     }
 }
 
+/// The read-only half of [`StoredKnowledgeOracle`]: answers "could the
+/// store judge this node?" for weight computation without consuming an
+/// oracle turn — no hit/miss counters move and nothing is recorded
+/// (`KnowledgeStore::peek_answer`), so probing during strategy
+/// selection cannot skew the facade's `store.*` journal.
+pub struct StoreProbe {
+    store: SharedStore,
+}
+
+impl StoreProbe {
+    /// Wraps a shared store handle.
+    pub fn new(store: SharedStore) -> Self {
+        StoreProbe { store }
+    }
+}
+
+impl crate::strategy::AnswerProbe for StoreProbe {
+    fn is_answered(&self, tree: &ExecTree, node: NodeId) -> bool {
+        let n = tree.node(node);
+        if !matches!(n.kind, NodeKind::Call { .. } | NodeKind::Loop { .. }) {
+            return false;
+        }
+        let ins: Vec<Value> = n.ins.iter().map(|(_, v)| v.clone()).collect();
+        let store = self.store.lock().expect("store mutex poisoned");
+        store.peek_answer(&n.name, &ins).is_some()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

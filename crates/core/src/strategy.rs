@@ -1,0 +1,438 @@
+//! Pluggable execution-tree traversal strategies (ROADMAP item 3).
+//!
+//! §7 of the paper treats the traversal order as interchangeable for
+//! *correctness* — any search that ends on a misbehaving unit whose
+//! children all behaved localizes the same bug — but the number of
+//! oracle questions per bug is the system's real quality metric. This
+//! module makes the choice a first-class trait:
+//!
+//! * [`TopDownStrategy`] — the paper's traversal: ask the children of
+//!   the known-incorrect focus left to right, descend into the first
+//!   incorrect one.
+//! * [`DivideAndQueryStrategy`] — Shapiro's heuristic: ask the live
+//!   node whose live-subtree weight is closest to half the suspect
+//!   count, halving the suspect set per answer.
+//! * [`DqOptStrategy`] — Insa & Silva's *Optimal Divide and Query*
+//!   (PAPERS.md): minimize the worst-case remaining suspect weight
+//!   `max(w(n), W - w(n))`, breaking ties toward the deeper node —
+//!   the provably question-optimal split over node weights.
+//! * [`KnowledgeWeightedStrategy`] — the store-aware variant: nodes
+//!   answerable from pooled knowledge (an [`AnswerProbe`]) cost zero,
+//!   so the strategy drains free answers in best-split order first and
+//!   computes the optimal split over the *unanswered* weight that is
+//!   left. No prior strategy accounts for a persistent store; it
+//!   reshapes the optimal frontier per session.
+//!
+//! A strategy is a *stateless* choice function over the current
+//! [`Knowledge`]: the focus node (known incorrect, never re-asked),
+//! the set of nodes already judged this session, and an optional probe
+//! into pooled knowledge. Statelessness is what makes the no-re-ask
+//! and convergence properties (`tests/properties.rs`) hold for every
+//! implementation by construction: judged nodes are in `cleared` and
+//! never come back, and an `Incorrect` answer strictly deepens the
+//! focus.
+
+use gadt_trace::{ExecTree, NodeId};
+use std::collections::BTreeSet;
+
+/// A side channel into pooled knowledge: can this node be answered
+/// without consuming a live oracle turn?
+///
+/// [`crate::oracle::Oracle::judge`] is *consuming* — it counts as
+/// a user interaction, persists the answer, and advances the session.
+/// Weight computation needs the asymmetric read-only half: "would this
+/// question be free?". Implementations must not count store hits or
+/// misses and must not record anything (see
+/// [`crate::stored::StoreProbe`]).
+pub trait AnswerProbe: Send + Sync {
+    /// Whether pooled knowledge holds a definite answer for `node`.
+    fn is_answered(&self, tree: &ExecTree, node: NodeId) -> bool;
+}
+
+/// Everything a strategy may consult when choosing the next question.
+pub struct Knowledge<'a> {
+    tree: &'a ExecTree,
+    focus: NodeId,
+    cleared: &'a BTreeSet<NodeId>,
+    probe: Option<&'a dyn AnswerProbe>,
+}
+
+impl<'a> Knowledge<'a> {
+    /// Packages the session's current knowledge for one selection.
+    pub fn new(
+        tree: &'a ExecTree,
+        focus: NodeId,
+        cleared: &'a BTreeSet<NodeId>,
+        probe: Option<&'a dyn AnswerProbe>,
+    ) -> Self {
+        Knowledge {
+            tree,
+            focus,
+            cleared,
+            probe,
+        }
+    }
+
+    /// The node whose behaviour is *known* to be wrong. The bug is in
+    /// its live subtree; the focus itself is never queried.
+    pub fn focus(&self) -> NodeId {
+        self.focus
+    }
+
+    /// Nodes already judged `Correct` or `DontKnow` this session —
+    /// their subtrees are out of the suspect set and must never be
+    /// re-asked.
+    pub fn cleared(&self) -> &BTreeSet<NodeId> {
+        self.cleared
+    }
+
+    /// Whether `node` has been judged this session.
+    pub fn is_cleared(&self, node: NodeId) -> bool {
+        self.cleared.contains(&node)
+    }
+
+    /// Whether pooled knowledge can answer `node` for free — without
+    /// consuming an oracle turn, counting a store hit, or persisting
+    /// anything. Always `false` when no probe is attached.
+    pub fn is_answered(&self, node: NodeId) -> bool {
+        self.probe
+            .map(|p| p.is_answered(self.tree, node))
+            .unwrap_or(false)
+    }
+}
+
+/// An execution-tree traversal strategy: given the tree and the
+/// session's knowledge, choose the next node to ask about, or `None`
+/// when the focus's live subtree is exhausted (bug localized at the
+/// focus).
+pub trait TraversalStrategy: Send + Sync {
+    /// The journal/config identifier (`top_down`, `divide_and_query`,
+    /// `dq_opt`, `knowledge_weighted`, …).
+    fn slug(&self) -> &'static str;
+
+    /// The next node to query, or `None` to localize at the focus.
+    ///
+    /// Contract: the returned node must be a live descendant of
+    /// `knowledge.focus()` — in its subtree, not cleared, and not the
+    /// focus itself. The driver clears every judged node, so any
+    /// implementation honouring the contract never re-asks.
+    fn next_query(&self, tree: &ExecTree, knowledge: &Knowledge<'_>) -> Option<NodeId>;
+}
+
+/// All live (uncleared) descendants of `node`, excluding `node` itself.
+/// A cleared node removes its whole subtree from the suspect set — a
+/// `Correct`/`DontKnow` judgement covers everything beneath it.
+pub fn live_descendants(tree: &ExecTree, node: NodeId, cleared: &BTreeSet<NodeId>) -> Vec<NodeId> {
+    let mut out = Vec::new();
+    let mut stack: Vec<NodeId> = tree.node(node).children.clone();
+    while let Some(n) = stack.pop() {
+        if cleared.contains(&n) {
+            continue;
+        }
+        out.push(n);
+        stack.extend(tree.node(n).children.iter().copied());
+    }
+    out
+}
+
+/// The paper's traversal: the first unjudged child of the focus, in
+/// call order. Descending into an incorrect child is the driver's job
+/// (it moves the focus); this reproduces the §3/§8 question order
+/// byte for byte.
+pub struct TopDownStrategy;
+
+impl TraversalStrategy for TopDownStrategy {
+    fn slug(&self) -> &'static str {
+        "top_down"
+    }
+
+    fn next_query(&self, tree: &ExecTree, knowledge: &Knowledge<'_>) -> Option<NodeId> {
+        tree.node(knowledge.focus())
+            .children
+            .iter()
+            .copied()
+            .find(|c| !knowledge.is_cleared(*c))
+    }
+}
+
+/// Shapiro's divide-and-query pick: the live node whose live-subtree
+/// weight is closest to half the remaining suspect count (first such
+/// node in discovery order — the historical tie-break, pinned by the
+/// strategy conformance suite).
+pub struct DivideAndQueryStrategy;
+
+impl TraversalStrategy for DivideAndQueryStrategy {
+    fn slug(&self) -> &'static str {
+        "divide_and_query"
+    }
+
+    fn next_query(&self, tree: &ExecTree, knowledge: &Knowledge<'_>) -> Option<NodeId> {
+        let cleared = knowledge.cleared();
+        let suspects = live_descendants(tree, knowledge.focus(), cleared);
+        if suspects.is_empty() {
+            return None;
+        }
+        let total = suspects.len() + 1;
+        let mut best: Option<(NodeId, usize)> = None;
+        for &c in &suspects {
+            let w = live_descendants(tree, c, cleared).len() + 1;
+            let d = (2 * w).abs_diff(total);
+            if best.is_none_or(|(_, bd)| d < bd) {
+                best = Some((c, d));
+            }
+        }
+        best.map(|(c, _)| c)
+    }
+}
+
+/// One candidate's split score under a node-weight function: the
+/// worst-case suspect weight left after the answer. `Incorrect` leaves
+/// the candidate's subtree (`down`); `Correct`/`DontKnow` removes it,
+/// leaving `total - down`.
+fn split_score(down: usize, total: usize) -> usize {
+    down.max(total - down)
+}
+
+/// Minimizes `max(w(n), W - w(n))` over `candidates` with deterministic
+/// tie-breaking: smaller subtree weight first (the deeper, more
+/// committed probe), then smaller node id. `weight_of` maps a node to
+/// its *individual* weight (1 for a live question, 0 for a free one).
+fn optimal_split(
+    tree: &ExecTree,
+    cleared: &BTreeSet<NodeId>,
+    candidates: &[NodeId],
+    total: usize,
+    weight_of: &dyn Fn(NodeId) -> usize,
+) -> Option<NodeId> {
+    let mut best: Option<(usize, usize, NodeId)> = None;
+    for &c in candidates {
+        let down: usize = weight_of(c)
+            + live_descendants(tree, c, cleared)
+                .into_iter()
+                .map(weight_of)
+                .sum::<usize>();
+        let key = (split_score(down, total), down, c);
+        if best.is_none_or(|b| key < b) {
+            best = Some(key);
+        }
+    }
+    best.map(|(_, _, c)| c)
+}
+
+/// Insa & Silva's *Optimal Divide and Query* (PAPERS.md): pick the
+/// live node minimizing the worst-case remaining suspect weight
+/// `max(w(n), W − w(n))` over uniform node weights. On ties Shapiro's
+/// heuristic keeps whichever candidate it happened to scan first; the
+/// optimal strategy commits to the deeper subtree (smaller `w(n)`,
+/// then smaller node id), which is what makes it a strict refinement —
+/// never more questions, often fewer.
+pub struct DqOptStrategy;
+
+impl TraversalStrategy for DqOptStrategy {
+    fn slug(&self) -> &'static str {
+        "dq_opt"
+    }
+
+    fn next_query(&self, tree: &ExecTree, knowledge: &Knowledge<'_>) -> Option<NodeId> {
+        let cleared = knowledge.cleared();
+        let suspects = live_descendants(tree, knowledge.focus(), cleared);
+        if suspects.is_empty() {
+            return None;
+        }
+        // The focus is a candidate bug location too: it contributes one
+        // unit of suspect weight that no answer below can remove.
+        let total = suspects.len() + 1;
+        optimal_split(tree, cleared, &suspects, total, &|_| 1)
+    }
+}
+
+/// The store-aware strategy: nodes the [`AnswerProbe`] can answer are
+/// *free* — asking them consumes no live oracle turn — so the weight
+/// of a suspect subtree is the number of *unanswered* nodes in it.
+///
+/// Selection order:
+/// 1. While any live suspect is answerable from pooled knowledge, ask
+///    the answerable node with the best optimal-split score: free
+///    questions drain the pool in maximum-information order before a
+///    single live question is spent.
+/// 2. Once no free knowledge applies to the suspect set, fall back to
+///    the optimal split over the remaining (all-unanswered) weights —
+///    exactly [`DqOptStrategy`]. Without a probe the two strategies
+///    are indistinguishable.
+pub struct KnowledgeWeightedStrategy;
+
+impl TraversalStrategy for KnowledgeWeightedStrategy {
+    fn slug(&self) -> &'static str {
+        "knowledge_weighted"
+    }
+
+    fn next_query(&self, tree: &ExecTree, knowledge: &Knowledge<'_>) -> Option<NodeId> {
+        let cleared = knowledge.cleared();
+        let suspects = live_descendants(tree, knowledge.focus(), cleared);
+        if suspects.is_empty() {
+            return None;
+        }
+        let answered: BTreeSet<NodeId> = suspects
+            .iter()
+            .copied()
+            .filter(|&n| knowledge.is_answered(n))
+            .collect();
+        let weight_of = |n: NodeId| usize::from(!answered.contains(&n));
+        let total = 1 + suspects.iter().map(|&n| weight_of(n)).sum::<usize>();
+        if !answered.is_empty() {
+            let free: Vec<NodeId> = suspects
+                .iter()
+                .copied()
+                .filter(|n| answered.contains(n))
+                .collect();
+            return optimal_split(tree, cleared, &free, total, &weight_of);
+        }
+        optimal_split(tree, cleared, &suspects, total, &weight_of)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gadt_pascal::sema::compile;
+    use gadt_pascal::testprogs;
+
+    fn tree_of(src: &str) -> (gadt_pascal::sema::Module, ExecTree) {
+        let m = compile(src).unwrap();
+        let cfg = gadt_pascal::cfg::lower(&m);
+        let trace = gadt_analysis::dyntrace::record_trace(&m, &cfg, []).unwrap();
+        let tree = gadt_trace::build_tree(&m, &trace);
+        (m, tree)
+    }
+
+    #[test]
+    fn top_down_asks_children_in_order_and_skips_cleared() {
+        let (_m, tree) = tree_of(testprogs::SQRTEST);
+        let focus = tree
+            .preorder()
+            .into_iter()
+            .find(|&n| tree.node(n).children.len() >= 2)
+            .expect("sqrtest has a multi-child node");
+        let mut cleared = BTreeSet::new();
+        let k = Knowledge::new(&tree, focus, &cleared, None);
+        let first = TopDownStrategy.next_query(&tree, &k).unwrap();
+        assert_eq!(tree.node(focus).children[0], first);
+        cleared.insert(first);
+        let k = Knowledge::new(&tree, focus, &cleared, None);
+        let second = TopDownStrategy.next_query(&tree, &k).unwrap();
+        assert_eq!(tree.node(focus).children[1], second);
+    }
+
+    #[test]
+    fn exhausted_subtree_localizes_at_focus() {
+        let (_m, tree) = tree_of(testprogs::PQR);
+        let cleared: BTreeSet<NodeId> = tree
+            .preorder()
+            .into_iter()
+            .filter(|&n| n != tree.root)
+            .collect();
+        let k = Knowledge::new(&tree, tree.root, &cleared, None);
+        for s in [
+            &TopDownStrategy as &dyn TraversalStrategy,
+            &DivideAndQueryStrategy,
+            &DqOptStrategy,
+            &KnowledgeWeightedStrategy,
+        ] {
+            assert_eq!(s.next_query(&tree, &k), None, "{}", s.slug());
+        }
+    }
+
+    #[test]
+    fn every_strategy_picks_a_live_descendant_of_the_focus() {
+        let (_m, tree) = tree_of(testprogs::SQRTEST);
+        let cleared = BTreeSet::new();
+        let k = Knowledge::new(&tree, tree.root, &cleared, None);
+        let live: BTreeSet<NodeId> = live_descendants(&tree, tree.root, &cleared)
+            .into_iter()
+            .collect();
+        for s in [
+            &TopDownStrategy as &dyn TraversalStrategy,
+            &DivideAndQueryStrategy,
+            &DqOptStrategy,
+            &KnowledgeWeightedStrategy,
+        ] {
+            let n = s.next_query(&tree, &k).unwrap();
+            assert!(live.contains(&n), "{} picked a non-suspect", s.slug());
+        }
+    }
+
+    #[test]
+    fn dq_opt_never_scores_worse_than_shapiro_on_the_first_pick() {
+        // Both minimize the same objective; the optimal tie-break can
+        // only match or improve Shapiro's worst-case remaining weight.
+        let (_m, tree) = tree_of(testprogs::SQRTEST);
+        let cleared = BTreeSet::new();
+        let k = Knowledge::new(&tree, tree.root, &cleared, None);
+        let score = |n: NodeId| {
+            let w = live_descendants(&tree, n, &cleared).len() + 1;
+            let total = live_descendants(&tree, tree.root, &cleared).len() + 1;
+            split_score(w, total)
+        };
+        let shapiro = DivideAndQueryStrategy.next_query(&tree, &k).unwrap();
+        let opt = DqOptStrategy.next_query(&tree, &k).unwrap();
+        assert!(score(opt) <= score(shapiro));
+    }
+
+    #[test]
+    fn knowledge_weighted_without_probe_matches_dq_opt() {
+        let (_m, tree) = tree_of(testprogs::SQRTEST);
+        let mut cleared = BTreeSet::new();
+        loop {
+            let k = Knowledge::new(&tree, tree.root, &cleared, None);
+            let a = DqOptStrategy.next_query(&tree, &k);
+            let b = KnowledgeWeightedStrategy.next_query(&tree, &k);
+            assert_eq!(a, b);
+            match a {
+                Some(n) => {
+                    cleared.insert(n);
+                }
+                None => break,
+            }
+        }
+    }
+
+    struct FixedProbe(BTreeSet<NodeId>);
+    impl AnswerProbe for FixedProbe {
+        fn is_answered(&self, _tree: &ExecTree, node: NodeId) -> bool {
+            self.0.contains(&node)
+        }
+    }
+
+    #[test]
+    fn knowledge_weighted_prefers_free_questions() {
+        let (_m, tree) = tree_of(testprogs::SQRTEST);
+        let cleared = BTreeSet::new();
+        // Mark every live node answered: whatever gets picked must be
+        // one of the free ones.
+        let all: BTreeSet<NodeId> = live_descendants(&tree, tree.root, &cleared)
+            .into_iter()
+            .collect();
+        let probe = FixedProbe(all.clone());
+        let k = Knowledge::new(&tree, tree.root, &cleared, Some(&probe));
+        let n = KnowledgeWeightedStrategy.next_query(&tree, &k).unwrap();
+        assert!(all.contains(&n));
+        assert!(k.is_answered(n));
+
+        // With exactly one node answered, that node is asked first even
+        // though it is not the best uniform split.
+        let one: NodeId = *all.iter().last().unwrap();
+        let probe = FixedProbe([one].into_iter().collect());
+        let k = Knowledge::new(&tree, tree.root, &cleared, Some(&probe));
+        assert_eq!(KnowledgeWeightedStrategy.next_query(&tree, &k), Some(one));
+    }
+
+    #[test]
+    fn knowledge_without_probe_answers_nothing() {
+        let (_m, tree) = tree_of(testprogs::PQR);
+        let cleared = BTreeSet::new();
+        let k = Knowledge::new(&tree, tree.root, &cleared, None);
+        for n in tree.preorder() {
+            assert!(!k.is_answered(n));
+        }
+    }
+}

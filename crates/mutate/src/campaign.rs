@@ -42,6 +42,11 @@ pub struct CampaignConfig {
     /// (`tests/mutation_conformance.rs` pins this down), so the stored
     /// verdict keys deliberately do *not* include the engine.
     pub engine: Engine,
+    /// Traversal strategy for both debug sessions of every mutant.
+    /// Question counts *do* depend on it, so non-default strategies get
+    /// their own stored verdict keys (a `@<slug>` suffix); the default
+    /// [`Strategy::TopDown`] keeps the historical key shape.
+    pub strategy: Strategy,
 }
 
 impl Default for CampaignConfig {
@@ -52,6 +57,7 @@ impl Default for CampaignConfig {
             threads: 0,
             max_steps: 200_000,
             engine: Engine::default(),
+            strategy: Strategy::TopDown,
         }
     }
 }
@@ -92,6 +98,7 @@ struct GoldenCtx {
     golden_interface: String,
     input: Vec<Value>,
     sites: Vec<MutationSite>,
+    strategy: Strategy,
 }
 
 /// The observable top level of a run: the root node plus the In/Out line
@@ -108,13 +115,13 @@ fn interface_render(tree: &gadt_trace::ExecTree) -> String {
     out
 }
 
-fn golden_ctx(p: &CampaignProgram, engine: Engine) -> Result<GoldenCtx, Error> {
+fn golden_ctx(p: &CampaignProgram, config: &CampaignConfig) -> Result<GoldenCtx, Error> {
     let ctx = |e: Error| e.context(format!("golden program `{}`", p.name));
     let ast = parse_program(&p.source).map_err(|e| ctx(e.into()))?;
     let module = compile(&p.source).map_err(|e| ctx(e.into()))?;
     let prepared = session::prepare(&module)
         .map_err(|e| ctx(Error::from_diagnostic(Phase::Transform, e)))?
-        .with_engine(engine);
+        .with_engine(config.engine);
     let golden_run =
         session::run_traced(&prepared, p.input.iter().cloned()).map_err(|e| ctx(e.into()))?;
     let golden_render = golden_run.tree.render(golden_run.tree.root);
@@ -129,6 +136,7 @@ fn golden_ctx(p: &CampaignProgram, engine: Engine) -> Result<GoldenCtx, Error> {
         golden_interface,
         input: p.input.clone(),
         sites,
+        strategy: config.strategy,
     })
 }
 
@@ -144,7 +152,7 @@ pub fn run_campaign(
 ) -> Result<CampaignSummary, Error> {
     let contexts: Vec<GoldenCtx> = programs
         .iter()
-        .map(|p| golden_ctx(p, config.engine))
+        .map(|p| golden_ctx(p, config))
         .collect::<Result<_, _>>()?;
 
     let mut work: Vec<(usize, MutationSite)> = Vec::new();
@@ -188,21 +196,34 @@ fn fnv(bytes: &[u8]) -> u64 {
 /// only reusable while everything that determined it is unchanged, so
 /// the key fingerprints the golden source, the input stream and the step
 /// budget alongside the mutation site itself.
-fn verdict_key(p: &CampaignProgram, max_steps: u64, site: &MutationSite) -> String {
+fn verdict_key(
+    p: &CampaignProgram,
+    max_steps: u64,
+    strategy: Strategy,
+    site: &MutationSite,
+) -> String {
     let mut ident = p.source.as_bytes().to_vec();
     for v in &p.input {
         ident.extend_from_slice(v.to_string().as_bytes());
         ident.push(0);
     }
     ident.extend_from_slice(&max_steps.to_le_bytes());
-    format!(
+    let mut key = format!(
         "campaign/{}/{:016x}/{}#{}@{}",
         p.name,
         fnv(&ident),
         site.op,
         site.ordinal,
         site.unit
-    )
+    );
+    // Question counts depend on the traversal strategy, so non-default
+    // strategies key their own verdicts; TopDown keeps the historical
+    // shape so existing stores stay warm.
+    if strategy != Strategy::TopDown {
+        key.push('@');
+        key.push_str(strategy.slug());
+    }
+    key
 }
 
 /// Like [`run_campaign`], but with persistent golden-reference verdict
@@ -226,7 +247,7 @@ pub fn run_campaign_with_store(
 ) -> Result<CampaignSummary, Error> {
     let contexts: Vec<GoldenCtx> = programs
         .iter()
-        .map(|p| golden_ctx(p, config.engine))
+        .map(|p| golden_ctx(p, config))
         .collect::<Result<_, _>>()?;
 
     let mut work: Vec<(usize, MutationSite)> = Vec::new();
@@ -241,7 +262,7 @@ pub fn run_campaign_with_store(
 
     let keys: Vec<String> = work
         .iter()
-        .map(|(i, site)| verdict_key(&programs[*i], config.max_steps, site))
+        .map(|(i, site)| verdict_key(&programs[*i], config.max_steps, config.strategy, site))
         .collect();
 
     // Stored verdicts first (lookups in campaign order), then only the
@@ -490,7 +511,7 @@ fn debug_against_golden(
         run,
         &mut chain,
         DebugConfig {
-            strategy: Strategy::TopDown,
+            strategy: ctx.strategy,
             slicing,
         },
         rec,

@@ -50,7 +50,8 @@ impl Write for Transport {
 pub struct SessionOptions {
     /// `"vm"` or `"tree"` (server default: vm).
     pub engine: Option<String>,
-    /// `"top_down"` or `"divide_and_query"`.
+    /// `"top_down"`, `"divide_and_query"`, `"dq_opt"`, or
+    /// `"knowledge_weighted"` (weighs pool-answerable nodes as free).
     pub strategy: Option<String>,
     /// Slicing on error indications.
     pub slicing: Option<bool>,

@@ -671,10 +671,13 @@ fn op_create(state: &ServerState, msg: &Json) -> Json {
     }
     let mut config = DebugConfig::default();
     if let Some(s) = str_field(msg, "strategy") {
-        config.strategy = match s {
-            "top_down" => Strategy::TopDown,
-            "divide_and_query" => Strategy::DivideAndQuery,
-            other => return err_resp(format!("unknown strategy `{other}`")),
+        config.strategy = match Strategy::parse(s) {
+            Some(st) => st,
+            None => {
+                return err_resp(format!(
+                    "unknown strategy `{s}` (top_down | divide_and_query | dq_opt | knowledge_weighted)"
+                ))
+            }
         };
     }
     if let Some(b) = bool_field(msg, "slicing") {
@@ -794,12 +797,19 @@ fn op_trace(state: &ServerState, sess: &mut ServeSession, _sid: u64, msg: &Json)
     ])
 }
 
-fn journal_question(rec: &mut Recorder, unit: &str, source: &str, answer: &Verdict) {
+fn journal_question(
+    rec: &mut Recorder,
+    unit: &str,
+    source: &str,
+    answer: &Verdict,
+    strategy: Strategy,
+) {
     rec.incr("debug.questions");
     rec.incr(&format!(
         "debug.questions.by_source.{}",
         gadt_obs::slug(source)
     ));
+    rec.incr(&format!("debug.questions.by_strategy.{}", strategy.slug()));
     gadt_obs::event!(
         rec,
         "question",
@@ -807,6 +817,22 @@ fn journal_question(rec: &mut Recorder, unit: &str, source: &str, answer: &Verdi
         source = source,
         answer = answer.to_string(),
     );
+}
+
+/// The pooled store as a traversal-strategy probe: knowledge-weighted
+/// sessions weigh store-answerable nodes as free. Probing reads via
+/// `ShardedStore::peek_answer`, so it never moves a shard's hit/miss
+/// counters — only `drain_pooled` (which actually serves answers) does.
+struct PooledProbe {
+    store: ShardedStore,
+}
+
+impl gadt::strategy::AnswerProbe for PooledProbe {
+    fn is_answered(&self, tree: &gadt_trace::ExecTree, node: gadt_trace::NodeId) -> bool {
+        let n = tree.node(node);
+        let ins: Vec<Value> = n.ins.iter().map(|(_, v)| v.clone()).collect();
+        self.store.peek_answer(&n.name, &ins).is_some()
+    }
 }
 
 fn journal_slice(rec: &mut Recorder, stats: SliceStats) {
@@ -843,7 +869,8 @@ fn drain_pooled(state: &ServerState, sess: &mut ServeSession) {
         };
         let answer = answer_from_stored(stored);
         sess.rec.incr("store.hits");
-        journal_question(&mut sess.rec, &unit, STORED_SOURCE, &answer);
+        let strategy = sess.config.strategy;
+        journal_question(&mut sess.rec, &unit, STORED_SOURCE, &answer, strategy);
         let before = handle.slices_taken();
         handle.answer_from(answer, STORED_SOURCE);
         if handle.slices_taken() > before {
@@ -912,13 +939,19 @@ fn op_ask(state: &ServerState, sess: &mut ServeSession, _sid: u64, msg: &Json) -
                 sess.runs.len()
             ));
         };
-        sess.handle = Some(DebugHandle::new(
+        let mut handle = DebugHandle::new(
             Arc::new(sess.prepared.transformed.module.clone()),
             Arc::new(run.trace.clone()),
             Some(sess.prepared.transformed.mapping.clone()),
             run.tree.clone(),
             sess.config,
-        ));
+        );
+        if sess.pool && sess.config.strategy == Strategy::KnowledgeWeighted {
+            handle = handle.with_probe(Box::new(PooledProbe {
+                store: state.store.clone(),
+            }));
+        }
+        sess.handle = Some(handle);
     }
     drain_pooled(state, sess);
     session_reply(sess)
@@ -953,7 +986,7 @@ fn op_answer(state: &ServerState, sess: &mut ServeSession, _sid: u64, msg: &Json
     }) else {
         return err_resp("session has no pending question");
     };
-    journal_question(&mut sess.rec, &unit, "user", &verdict);
+    journal_question(&mut sess.rec, &unit, "user", &verdict, sess.config.strategy);
     let before = handle.slices_taken();
     handle.answer_from(verdict.clone(), "user");
     if handle.slices_taken() > before {

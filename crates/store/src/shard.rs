@@ -39,6 +39,10 @@ fn shard_dir_name(i: usize) -> String {
 }
 
 /// A set of [`KnowledgeStore`]s sharded by unit name.
+///
+/// Cloning is cheap: clones share the same shard handles (the `Arc`ed
+/// stores), so a clone sees — and contends on — the same data.
+#[derive(Clone)]
 pub struct ShardedStore {
     dir: PathBuf,
     shards: Vec<SharedStore>,
@@ -108,6 +112,16 @@ impl ShardedStore {
             .lock()
             .expect("shard mutex poisoned")
             .lookup_answer(unit, ins)
+    }
+
+    /// Checks for a stored answer without counting a hit or miss on its
+    /// shard — the read-only probe used by knowledge-weighted traversal
+    /// strategies to weigh questions (see `KnowledgeStore::peek_answer`).
+    pub fn peek_answer(&self, unit: &str, ins: &[Value]) -> Option<StoredAnswer> {
+        self.shard_for(unit)
+            .lock()
+            .expect("shard mutex poisoned")
+            .peek_answer(unit, ins)
     }
 
     /// Appends a batch of oracle answers, grouped by shard: each touched

@@ -422,6 +422,16 @@ impl KnowledgeStore {
         }
     }
 
+    /// Checks for a stored answer *without* counting a hit or miss —
+    /// the read-only probe traversal strategies use to weigh nodes
+    /// ("would asking this be free?") without pretending a question was
+    /// asked. [`KnowledgeStore::lookup_answer`] is the counting variant
+    /// for answers actually served into a session.
+    pub fn peek_answer(&self, unit: &str, ins: &[Value]) -> Option<StoredAnswer> {
+        let key = crate::record::answer_key(unit, ins);
+        self.state.answers.get(&key).map(|(a, _)| a.clone())
+    }
+
     /// The source that produced a stored answer, if present (does not
     /// count as a hit or miss).
     pub fn answer_source(&self, unit: &str, ins: &[Value]) -> Option<&str> {

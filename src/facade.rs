@@ -29,12 +29,13 @@
 //! # }
 //! ```
 
-use gadt::debugger::{DebugConfig, DebugOutcome};
+use gadt::debugger::{DebugConfig, DebugOutcome, Strategy};
 use gadt::error::{Error, Phase, Result};
 use gadt::handle::DebugHandle;
 use gadt::oracle::ChainOracle;
 use gadt::session::{self, Engine, PreparedProgram, TracedRun};
-use gadt::stored::StoredKnowledgeOracle;
+use gadt::stored::{StoreProbe, StoredKnowledgeOracle};
+use gadt::strategy::AnswerProbe;
 use gadt_obs::{Journal, Recorder};
 use gadt_pascal::sema::Module;
 use gadt_pascal::value::Value;
@@ -56,6 +57,7 @@ impl Gadt {
             module,
             threads: 0,
             engine: Engine::default(),
+            strategy: Strategy::default(),
             rec: Recorder::new(),
             store: None,
         })
@@ -67,6 +69,7 @@ impl Gadt {
             module,
             threads: 0,
             engine: Engine::default(),
+            strategy: Strategy::default(),
             rec: Recorder::new(),
             store: None,
         }
@@ -80,6 +83,7 @@ pub struct Compiled {
     pub module: Module,
     threads: usize,
     engine: Engine,
+    strategy: Strategy,
     rec: Recorder,
     store: Option<SharedStore>,
 }
@@ -109,6 +113,17 @@ impl Compiled {
     #[must_use]
     pub fn with_engine(mut self, engine: Engine) -> Self {
         self.engine = engine;
+        self
+    }
+
+    /// Selects the traversal strategy the debug phase uses when no
+    /// explicit [`DebugConfig`] is passed (the default is
+    /// [`Strategy::TopDown`], the paper's traversal). With
+    /// [`Strategy::KnowledgeWeighted`] and an attached store, question
+    /// selection weighs store-answerable nodes as free.
+    #[must_use]
+    pub fn with_strategy(mut self, strategy: Strategy) -> Self {
+        self.strategy = strategy;
         self
     }
 
@@ -156,6 +171,7 @@ impl Compiled {
             module: self.module,
             prepared,
             threads: self.threads,
+            strategy: self.strategy,
             rec: self.rec,
             store: self.store,
         })
@@ -170,6 +186,7 @@ pub struct Prepared {
     /// Phase I output: transformed module, mapping, CFG.
     pub prepared: PreparedProgram,
     threads: usize,
+    strategy: Strategy,
     rec: Recorder,
     store: Option<SharedStore>,
 }
@@ -188,6 +205,7 @@ impl Prepared {
             prepared: self.prepared,
             runs,
             threads: self.threads,
+            strategy: self.strategy,
             rec: self.rec,
             store: self.store,
         })
@@ -202,18 +220,24 @@ pub struct Traced {
     /// One traced run per input, in input order.
     pub runs: Vec<TracedRun>,
     threads: usize,
+    strategy: Strategy,
     rec: Recorder,
     store: Option<SharedStore>,
 }
 
 impl Traced {
-    /// Phase III: debugs the first traced run with the default
-    /// configuration (top-down, slicing on).
+    /// Phase III: debugs the first traced run with the chain's selected
+    /// strategy ([`Compiled::with_strategy`], default top-down) and
+    /// slicing on.
     ///
     /// # Errors
     /// A [`Phase::Debug`] error when the chain holds no traced runs.
     pub fn debug(self, oracle: &mut ChainOracle<'_>) -> Result<Session> {
-        self.debug_run(0, oracle, DebugConfig::default())
+        let config = DebugConfig {
+            strategy: self.strategy,
+            ..DebugConfig::default()
+        };
+        self.debug_run(0, oracle, config)
     }
 
     /// Phase III on a chosen run and configuration.
@@ -235,13 +259,26 @@ impl Traced {
                 ),
             )
         })?;
+        let mut probe: Option<Box<dyn AnswerProbe>> = None;
         if let Some(store) = &self.store {
             // Stored knowledge answers first; every new definite answer
             // is persisted for the next session.
             oracle.push_front(StoredKnowledgeOracle::new(store.clone()));
             oracle.persist_answers_to(store.clone());
+            if config.strategy == Strategy::KnowledgeWeighted {
+                // Weight questions by what the store can already answer;
+                // the probe reads without moving hit/miss counters.
+                probe = Some(Box::new(StoreProbe::new(store.clone())));
+            }
         }
-        let outcome = session::debug_observed(&self.prepared, run, oracle, config, &mut self.rec);
+        let outcome = session::debug_observed_with_probe(
+            &self.prepared,
+            run,
+            oracle,
+            config,
+            probe,
+            &mut self.rec,
+        );
         if let Some(store) = &self.store {
             if let Some(e) = oracle.take_persist_error() {
                 return Err(Error::new(
@@ -289,13 +326,19 @@ impl Traced {
                 ),
             )
         })?;
-        Ok(DebugHandle::new(
+        let mut handle = DebugHandle::new(
             std::sync::Arc::new(self.prepared.transformed.module.clone()),
             std::sync::Arc::new(run.trace.clone()),
             Some(self.prepared.transformed.mapping.clone()),
             run.tree.clone(),
             config,
-        ))
+        );
+        if config.strategy == Strategy::KnowledgeWeighted {
+            if let Some(store) = &self.store {
+                handle = handle.with_probe(Box::new(StoreProbe::new(store.clone())));
+            }
+        }
+        Ok(handle)
     }
 
     /// Ends the chain without a debug phase, yielding the runs and the

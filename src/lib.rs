@@ -60,7 +60,7 @@ pub use gadt_vm as vm;
 
 pub use facade::{Compiled, Gadt, Prepared, Session, Traced};
 
-pub use gadt::debugger::{DebugConfig, DebugOutcome, DebugResult};
+pub use gadt::debugger::{DebugConfig, DebugOutcome, DebugResult, Strategy};
 pub use gadt::error::{Error, Phase, Result};
 pub use gadt::handle::{DebugHandle, Question, Step, Verdict};
 pub use gadt::session::Engine;
@@ -70,7 +70,7 @@ pub use gadt_pascal::testprogs;
 /// `use gadt_repro::prelude::*;`.
 pub mod prelude {
     pub use crate::facade::{Compiled, Gadt, Prepared, Session, Traced};
-    pub use gadt::debugger::{DebugConfig, DebugOutcome, DebugResult};
+    pub use gadt::debugger::{DebugConfig, DebugOutcome, DebugResult, Strategy};
     pub use gadt::error::{Error, Phase, Result};
     pub use gadt::handle::{DebugHandle, Question, Step, Verdict};
     pub use gadt::oracle::{Answer, AssertionOracle, ChainOracle, GoldenOracle, ReferenceOracle};

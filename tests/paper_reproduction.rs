@@ -426,3 +426,189 @@ decrement(In y: 3) = 4?
 An error is localized inside the body of decrement.";
     assert_eq!(out.render_transcript().trim_end(), expected);
 }
+
+/// Golden transcript — the §8 session under Shapiro's divide-and-query.
+/// Bisection skips the spine walk: four questions (vs top-down's seven)
+/// land on `decrement`, and the pruned tree needs only one slice.
+#[test]
+fn golden_transcript_sqrtest_divide_and_query() {
+    use gadt::debugger::Strategy;
+    let buggy = compile(testprogs::SQRTEST).unwrap();
+    let fixed = compile(testprogs::SQRTEST_FIXED).unwrap();
+    let prepared = prepare(&buggy).unwrap();
+    let run = run_traced(&prepared, []).unwrap();
+    let mut chain = ChainOracle::new();
+    chain.push(CountingOracle::new(
+        ReferenceOracle::new(&fixed, []).unwrap(),
+    ));
+    let out = debug(
+        &prepared,
+        &run,
+        &mut chain,
+        DebugConfig {
+            strategy: Strategy::DivideAndQuery,
+            ..Default::default()
+        },
+    );
+    let expected = "\
+comput1(In y: 3, Out r1: 12)?
+> no, error on output variable 1    [simulated user (reference implementation)]
+partialsums(In y: 3, Out s1: 6, Out s2: 6)?
+> no, error on output variable 2    [simulated user (reference implementation)]
+sum2(In y: 3, Out s2: 6)?
+> no, error on output variable 1    [simulated user (reference implementation)]
+decrement(In y: 3) = 4?
+> no, error on output variable 1    [simulated user (reference implementation)]
+An error is localized inside the body of decrement.";
+    assert_eq!(out.render_transcript().trim_end(), expected);
+    assert_eq!(out.total_queries(), 4);
+    assert_eq!(out.slices_taken, 1);
+}
+
+/// Golden transcript — the §8 session under optimal divide-and-query
+/// (Insa & Silva). The minimax split asks `sum1` where Shapiro descends
+/// through `partialsums`, converging in four questions with no slice.
+#[test]
+fn golden_transcript_sqrtest_dq_opt() {
+    use gadt::debugger::Strategy;
+    let buggy = compile(testprogs::SQRTEST).unwrap();
+    let fixed = compile(testprogs::SQRTEST_FIXED).unwrap();
+    let prepared = prepare(&buggy).unwrap();
+    let run = run_traced(&prepared, []).unwrap();
+    let mut chain = ChainOracle::new();
+    chain.push(CountingOracle::new(
+        ReferenceOracle::new(&fixed, []).unwrap(),
+    ));
+    let out = debug(
+        &prepared,
+        &run,
+        &mut chain,
+        DebugConfig {
+            strategy: Strategy::DqOpt,
+            ..Default::default()
+        },
+    );
+    let expected = "\
+comput1(In y: 3, Out r1: 12)?
+> no, error on output variable 1    [simulated user (reference implementation)]
+sum1(In y: 3, Out s1: 6)?
+> yes    [simulated user (reference implementation)]
+sum2(In y: 3, Out s2: 6)?
+> no, error on output variable 1    [simulated user (reference implementation)]
+decrement(In y: 3) = 4?
+> no, error on output variable 1    [simulated user (reference implementation)]
+An error is localized inside the body of decrement.";
+    assert_eq!(out.render_transcript().trim_end(), expected);
+    assert_eq!(out.total_queries(), 4);
+    assert_eq!(out.slices_taken, 0);
+}
+
+/// Question-count ordering on the §8 session: optimal divide-and-query
+/// never asks more than Shapiro's, which never asks more than top-down's
+/// seven-question spine walk. All strategies agree on the verdict.
+#[test]
+fn strategy_question_counts_ordered_on_section8_session() {
+    use gadt::debugger::Strategy;
+    let buggy = compile(testprogs::SQRTEST).unwrap();
+    let fixed = compile(testprogs::SQRTEST_FIXED).unwrap();
+    let prepared = prepare(&buggy).unwrap();
+    let run = run_traced(&prepared, []).unwrap();
+    let mut counts = std::collections::BTreeMap::new();
+    for strategy in Strategy::ALL {
+        let mut chain = ChainOracle::new();
+        chain.push(CountingOracle::new(
+            ReferenceOracle::new(&fixed, []).unwrap(),
+        ));
+        let out = debug(
+            &prepared,
+            &run,
+            &mut chain,
+            DebugConfig {
+                strategy,
+                ..Default::default()
+            },
+        );
+        assert!(
+            matches!(&out.result, DebugResult::BugLocalized { unit, .. } if unit == "decrement"),
+            "{} disagrees on the verdict:\n{}",
+            strategy.slug(),
+            out.render_transcript()
+        );
+        counts.insert(strategy.slug(), out.total_queries());
+    }
+    assert_eq!(counts["top_down"], 7);
+    assert!(counts["dq_opt"] <= counts["divide_and_query"]);
+    assert!(counts["divide_and_query"] <= counts["top_down"]);
+    // Without a knowledge store attached there is no probe, and the
+    // knowledge-weighted strategy degenerates to optimal D&Q exactly.
+    assert_eq!(counts["knowledge_weighted"], counts["dq_opt"]);
+}
+
+/// E14 — stored-knowledge replay under the knowledge-weighted strategy:
+/// a top-down session persists its seven judgements; on replay, optimal
+/// D&Q bisects into `sum1` (never stored) and must ask the user once,
+/// while the knowledge-weighted strategy steers every question onto a
+/// stored answer and asks the user nothing.
+#[test]
+fn e14_knowledge_weighted_replay_asks_strictly_fewer_live_questions() {
+    use gadt::debugger::Strategy;
+    use gadt::session::debug_observed_with_probe;
+    use gadt::{AnswerProbe, StoreProbe, StoredKnowledgeOracle};
+    use gadt_obs::Recorder;
+    use gadt_store::{KnowledgeStore, TempDir};
+
+    let buggy = compile(testprogs::SQRTEST).unwrap();
+    let fixed = compile(testprogs::SQRTEST_FIXED).unwrap();
+    let prepared = prepare(&buggy).unwrap();
+    let run = run_traced(&prepared, []).unwrap();
+    let dir = TempDir::new("e14-replay");
+    let store = KnowledgeStore::open(dir.path()).unwrap().into_shared();
+
+    // Session 1 — top-down, live user; all seven judgements persist.
+    {
+        let mut chain = ChainOracle::new();
+        chain.push(CountingOracle::new(
+            ReferenceOracle::new(&fixed, []).unwrap(),
+        ));
+        chain.persist_answers_to(store.clone());
+        let out = debug(&prepared, &run, &mut chain, DebugConfig::default());
+        assert_eq!(out.total_queries(), 7);
+        assert!(chain.take_persist_error().is_none());
+    }
+
+    // Session 2 — replay each bisection strategy against the seeded store.
+    let mut live = std::collections::BTreeMap::new();
+    for strategy in [Strategy::DqOpt, Strategy::KnowledgeWeighted] {
+        let mut chain = ChainOracle::new();
+        chain.push(CountingOracle::new(
+            ReferenceOracle::new(&fixed, []).unwrap(),
+        ));
+        chain.push_front(StoredKnowledgeOracle::new(store.clone()));
+        let probe = (strategy == Strategy::KnowledgeWeighted)
+            .then(|| Box::new(StoreProbe::new(store.clone())) as Box<dyn AnswerProbe>);
+        let out = debug_observed_with_probe(
+            &prepared,
+            &run,
+            &mut chain,
+            DebugConfig {
+                strategy,
+                ..Default::default()
+            },
+            probe,
+            &mut Recorder::disabled(),
+        );
+        assert!(
+            matches!(&out.result, DebugResult::BugLocalized { unit, .. } if unit == "decrement"),
+            "{} replay verdict drifted:\n{}",
+            strategy.slug(),
+            out.render_transcript()
+        );
+        live.insert(strategy.slug(), out.queries_from("reference"));
+    }
+    assert_eq!(live["dq_opt"], 1, "optimal D&Q bisects into unstored sum1");
+    assert_eq!(
+        live["knowledge_weighted"], 0,
+        "every question hits the store"
+    );
+    assert!(live["knowledge_weighted"] < live["dq_opt"]);
+}

@@ -428,3 +428,116 @@ mod prop {
         }
     }
 }
+
+/// Strategy safety net (ROADMAP item 3) — a 2000-seed sweep of
+/// generated programs with planted mutations, each killed mutant
+/// debugged under all four traversal strategies. Pinned per strategy:
+///
+/// * **termination** — the session ends within one question per tree
+///   node (no strategy can loop);
+/// * **no re-asking** — a node judged once is never asked again
+///   (judged nodes stay cleared across focus changes);
+/// * **convergence** — the session ends on a node that misbehaved
+///   while none of its children did: the §3 bug criterion, checked
+///   against the reference oracle *after* the session, independently
+///   of the path the strategy took to get there.
+///
+/// Slicing is off so node ids stay stable for the whole session (a
+/// slice replaces the tree, which would make "same node twice"
+/// meaningless).
+#[test]
+fn every_strategy_terminates_never_reasks_and_converges() {
+    use gadt::debugger::{DebugConfig, DebugResult, Strategy};
+    use gadt::oracle::{Answer, Oracle, ReferenceOracle};
+    use gadt::session::{prepare, run_traced};
+    use gadt::DebugHandle;
+    use gadt_bench::genprog::{generate, mutate, GenConfig};
+    use gadt_pascal::interp::Interpreter;
+    use gadt_pascal::sema::compile;
+    use std::collections::BTreeSet;
+    use std::sync::Arc;
+
+    let mut killed = 0usize;
+    for i in 0..2000u64 {
+        let procs = 3 + (i % 5) as usize;
+        let seed = i * 131 + 7;
+        let gen = generate(&GenConfig {
+            procs,
+            max_calls: 2,
+            seed,
+        });
+        let Some(mutation) = mutate(&gen, seed) else {
+            continue;
+        };
+        let fixed = compile(&gen.source).unwrap();
+        let Ok(buggy) = compile(&mutation.source) else {
+            continue;
+        };
+        let (Ok(of), Ok(ob)) = (
+            Interpreter::new(&fixed).run(),
+            Interpreter::new(&buggy).run(),
+        ) else {
+            continue;
+        };
+        if of.output_text() == ob.output_text() {
+            continue; // equivalent mutant — no symptom, no session
+        }
+        killed += 1;
+
+        let prepared = prepare(&buggy).unwrap();
+        let run = run_traced(&prepared, []).unwrap();
+        let module = Arc::new(prepared.transformed.module.clone());
+        let trace = Arc::new(run.trace.clone());
+        for strategy in Strategy::ALL {
+            let mut oracle = ReferenceOracle::new(&fixed, []).unwrap();
+            let mut handle = DebugHandle::new(
+                module.clone(),
+                trace.clone(),
+                Some(prepared.transformed.mapping.clone()),
+                run.tree.clone(),
+                DebugConfig {
+                    strategy,
+                    slicing: false,
+                },
+            );
+            let budget = handle.tree().len();
+            let mut asked = BTreeSet::new();
+            let mut blamed = handle.tree().root;
+            while let Some(q) = handle.next_question() {
+                let node = q.node;
+                assert!(
+                    asked.insert(node),
+                    "{procs}/{seed} {}: node {node:?} asked twice",
+                    strategy.slug()
+                );
+                assert!(
+                    asked.len() <= budget,
+                    "{procs}/{seed} {}: more questions than tree nodes",
+                    strategy.slug()
+                );
+                let verdict = oracle.judge(&module, handle.tree(), node);
+                if matches!(verdict, Answer::Incorrect { .. }) {
+                    blamed = node;
+                }
+                handle.answer_from(verdict, "reference");
+            }
+            assert!(
+                matches!(handle.result(), Some(DebugResult::BugLocalized { .. })),
+                "{procs}/{seed} {}: session ended without a verdict",
+                strategy.slug()
+            );
+            // Convergence: the bug criterion holds at the final focus —
+            // every child of the blamed node behaved correctly.
+            let children = handle.tree().node(blamed).children.clone();
+            for child in children {
+                let verdict = oracle.judge(&module, handle.tree(), child);
+                assert!(
+                    !matches!(verdict, Answer::Incorrect { .. }),
+                    "{procs}/{seed} {}: blamed node has a misbehaving child",
+                    strategy.slug()
+                );
+            }
+        }
+    }
+    assert!(killed >= 500, "only {killed} killed mutants in the sweep");
+}

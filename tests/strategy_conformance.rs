@@ -1,0 +1,260 @@
+//! Conformance harness for the pluggable traversal strategies
+//! (ROADMAP item 3): every strategy must agree with the paper's
+//! top-down traversal on *what* is wrong — only the number of
+//! questions it takes to get there may differ.
+//!
+//! The subject corpus is every known-good fixture (the paper
+//! testprogs) plus every minimized fuzzer reproducer committed under
+//! `tests/corpus_regressions/`, with the full fixed-seed mutation
+//! campaign planting faults in each. For each strategy the suite pins:
+//!
+//! * verdict agreement — identical status class per mutant, and the
+//!   blamed unit matches top-down's on all but a pinned handful of
+//!   mutants where several nodes legitimately satisfy the bug
+//!   criterion (an incorrect node whose children are all correct);
+//! * exact question totals, with and without slicing — the strategy
+//!   lab's quality metric, frozen so it cannot drift silently;
+//! * bit-for-bit determinism at 1, 2, and 8 worker threads and across
+//!   both execution engines.
+
+use gadt::debugger::Strategy;
+use gadt::session::Engine;
+use gadt_mutate::campaign::{run_campaign, CampaignConfig, CampaignProgram};
+use gadt_mutate::report::{CampaignSummary, MutantStatus};
+use gadt_pascal::testprogs;
+use std::path::PathBuf;
+
+/// The paper fixtures plus every committed fuzzer reproducer, in a
+/// fixed order so campaign fingerprints are comparable.
+fn conformance_programs() -> Vec<CampaignProgram> {
+    let mut programs = vec![
+        CampaignProgram::new("sqrtest", testprogs::SQRTEST_FIXED),
+        CampaignProgram::new("pqr", testprogs::PQR_FIXED),
+        CampaignProgram::new("multichain", testprogs::MULTICHAIN),
+    ];
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/corpus_regressions");
+    let mut files: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .expect("regression dir")
+        .map(|e| e.expect("dir entry").path())
+        .filter(|p| p.extension().is_some_and(|x| x == "pas"))
+        .collect();
+    files.sort();
+    for path in files {
+        programs.push(CampaignProgram::new(
+            path.file_stem().unwrap().to_string_lossy().into_owned(),
+            std::fs::read_to_string(&path).expect("read reproducer"),
+        ));
+    }
+    programs
+}
+
+fn config(strategy: Strategy, threads: usize, engine: Engine) -> CampaignConfig {
+    CampaignConfig {
+        seed: 2026,
+        max_mutants: 0,
+        threads,
+        // The goto/fuel reproducers run long even unmutated.
+        max_steps: 2_000_000,
+        engine,
+        strategy,
+    }
+}
+
+fn run(strategy: Strategy, threads: usize, engine: Engine) -> CampaignSummary {
+    run_campaign(&conformance_programs(), &config(strategy, threads, engine))
+        .expect("conformance programs are good")
+}
+
+fn status_class(s: &MutantStatus) -> &'static str {
+    match s {
+        MutantStatus::Stillborn { .. } => "stillborn",
+        MutantStatus::Crashed { .. } => "crashed",
+        MutantStatus::Equivalent => "equivalent",
+        MutantStatus::Masked => "masked",
+        MutantStatus::Localized { .. } => "localized",
+    }
+}
+
+fn blamed_unit(s: &MutantStatus) -> Option<&str> {
+    match s {
+        MutantStatus::Localized { unit, .. } => Some(unit),
+        _ => None,
+    }
+}
+
+/// Per-strategy expectations over the fixed-seed conformance campaign.
+/// `unit_disagreements` counts mutants where the strategy blames a
+/// different (still admissible) node than top-down — all of them sit in
+/// the recursive `dup_whilelab` reproducer, where several incorrect
+/// nodes have all-correct children and the traversal order decides
+/// which one the session reaches first.
+struct Expected {
+    strategy: Strategy,
+    questions_with_slicing: usize,
+    questions_without_slicing: usize,
+    exact: usize,
+    unit_disagreements: usize,
+}
+
+const EXPECTED: [Expected; 4] = [
+    Expected {
+        strategy: Strategy::TopDown,
+        questions_with_slicing: 608,
+        questions_without_slicing: 784,
+        exact: 192,
+        unit_disagreements: 0,
+    },
+    Expected {
+        strategy: Strategy::DivideAndQuery,
+        questions_with_slicing: 539,
+        questions_without_slicing: 584,
+        exact: 194,
+        unit_disagreements: 2,
+    },
+    Expected {
+        strategy: Strategy::DqOpt,
+        questions_with_slicing: 619,
+        questions_without_slicing: 604,
+        exact: 194,
+        unit_disagreements: 6,
+    },
+    Expected {
+        strategy: Strategy::KnowledgeWeighted,
+        questions_with_slicing: 619,
+        questions_without_slicing: 604,
+        exact: 194,
+        unit_disagreements: 6,
+    },
+];
+
+/// Every strategy reaches the same verdict as top-down on every mutant
+/// of every fixture and reproducer (same status class; same blamed
+/// unit outside the pinned ambiguous handful), localizes exactly as
+/// many mutants, stays at or above top-down's exact-unit accuracy, and
+/// asks exactly the pinned number of questions. Without slicing, both
+/// bisection strategies ask strictly fewer questions than the paper's
+/// spine walk.
+#[test]
+fn strategies_agree_with_top_down_and_pin_question_counts() {
+    let summaries: Vec<(Strategy, CampaignSummary)> = Strategy::ALL
+        .into_iter()
+        .map(|s| (s, run(s, 8, Engine::default())))
+        .collect();
+    let top_down = &summaries[0].1;
+    assert!(top_down.total() >= 300, "only {} mutants", top_down.total());
+
+    for (i, (strategy, summary)) in summaries.iter().enumerate() {
+        let expected = &EXPECTED[i];
+        assert_eq!(expected.strategy, *strategy);
+        assert_eq!(summary.total(), top_down.total(), "{}", strategy.slug());
+
+        let (mut with_slicing, mut without_slicing, mut localized, mut exact) = (0, 0, 0, 0);
+        let mut disagreements = Vec::new();
+        for (base, report) in top_down.reports.iter().zip(&summary.reports) {
+            assert_eq!(
+                status_class(&base.status),
+                status_class(&report.status),
+                "{}: {} {}#{} changed status class",
+                strategy.slug(),
+                report.program,
+                report.op,
+                report.ordinal
+            );
+            if let MutantStatus::Localized {
+                questions_with_slicing,
+                questions_without_slicing,
+                exact: is_exact,
+                ..
+            } = &report.status
+            {
+                with_slicing += questions_with_slicing;
+                without_slicing += questions_without_slicing;
+                localized += 1;
+                exact += usize::from(*is_exact);
+            }
+            if blamed_unit(&base.status) != blamed_unit(&report.status) {
+                disagreements.push(format!(
+                    "{} {}#{}: {:?} vs {:?}",
+                    report.program,
+                    report.op,
+                    report.ordinal,
+                    blamed_unit(&base.status),
+                    blamed_unit(&report.status)
+                ));
+            }
+        }
+        assert_eq!(
+            localized,
+            top_down.localized(),
+            "{} killed a different mutant set",
+            strategy.slug()
+        );
+        assert_eq!(
+            disagreements.len(),
+            expected.unit_disagreements,
+            "{}: blamed-unit disagreements vs top-down drifted:\n{}",
+            strategy.slug(),
+            disagreements.join("\n")
+        );
+        assert_eq!(
+            (with_slicing, without_slicing),
+            (
+                expected.questions_with_slicing,
+                expected.questions_without_slicing
+            ),
+            "{}: question totals drifted",
+            strategy.slug()
+        );
+        assert_eq!(
+            exact,
+            expected.exact,
+            "{}: exact-unit count",
+            strategy.slug()
+        );
+        assert!(
+            exact >= EXPECTED[0].exact,
+            "{} less accurate than top-down",
+            strategy.slug()
+        );
+    }
+
+    // The isolated strategy comparison (no slicing interplay): both
+    // bisection strategies strictly beat the spine walk.
+    assert!(EXPECTED[1].questions_without_slicing < EXPECTED[0].questions_without_slicing);
+    assert!(EXPECTED[2].questions_without_slicing < EXPECTED[0].questions_without_slicing);
+    // Without a store probe the knowledge-weighted strategy degenerates
+    // to optimal D&Q *exactly* — whole-campaign fingerprints match.
+    assert_eq!(
+        summaries[2].1.fingerprint(),
+        summaries[3].1.fingerprint(),
+        "probe-less knowledge_weighted must equal dq_opt"
+    );
+}
+
+/// Each new strategy is bit-for-bit deterministic: the campaign
+/// fingerprint is identical at 1, 2, and 8 worker threads, and
+/// identical across the tree-walking and bytecode engines.
+#[test]
+fn strategy_campaigns_are_thread_and_engine_deterministic() {
+    for strategy in [
+        Strategy::DivideAndQuery,
+        Strategy::DqOpt,
+        Strategy::KnowledgeWeighted,
+    ] {
+        let baseline = run(strategy, 1, Engine::Vm);
+        for threads in [2, 8] {
+            assert_eq!(
+                baseline.fingerprint(),
+                run(strategy, threads, Engine::Vm).fingerprint(),
+                "{} diverges at {threads} threads",
+                strategy.slug()
+            );
+        }
+        assert_eq!(
+            baseline.fingerprint(),
+            run(strategy, 8, Engine::TreeWalker).fingerprint(),
+            "{} diverges across engines",
+            strategy.slug()
+        );
+    }
+}
